@@ -1,0 +1,107 @@
+"""Figure 4.2: running time vs database size (D1000..D5000).
+
+Paper setup: sigma = 0.2, max 20 edges per graph, 10 edge labels, GO
+molecular-function taxonomy.  Paper observations to reproduce in shape:
+
+* Taxogram's runtime stays almost flat as the database grows;
+* the baseline and TAcGM grow much faster;
+* TAcGM fails with out-of-memory beyond the 4000-graph analog.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._common import (
+    dataset,
+    print_header,
+    print_row,
+    run_algorithm,
+)
+
+# The paper uses sigma = 0.2; at this reproduction's scale the
+# bottom-up comparator exceeds its memory budget at *every* point under
+# 0.2, which would hide the "slower but completes" regime the figure
+# shows, so the sweep runs at 0.5 (documented in EXPERIMENTS.md).
+SIGMA = 0.5
+_GRAPH_SCALE = 0.02  # 1000..5000 -> 20..100 graphs at default scale
+_TAXONOMY_SCALE = 0.01
+POINTS = ["D1000", "D2000", "D3000", "D4000", "D5000"]
+ALGORITHMS = ["taxogram", "tacgm", "baseline"]
+
+_results: dict[tuple[str, str], tuple[float, object, str]] = {}
+
+
+@pytest.mark.parametrize("name", POINTS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig42_point(benchmark, name, algorithm):
+    database, taxonomy = dataset(name, _GRAPH_SCALE, _TAXONOMY_SCALE)
+
+    def run():
+        return run_algorithm(algorithm, database, taxonomy, SIGMA)
+
+    result, seconds, note = benchmark.pedantic(run, rounds=1, iterations=1)
+    _results[(name, algorithm)] = (seconds, result, note)
+    benchmark.extra_info["patterns"] = len(result) if result else note
+    print_row(
+        name,
+        f"|D|={len(database)}",
+        algorithm,
+        note or f"{seconds * 1000:.0f}ms",
+        f"{len(result)} patterns" if result else "-",
+    )
+
+    if result is not None:
+        assert all(p.support >= SIGMA for p in result)
+
+
+def test_fig42_shape(benchmark):
+    """Cross-point assertions on the collected sweep."""
+    if len(_results) < len(POINTS) * len(ALGORITHMS):
+        pytest.skip("run the full fig4.2 sweep first")
+    print_header(
+        "Figure 4.2: runtime (ms) vs database size",
+        f"{'dataset':>12}  {'taxogram':>12}  {'tacgm':>12}  {'baseline':>12}",
+    )
+    for name in POINTS:
+        cells = [name]
+        for algorithm in ALGORITHMS:
+            seconds, result, note = _results[(name, algorithm)]
+            cells.append(note or f"{seconds * 1000:.0f}")
+        print_row(*cells)
+    print("paper: Taxogram ~flat (9-16s); TAcGM/baseline grow steeply; "
+          "TAcGM OOM beyond D4000.")
+
+    largest_ok = next(
+        name for name in reversed(POINTS)
+        if _results[(name, "tacgm")][2] != "OOM"
+    )
+    taxogram_s = _results[(largest_ok, "taxogram")][0]
+    tacgm_s = _results[(largest_ok, "tacgm")][0]
+    # Who wins: Taxogram beats TAcGM by a wide wall-clock margin at the
+    # largest completed size; against the baseline the deterministic
+    # work counters decide (wall time is noise-prone at millisecond
+    # scale on shared machines).
+    assert taxogram_s < tacgm_s
+    for name in POINTS:
+        taxogram_work = _results[(name, "taxogram")][1].counters
+        baseline_work = _results[(name, "baseline")][1].counters
+        assert (
+            taxogram_work.bitset_intersections
+            <= baseline_work.bitset_intersections
+        )
+        assert (
+            taxogram_work.candidates_enumerated
+            <= baseline_work.candidates_enumerated
+        )
+
+    # All algorithms that complete agree on the pattern set.
+    for name in POINTS:
+        reference = _results[(name, "taxogram")][1]
+        for algorithm in ("tacgm", "baseline"):
+            other = _results[(name, algorithm)][1]
+            if other is not None:
+                assert other.pattern_codes() == reference.pattern_codes()
+
+    # TAcGM hits its memory wall at the largest size.
+    assert _results[(POINTS[-1], "tacgm")][2] == "OOM"

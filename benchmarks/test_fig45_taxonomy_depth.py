@@ -1,0 +1,83 @@
+"""Figure 4.5: performance for taxonomies of different depths (TD5..TD15).
+
+Paper setup: synthetic taxonomies with 1000 concepts / 2000
+relationships and depth swept 5 -> 15; 4000 graphs of max size 40 whose
+node labels are drawn from every taxonomy level with equal probability;
+sigma = 0.2.  TAcGM produced no results at all here (out of memory), so
+only Taxogram is measured.
+
+Shape to reproduce: runtime roughly flat for shallow taxonomies, then a
+sharp pattern-count-driven climb at the deepest settings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._common import (
+    TACGM_MEMORY_BUDGET,
+    dataset,
+    print_header,
+    print_row,
+    run_algorithm,
+)
+
+SIGMA = 0.2
+_GRAPH_SCALE = 0.01  # 4000 -> 40 graphs
+_TAXONOMY_SCALE = 0.25  # 1000 -> 250 concepts
+POINTS = ["TD5", "TD7", "TD9", "TD11", "TD13", "TD15"]
+
+_results: dict[str, tuple[float, int]] = {}
+
+
+@pytest.mark.parametrize("name", POINTS)
+def test_fig45_point(benchmark, name):
+    database, taxonomy = dataset(name, _GRAPH_SCALE, _TAXONOMY_SCALE)
+
+    def run():
+        return run_algorithm("taxogram", database, taxonomy, SIGMA)
+
+    result, seconds, _note = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result is not None
+    _results[name] = (seconds, len(result))
+    benchmark.extra_info["patterns"] = len(result)
+    print_row(name, f"depth={taxonomy.max_depth()}",
+              f"{seconds * 1000:.0f}ms", f"{len(result)} patterns")
+
+
+def test_fig45_tacgm_out_of_memory(benchmark):
+    """The paper shows no TAcGM results for any TD dataset (OOM)."""
+    database, taxonomy = dataset("TD15", _GRAPH_SCALE, _TAXONOMY_SCALE)
+    result, _seconds, note = run_algorithm(
+        "tacgm", database, taxonomy, SIGMA,
+        memory_budget=TACGM_MEMORY_BUDGET // 4,
+    )
+    print_row("TD15", "tacgm", note or "completed")
+    assert note == "OOM"
+    assert result is None
+
+
+def test_fig45_shape(benchmark):
+    if len(_results) < len(POINTS):
+        pytest.skip("run the full fig4.5 sweep first")
+    print_header(
+        "Figure 4.5: Taxogram runtime / pattern count vs taxonomy depth",
+        f"{'dataset':>12}  {'ms':>12}  {'patterns':>12}",
+    )
+    for name in POINTS:
+        seconds, patterns = _results[name]
+        print_row(name, f"{seconds * 1000:.0f}", patterns)
+    print("paper: ~flat below depth 13, then exponential growth with the "
+          "pattern count (60k patterns at depth 15).")
+
+    # Deeper taxonomies produce more patterns and cost more time overall.
+    assert _results["TD15"][1] >= _results["TD5"][1]
+    # The flat shallow regime stays orders of magnitude below the
+    # explosive deep regime (at this scale the knee lands near depth 9).
+    shallow_max = max(_results[n][1] for n in ("TD5", "TD7"))
+    deep_min = min(_results[n][1] for n in ("TD11", "TD13", "TD15"))
+    assert deep_min > 3 * shallow_max
+    # Runtime tracks the pattern count: the slowest point lies in the
+    # explosive regime.
+    slowest = max(POINTS, key=lambda n: _results[n][0])
+    assert slowest in {"TD9", "TD11", "TD13", "TD15"}

@@ -1,0 +1,82 @@
+"""Figure 4.6: performance for taxonomies of different sizes (TS25..TS3200).
+
+Paper setup: fixed-depth synthetic taxonomies whose concept count
+doubles at each step; 4000 graphs of max size 40; sigma = 0.2.  TAcGM
+does not run on any TS dataset (out of memory), so only Taxogram is
+measured.
+
+Shape to reproduce: runtime generally *decreases* as the taxonomy grows
+(more distinct labels -> fewer frequent patterns), tracking the pattern
+count, which may bump non-monotonically at small-to-mid sizes (the
+paper's peak at TS100).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._common import (
+    TACGM_MEMORY_BUDGET,
+    dataset,
+    print_header,
+    print_row,
+    run_algorithm,
+)
+
+SIGMA = 0.2
+_GRAPH_SCALE = 0.01  # 4000 -> 40 graphs
+_TAXONOMY_SCALE = 0.5
+POINTS = ["TS25", "TS50", "TS100", "TS200", "TS400", "TS800", "TS1600", "TS3200"]
+
+_results: dict[str, tuple[float, int]] = {}
+
+
+@pytest.mark.parametrize("name", POINTS)
+def test_fig46_point(benchmark, name):
+    database, taxonomy = dataset(name, _GRAPH_SCALE, _TAXONOMY_SCALE)
+
+    def run():
+        return run_algorithm("taxogram", database, taxonomy, SIGMA)
+
+    result, seconds, _note = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result is not None
+    _results[name] = (seconds, len(result))
+    benchmark.extra_info["patterns"] = len(result)
+    print_row(name, f"concepts={len(taxonomy)}",
+              f"{seconds * 1000:.0f}ms", f"{len(result)} patterns")
+
+
+def test_fig46_tacgm_out_of_memory(benchmark):
+    """The paper reports no TAcGM results for the TS datasets."""
+    database, taxonomy = dataset("TS3200", _GRAPH_SCALE, _TAXONOMY_SCALE)
+    result, _seconds, note = run_algorithm(
+        "tacgm", database, taxonomy, SIGMA,
+        memory_budget=TACGM_MEMORY_BUDGET // 4,
+    )
+    print_row("TS3200", "tacgm", note or "completed")
+    assert note == "OOM"
+    assert result is None
+
+
+def test_fig46_shape(benchmark):
+    if len(_results) < len(POINTS):
+        pytest.skip("run the full fig4.6 sweep first")
+    print_header(
+        "Figure 4.6: Taxogram runtime / pattern count vs taxonomy size",
+        f"{'dataset':>12}  {'ms':>12}  {'patterns':>12}",
+    )
+    for name in POINTS:
+        seconds, patterns = _results[name]
+        print_row(name, f"{seconds * 1000:.0f}", patterns)
+    print("paper: runtime decreases with taxonomy size overall, tracking "
+          "the pattern count (non-monotone bump near TS100).")
+
+    # Overall decrease: the largest taxonomy yields fewer patterns (and
+    # less work) than the smallest.
+    assert _results["TS3200"][1] < _results["TS25"][1]
+    assert _results["TS3200"][0] < _results["TS25"][0]
+    # Runtime tracks the pattern count across the sweep (rank-correlated:
+    # the slowest point is among those with the most patterns).
+    slowest = max(POINTS, key=lambda n: _results[n][0])
+    top_counts = sorted(POINTS, key=lambda n: -_results[n][1])[:3]
+    assert slowest in top_counts

@@ -1,0 +1,65 @@
+"""Figure 4.8: performance on the PTE chemical-compound data.
+
+Paper setup: 416 molecular-structure graphs over the Fig. 4.1 atom
+taxonomy, support swept over {0.6, 0.5, 0.3} (the paper plots 0.3, 0.5,
+0.6 as "Support * 100" = 30/50/60).  Shape to reproduce: both the
+running time and the pattern count climb steeply even at these *high*
+thresholds, because the molecules consist largely of C, H and O — the
+paper reports ~10,000 patterns already at support 0.3.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._common import print_header, print_row, run_algorithm
+from repro.datagen.pte import generate_pte_dataset
+
+GRAPH_COUNT = 416  # the PTE dataset is small enough to run at full size
+POINTS = [0.6, 0.5, 0.3]
+
+_dataset = None
+_results: dict[float, tuple[float, int]] = {}
+
+
+def _data():
+    global _dataset
+    if _dataset is None:
+        _dataset = generate_pte_dataset(graph_count=GRAPH_COUNT)
+    return _dataset
+
+
+@pytest.mark.parametrize("sigma", POINTS)
+def test_fig48_point(benchmark, sigma):
+    database, taxonomy = _data()
+
+    def run():
+        return run_algorithm("taxogram", database, taxonomy, sigma)
+
+    result, seconds, _note = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result is not None
+    _results[sigma] = (seconds, len(result))
+    benchmark.extra_info["patterns"] = len(result)
+    print_row(f"sigma={sigma}", f"{seconds * 1000:.0f}ms",
+              f"{len(result)} patterns")
+
+
+def test_fig48_shape(benchmark):
+    if len(_results) < len(POINTS):
+        pytest.skip("run the full fig4.8 sweep first")
+    print_header(
+        "Figure 4.8: PTE data (416 molecules)",
+        f"{'sigma':>12}  {'ms':>12}  {'patterns':>12}",
+    )
+    for sigma in POINTS:
+        seconds, patterns = _results[sigma]
+        print_row(sigma, f"{seconds * 1000:.0f}", patterns)
+    print("paper: ~10,000 patterns already at support 0.3; both curves "
+          "climb quickly as support drops.")
+
+    # Pattern count and runtime rise as support drops...
+    assert _results[0.3][1] > _results[0.5][1] > _results[0.6][1]
+    assert _results[0.3][0] > _results[0.6][0]
+    # ...and the counts are large even at high support (C/H/O skew).
+    assert _results[0.6][1] >= 20
+    assert _results[0.3][1] >= 100

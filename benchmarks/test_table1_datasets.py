@@ -1,0 +1,68 @@
+"""Table 1: properties of the experimental data sets.
+
+Regenerates every dataset family at benchmark scale and prints its
+statistics next to the paper's published row.  The validated shape: the
+per-family trends (graph counts, node/edge averages tracking the family
+parameter, density levels) match Table 1; distinct-label counts scale
+with the taxonomy-scale factor.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._common import dataset, print_header, print_row
+from repro.datagen.datasets import PAPER_TABLE1, dataset_spec
+
+# One representative per family sweep position (full families are swept
+# in their own figure benchmarks).
+DATASETS = [
+    "D1000", "D3000", "D5000",
+    "NC10", "NC20", "NC40",
+    "ED06", "ED10",
+    "TD5", "TD10", "TD15",
+    "TS25", "TS400", "TS3200",
+    "PTE",
+]
+
+_GRAPH_SCALE = 0.02
+_TAXONOMY_SCALE = 0.05
+
+
+@pytest.mark.parametrize("name", DATASETS)
+def test_table1_row(benchmark, name):
+    spec = dataset_spec(name)
+
+    def build():
+        dataset.cache_clear()
+        return dataset(name, _GRAPH_SCALE, _TAXONOMY_SCALE)
+
+    database, _taxonomy = benchmark.pedantic(build, rounds=1, iterations=1)
+    stats = database.stats()
+    paper = PAPER_TABLE1[name]
+
+    print_header(
+        f"Table 1 row: {name}",
+        "              measured      paper",
+    )
+    print_row("graphs", stats.graph_count, paper[0])
+    print_row("avg nodes", f"{stats.avg_nodes:.1f}", paper[1])
+    print_row("avg edges", f"{stats.avg_edges:.1f}", paper[2])
+    print_row("labels", stats.distinct_label_count, paper[3])
+    print_row("density", f"{stats.avg_edge_density:.2f}", paper[4])
+
+    benchmark.extra_info["paper_row"] = paper
+    benchmark.extra_info["measured"] = {
+        "graphs": stats.graph_count,
+        "avg_nodes": round(stats.avg_nodes, 2),
+        "avg_edges": round(stats.avg_edges, 2),
+        "labels": stats.distinct_label_count,
+        "density": round(stats.avg_edge_density, 3),
+    }
+
+    # Shape assertions: scaled sizes track the family parameter.
+    assert stats.graph_count == max(8, round(paper[0] * _GRAPH_SCALE))
+    if spec.family == "ED":
+        assert abs(stats.avg_edge_density - spec.edge_density) < 0.1
+    if spec.family == "NC":
+        assert stats.max_edges <= spec.max_graph_edges

@@ -1,0 +1,118 @@
+"""Table 2: conserved pathway fragments across 30 prokaryotic organisms.
+
+Paper setup: 25 KEGG metabolic pathways, 30 organism-specific versions
+each, GO molecular-function taxonomy, sigma = 0.2.  The pattern count
+per pathway measures its conservation across the lineage.
+
+Shape to reproduce:
+
+* strongly conserved pathways (Nitrogen metabolism, Biosynthesis of
+  steroids, beta-Alanine metabolism) yield far more patterns than weakly
+  conserved ones (Vitamin B6, Inositol phosphate, Sulfur metabolism);
+* running time rises with conservation / pattern count.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._common import print_header, print_row, run_algorithm
+from repro.datagen.pathways import (
+    PATHWAY_PROFILES,
+    default_pathway_taxonomy,
+    generate_pathway_dataset,
+)
+
+SIGMA = 0.2
+ORGANISMS = 30
+TAXONOMY_CONCEPTS = 1500
+
+_TAXONOMY = None
+_results: dict[str, tuple[float, int, int]] = {}
+
+# A low-/mid-/high-conservation spread; set REPRO_BENCH_ALL_PATHWAYS=1
+# for all 25 rows.
+SELECTED = [
+    "Vitamin B6 metabolism",
+    "Sulfur metabolism",
+    "Thiamine metabolism",
+    "Histidine metabolism",
+    "Nucleotide sugars metabolism",
+    "Citrate cycle (TCA cycle)",
+    "Butanoate metabolism",
+    "beta-Alanine metabolism",
+    "Biosynthesis of steroids",
+    "Nitrogen metabolism",
+]
+
+import os
+
+if os.environ.get("REPRO_BENCH_ALL_PATHWAYS"):
+    SELECTED = [p.name for p in PATHWAY_PROFILES]
+
+PROFILES = [p for p in PATHWAY_PROFILES if p.name in SELECTED]
+
+
+def _taxonomy():
+    global _TAXONOMY
+    if _TAXONOMY is None:
+        _TAXONOMY = default_pathway_taxonomy(TAXONOMY_CONCEPTS)
+    return _TAXONOMY
+
+
+@pytest.mark.parametrize("profile", PROFILES, ids=lambda p: p.name[:24])
+def test_table2_pathway(benchmark, profile):
+    taxonomy = _taxonomy()
+    dataset = generate_pathway_dataset(
+        profile, taxonomy=taxonomy, organisms=ORGANISMS
+    )
+
+    def run():
+        return run_algorithm(
+            "taxogram", dataset.database, taxonomy, SIGMA
+        )
+
+    result, seconds, _note = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result is not None
+    _results[profile.name] = (seconds, len(result), profile.paper_pattern_count)
+    benchmark.extra_info["patterns"] = len(result)
+    benchmark.extra_info["paper_patterns"] = profile.paper_pattern_count
+    print_row(
+        profile.name[:32],
+        f"{seconds * 1000:.0f}ms",
+        f"{len(result)} patterns",
+        f"paper {profile.paper_pattern_count}",
+    )
+
+
+def test_table2_shape(benchmark):
+    if len(_results) < len(PROFILES):
+        pytest.skip("run the full table 2 sweep first")
+    print_header(
+        "Table 2: pathway mining (measured vs paper)",
+        f"{'pathway':>32}  {'ms':>8}  {'patterns':>9}  {'paper#':>7}",
+    )
+    ordered = sorted(_results.items(), key=lambda item: item[1][1])
+    for name, (seconds, patterns, paper_count) in ordered:
+        print(
+            f"{name[:32]:>32}  {seconds * 1000:8.0f}  {patterns:>9}  "
+            f"{paper_count:>7}"
+        )
+    print("paper: Nitrogen metabolism and Biosynthesis of steroids are the "
+          "most conserved; time rises with conservation.")
+
+    # Conservation ordering: the strongly conserved trio out-patterns the
+    # weakly conserved trio.
+    strong = ["Nitrogen metabolism", "Biosynthesis of steroids",
+              "beta-Alanine metabolism"]
+    weak = ["Vitamin B6 metabolism", "Sulfur metabolism",
+            "Thiamine metabolism"]
+    strong_min = min(_results[name][1] for name in strong if name in _results)
+    weak_max = max(_results[name][1] for name in weak if name in _results)
+    assert strong_min > weak_max
+
+    # Runtime correlates with pattern count: the slowest pathway is in
+    # the top third by pattern count.
+    slowest = max(_results, key=lambda name: _results[name][0])
+    by_patterns = sorted(_results, key=lambda name: -_results[name][1])
+    assert slowest in by_patterns[: max(1, len(by_patterns) // 3 + 1)]

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Frequent substructures in carcinogenic-compound-like molecules.
+
+A scaled-down version of the paper's PTE experiment (Fig. 4.8): mine
+taxonomy-superimposed patterns from molecule graphs whose atoms sit in
+the Figure 4.1 atom hierarchy.  Because most molecules consist largely of
+C, H and O, the pattern count explodes even at high support thresholds —
+the paper's key observation on this dataset.
+
+Run:  python examples/chemical_compounds.py [--molecules N]
+"""
+
+import argparse
+import time
+
+from repro import format_pattern, mine
+from repro.datagen.pte import generate_pte_dataset
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--molecules", type=int, default=120)
+    parser.add_argument("--max-edges", type=int, default=3)
+    args = parser.parse_args()
+
+    database, taxonomy = generate_pte_dataset(graph_count=args.molecules)
+    stats = database.stats()
+    print(
+        f"{args.molecules} molecules, avg {stats.avg_nodes:.1f} atoms / "
+        f"{stats.avg_edges:.1f} bonds, {stats.distinct_label_count} atom types"
+    )
+
+    print(f"\n{'Support':>8} {'Time':>9} {'Patterns':>9}")
+    last_result = None
+    for support in (0.6, 0.5, 0.3):
+        start = time.perf_counter()
+        result = mine(
+            database, taxonomy, min_support=support, max_edges=args.max_edges
+        )
+        elapsed = time.perf_counter() - start
+        last_result = result
+        print(f"{support:>8.2f} {elapsed * 1000:8.0f}ms {len(result):>9}")
+
+    assert last_result is not None
+    print("\nSample frequent substructures at support 0.30:")
+    for pattern in last_result.patterns[:6]:
+        print(" ", format_pattern(pattern, taxonomy.interner))
+    print(
+        "\nPattern counts grow steeply as support drops — C/H/O dominate "
+        "the molecules, so generalizations over the atom taxonomy are "
+        "frequent almost everywhere."
+    )
+
+
+if __name__ == "__main__":
+    main()

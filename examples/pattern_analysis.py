@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Exploring a mined pattern set with the analysis toolkit.
+
+Mines a pathway-style dataset, then demonstrates the post-mining
+workflow: top patterns by support, slicing by functional category, the
+generalization lattice between patterns, and the label-depth profile
+that shows how much the taxonomy sharpened the results.
+
+Run:  python examples/pattern_analysis.py
+"""
+
+from repro import (
+    filter_patterns,
+    format_pattern,
+    group_by_class,
+    label_depth_profile,
+    mine,
+    specialization_edges,
+    top_patterns,
+)
+from repro.datagen.pathways import (
+    PATHWAY_PROFILES,
+    default_pathway_taxonomy,
+    generate_pathway_dataset,
+)
+
+
+def main() -> None:
+    taxonomy = default_pathway_taxonomy(600)
+    profile = next(
+        p for p in PATHWAY_PROFILES if p.name == "Citrate cycle (TCA cycle)"
+    )
+    dataset = generate_pathway_dataset(profile, taxonomy=taxonomy, organisms=20)
+    result = mine(dataset.database, taxonomy, min_support=0.25, max_edges=3)
+    print(f"{profile.name}: {len(result)} patterns "
+          f"in {result.counters.pattern_classes} classes\n")
+
+    print("Top patterns by support:")
+    for pattern in top_patterns(result, count=5):
+        print(" ", format_pattern(pattern, taxonomy.interner))
+
+    root = taxonomy.roots()[0]
+    by_category = {
+        category: filter_patterns(result, taxonomy=taxonomy, involves=category)
+        for category in taxonomy.children_of(root)
+    }
+    busiest, in_category = max(by_category.items(), key=lambda kv: len(kv[1]))
+    print(
+        f"\nBusiest functional category: {taxonomy.name_of(busiest)} — "
+        f"{len(in_category)} of {len(result)} patterns involve it"
+    )
+
+    classes = group_by_class(result)
+    largest_class = max(classes.values(), key=len)
+    print(f"\nLargest pattern class: {len(largest_class)} members "
+          f"(structure: {largest_class[0].num_nodes} nodes / "
+          f"{largest_class[0].num_edges} edges)")
+    lattice = specialization_edges(largest_class[:25], taxonomy)
+    print(f"generalization edges within its first 25 members: {len(lattice)}")
+
+    print("\nLabel depth profile (taxonomy depth -> node count):")
+    for depth, count in label_depth_profile(result, taxonomy).items():
+        bar = "#" * max(1, count // max(1, len(result) // 20))
+        print(f"  depth {depth:>2}: {count:>6} {bar}")
+    print(
+        "\nDeep profiles mean the taxonomy genuinely sharpened the "
+        "patterns; mass near the root would signal over-general output."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's motivating example (Figures 1.1-1.3).
+
+Two pathway-annotation graphs share no explicitly identical structure,
+yet both contain a transporter interacting with a helicase — a pattern
+visible only through the Gene Ontology taxonomy.  Traditional mining
+finds nothing; Taxogram finds the implied patterns.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    GraphDatabase,
+    GSpanMiner,
+    format_pattern,
+    mine,
+    taxonomy_from_parent_names,
+)
+
+
+def main() -> None:
+    # A small excerpt of the GO molecular-function subontology (Fig 1.1).
+    taxonomy = taxonomy_from_parent_names(
+        {
+            "molecular_function": [],
+            "transporter": "molecular_function",
+            "catalytic_activity": "molecular_function",
+            "carrier": "transporter",
+            "cation_transporter": "transporter",
+            "protein_carrier": "carrier",
+            "helicase": "catalytic_activity",
+            "dna_helicase": "helicase",
+        }
+    )
+
+    # The pathway annotation database of Figure 1.2: two pathways whose
+    # concrete annotations never coincide.
+    db = GraphDatabase(node_labels=taxonomy.interner)
+    db.new_graph(
+        ["protein_carrier", "cation_transporter", "dna_helicase", "dna_helicase"],
+        [(0, 1, "interacts"), (1, 2, "interacts"), (2, 3, "interacts")],
+    )
+    db.new_graph(
+        ["carrier", "helicase", "dna_helicase"],
+        [(0, 1, "interacts"), (1, 2, "interacts")],
+    )
+
+    print("== Traditional (exact-label) mining at support 1.0 ==")
+    exact = GSpanMiner(db, min_support=1.0).mine()
+    print(f"patterns found: {len(exact)} (no structure repeats exactly)")
+
+    print("\n== Taxonomy-superimposed mining at support 1.0 ==")
+    result = mine(db, taxonomy, min_support=1.0)
+    print(result.summary())
+    for pattern in result:
+        print(" ", format_pattern(pattern, taxonomy.interner))
+
+    print(
+        "\nThe helicase/transporter association appears in every pathway "
+        "once the taxonomy is superimposed, even though no two node "
+        "labels match exactly."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim for environments without PEP 517 build isolation/wheel.
+
+All real metadata lives in pyproject.toml; this file only enables legacy
+``pip install -e . --no-use-pep517`` installs on offline machines.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,277 @@
+"""Command-line interface: ``taxogram <command>`` / ``python -m repro``.
+
+Commands:
+
+* ``mine`` — mine a graph database file against a taxonomy file with
+  Taxogram, the baseline, or TAcGM.
+* ``generate`` — synthesize a dataset (Table 1 spec, pathways or PTE)
+  to graph/taxonomy files.
+* ``compare`` — run Taxogram, the baseline and TAcGM on the same input
+  and report times, work counters and pattern-set agreement.
+* ``stats`` — print Table 1-style statistics for a graph database file.
+* ``datasets`` — list the built-in Table 1 dataset specifications.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.results import format_pattern
+from repro.core.tacgm import TAcGM, TAcGMOptions
+from repro.core.taxogram import Taxogram, TaxogramOptions
+from repro.datagen.datasets import DATASET_FAMILIES, build_dataset, dataset_spec
+from repro.exceptions import ReproError
+from repro.graphs.io import read_graph_database, write_graph_database
+from repro.taxonomy.io import read_taxonomy, write_taxonomy
+from repro.util.stats import DatabaseStats
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="taxogram",
+        description="Taxonomy-superimposed graph mining (EDBT 2008 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    mine = sub.add_parser("mine", help="mine a graph database over a taxonomy")
+    mine.add_argument("database", type=Path, help="graph database file")
+    mine.add_argument("taxonomy", type=Path, help="taxonomy file")
+    mine.add_argument(
+        "--algorithm",
+        choices=("taxogram", "baseline", "tacgm"),
+        default="taxogram",
+    )
+    mine.add_argument("--support", type=float, default=0.2, metavar="SIGMA")
+    mine.add_argument("--max-edges", type=int, default=None)
+    mine.add_argument(
+        "--memory-budget",
+        type=int,
+        default=None,
+        help="TAcGM deterministic memory budget in cells",
+    )
+    mine.add_argument(
+        "--limit", type=int, default=50, help="patterns to print (0 = all)"
+    )
+    mine.add_argument(
+        "--disk-index",
+        action="store_true",
+        help="keep occurrence indices in SQLite instead of memory",
+    )
+    mine.add_argument(
+        "--directed",
+        action="store_true",
+        help="parse the database as directed ('a' arc records) and mine "
+        "with the directed pipeline",
+    )
+
+    generate = sub.add_parser("generate", help="synthesize a dataset to files")
+    generate.add_argument("name", help="Table 1 dataset id, e.g. D1000 or PTE")
+    generate.add_argument("--graphs-out", type=Path, required=True)
+    generate.add_argument("--taxonomy-out", type=Path, required=True)
+    generate.add_argument("--graph-scale", type=float, default=1.0)
+    generate.add_argument("--taxonomy-scale", type=float, default=1.0)
+
+    stats = sub.add_parser("stats", help="Table 1-style statistics for a database")
+    stats.add_argument("database", type=Path)
+
+    sub.add_parser("datasets", help="list built-in dataset specifications")
+
+    compare = sub.add_parser(
+        "compare",
+        help="run taxogram, baseline and TAcGM on the same input and "
+        "report times, work counters and agreement",
+    )
+    compare.add_argument("database", type=Path)
+    compare.add_argument("taxonomy", type=Path)
+    compare.add_argument("--support", type=float, default=0.2, metavar="SIGMA")
+    compare.add_argument("--max-edges", type=int, default=None)
+    compare.add_argument(
+        "--memory-budget",
+        type=int,
+        default=2_000_000,
+        help="TAcGM deterministic memory budget in cells (0 = unlimited)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "mine":
+            return _cmd_mine(args)
+        if args.command == "generate":
+            return _cmd_generate(args)
+        if args.command == "stats":
+            return _cmd_stats(args)
+        if args.command == "datasets":
+            return _cmd_datasets()
+        if args.command == "compare":
+            return _cmd_compare(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    raise AssertionError("unreachable: argparse enforces a valid command")
+
+
+def _cmd_mine(args: argparse.Namespace) -> int:
+    taxonomy = read_taxonomy(args.taxonomy)
+    if args.directed:
+        return _cmd_mine_directed(args, taxonomy)
+    database = read_graph_database(args.database, node_labels=taxonomy.interner)
+    if args.algorithm == "tacgm":
+        result = TAcGM(
+            TAcGMOptions(
+                min_support=args.support,
+                max_edges=args.max_edges,
+                memory_budget=args.memory_budget,
+            )
+        ).mine(database, taxonomy)
+    else:
+        if args.algorithm == "baseline":
+            options = TaxogramOptions.baseline(args.support, args.max_edges)
+        else:
+            options = TaxogramOptions(
+                min_support=args.support, max_edges=args.max_edges
+            )
+        if args.disk_index:
+            from dataclasses import replace
+
+            options = replace(options, occurrence_index_backend="disk")
+        result = Taxogram(options).mine(database, taxonomy)
+
+    print(result.summary())
+    shown = result.patterns if args.limit == 0 else result.patterns[: args.limit]
+    for pattern in shown:
+        print(
+            " ",
+            format_pattern(pattern, taxonomy.interner, database.edge_labels),
+        )
+    hidden = len(result.patterns) - len(shown)
+    if hidden > 0:
+        print(f"  ... and {hidden} more (use --limit 0 to print all)")
+    return 0
+
+
+def _cmd_mine_directed(args: argparse.Namespace, taxonomy) -> int:
+    from repro.directed.io import read_digraph_database
+    from repro.directed.taxogram import mine_directed
+
+    if args.algorithm != "taxogram":
+        print(
+            "error: --directed supports only the taxogram algorithm",
+            file=sys.stderr,
+        )
+        return 1
+    database = read_digraph_database(
+        args.database, node_labels=taxonomy.interner
+    )
+    result = mine_directed(
+        database, taxonomy, min_support=args.support, max_edges=args.max_edges
+    )
+    print(result.summary())
+    shown = result.patterns if args.limit == 0 else result.patterns[: args.limit]
+    for pattern in shown:
+        arcs = ", ".join(
+            f"{taxonomy.name_of(pattern.graph.node_label(s))}"
+            f"->{taxonomy.name_of(pattern.graph.node_label(t))}"
+            for s, t, _l in pattern.graph.arcs()
+        )
+        print(f"  [{arcs}] sup={pattern.support:.3f}")
+    hidden = len(result.patterns) - len(shown)
+    if hidden > 0:
+        print(f"  ... and {hidden} more (use --limit 0 to print all)")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    spec = dataset_spec(args.name)
+    database, taxonomy = build_dataset(
+        spec, graph_scale=args.graph_scale, taxonomy_scale=args.taxonomy_scale
+    )
+    write_graph_database(database, args.graphs_out)
+    write_taxonomy(taxonomy, args.taxonomy_out)
+    stats = database.stats()
+    print(f"wrote {stats.graph_count} graphs to {args.graphs_out}")
+    print(f"wrote {len(taxonomy)} concepts to {args.taxonomy_out}")
+    print(DatabaseStats.header())
+    print(stats.as_row(spec.name))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    database = read_graph_database(args.database)
+    print(DatabaseStats.header())
+    print(database.stats().as_row(args.database.name))
+    return 0
+
+
+def _cmd_datasets() -> int:
+    for family, specs in DATASET_FAMILIES.items():
+        names = ", ".join(spec.name for spec in specs)
+        print(f"{family}: {names}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.exceptions import MemoryBudgetExceeded
+
+    taxonomy = read_taxonomy(args.taxonomy)
+    database = read_graph_database(args.database, node_labels=taxonomy.interner)
+    budget = None if args.memory_budget == 0 else args.memory_budget
+
+    runs = {
+        "taxogram": lambda: Taxogram(
+            TaxogramOptions(min_support=args.support, max_edges=args.max_edges)
+        ).mine(database, taxonomy),
+        "baseline": lambda: Taxogram(
+            TaxogramOptions.baseline(args.support, args.max_edges)
+        ).mine(database, taxonomy),
+        "tacgm": lambda: TAcGM(
+            TAcGMOptions(
+                min_support=args.support,
+                max_edges=args.max_edges,
+                memory_budget=budget,
+            )
+        ).mine(database, taxonomy),
+    }
+
+    print(
+        f"{'algorithm':<10} {'time':>10} {'patterns':>9} {'iso tests':>10} "
+        f"{'bitset ops':>11}"
+    )
+    results = {}
+    for name, run in runs.items():
+        start = time.perf_counter()
+        try:
+            result = run()
+        except MemoryBudgetExceeded as exc:
+            print(f"{name:<10} {'OOM':>10}  ({exc})")
+            continue
+        elapsed = time.perf_counter() - start
+        results[name] = result
+        counters = result.counters
+        print(
+            f"{name:<10} {elapsed * 1000:9.0f}ms {len(result):>9} "
+            f"{counters.isomorphism_tests:>10} "
+            f"{counters.bitset_intersections:>11}"
+        )
+
+    if len(results) >= 2:
+        values = list(results.values())
+        reference = values[0].pattern_codes()
+        agree = all(r.pattern_codes() == reference for r in values[1:])
+        print(f"pattern sets agree: {agree}")
+        if not agree:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess tests
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""Taxogram: the paper's taxonomy-superimposed graph mining algorithm."""
+
+from repro.core.analysis import (
+    closed_patterns,
+    filter_patterns,
+    group_by_class,
+    label_depth_profile,
+    specialization_edges,
+    top_patterns,
+)
+from repro.core.oracle import mine_with_oracle
+from repro.core.relabel import RelabeledDatabase, relabel_database
+from repro.core.results import MiningCounters, TaxonomyPattern, TaxogramResult
+from repro.core.tacgm import TAcGM, TAcGMOptions
+from repro.core.taxogram import Taxogram, TaxogramOptions, mine, mine_baseline
+
+__all__ = [
+    "closed_patterns",
+    "filter_patterns",
+    "group_by_class",
+    "label_depth_profile",
+    "specialization_edges",
+    "top_patterns",
+    "Taxogram",
+    "TaxogramOptions",
+    "mine",
+    "mine_baseline",
+    "TAcGM",
+    "TAcGMOptions",
+    "mine_with_oracle",
+    "RelabeledDatabase",
+    "relabel_database",
+    "TaxonomyPattern",
+    "TaxogramResult",
+    "MiningCounters",
+]

@@ -1,0 +1,206 @@
+"""Disk-backed occurrence indices (the paper's §6 future work).
+
+The paper closes with: "taxonomy-superimposed graph mining is costly,
+and requires enormous amounts of computational resources.  As future
+work, we plan to develop disk-based algorithms for taxonomy-based graph
+mining."  This module implements that direction for the dominant memory
+consumer — the taxonomy-projected occurrence index of Step 2 (Lemma 4's
+``O(|P| |T| Σ |G|!/(|G|-|P|)!)`` bound).
+
+:class:`DiskOccurrenceIndex` keeps the per-(position, label) occurrence
+bit-sets in a SQLite database.  Construction streams embeddings while
+holding at most ``max_resident_entries`` label entries in memory;
+overflow entries are OR-merged into SQLite.  Lookups go through a small
+LRU cache, so Step 3's access pattern (repeated probes along taxonomy
+chains) stays fast.
+
+The class is interface-compatible with
+:class:`~repro.core.occurrence_index.OccurrenceIndex`, and
+:class:`~repro.core.taxogram.Taxogram` selects it through
+``TaxogramOptions(occurrence_index_backend="disk")``.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import tempfile
+from collections import OrderedDict
+from pathlib import Path
+from typing import Iterable
+
+from repro.core.occurrence_index import OccurrenceStore
+from repro.core.results import MiningCounters
+from repro.mining.gspan import Embedding
+from repro.taxonomy.taxonomy import Taxonomy
+
+__all__ = ["DiskOccurrenceIndex", "build_disk_occurrence_index"]
+
+_DEFAULT_RESIDENT = 4096
+_LRU_SIZE = 1024
+
+
+class DiskOccurrenceIndex:
+    """Occurrence index with SQLite-resident occurrence sets."""
+
+    def __init__(
+        self,
+        num_positions: int,
+        directory: str | Path | None = None,
+        max_resident_entries: int = _DEFAULT_RESIDENT,
+    ) -> None:
+        self._num_positions = num_positions
+        if directory is None:
+            self._tempdir = tempfile.TemporaryDirectory(prefix="taxogram-oi-")
+            directory = self._tempdir.name
+        else:
+            self._tempdir = None
+        self._path = Path(directory) / "occurrence_index.sqlite3"
+        self._connection = sqlite3.connect(self._path)
+        self._connection.execute(
+            "CREATE TABLE IF NOT EXISTS entries ("
+            " position INTEGER NOT NULL,"
+            " label INTEGER NOT NULL,"
+            " bits BLOB NOT NULL,"
+            " PRIMARY KEY (position, label))"
+        )
+        self._max_resident = max(1, max_resident_entries)
+        # Write-back staging area: (position, label) -> int bits.
+        self._resident: dict[tuple[int, int], int] = {}
+        self._covered: list[set[int]] = [set() for _ in range(num_positions)]
+        self._lru: OrderedDict[tuple[int, int], int] = OrderedDict()
+        self._closed = False
+
+    # -- construction ---------------------------------------------------------
+
+    def insert(self, position: int, label: int, occurrence_bit: int) -> None:
+        """OR one occurrence bit into the (position, label) entry."""
+        key = (position, label)
+        self._covered[position].add(label)
+        self._resident[key] = self._resident.get(key, 0) | occurrence_bit
+        if len(self._resident) > self._max_resident:
+            self._flush()
+
+    def _flush(self) -> None:
+        if not self._resident:
+            return
+        cursor = self._connection.cursor()
+        for (position, label), bits in self._resident.items():
+            row = cursor.execute(
+                "SELECT bits FROM entries WHERE position = ? AND label = ?",
+                (position, label),
+            ).fetchone()
+            if row is not None:
+                bits |= int.from_bytes(row[0], "little")
+            cursor.execute(
+                "INSERT OR REPLACE INTO entries (position, label, bits) "
+                "VALUES (?, ?, ?)",
+                (position, label, _encode(bits)),
+            )
+        self._connection.commit()
+        self._resident.clear()
+        self._lru.clear()  # staged values may have changed merged entries
+
+    def finish(self) -> "DiskOccurrenceIndex":
+        """Flush all staged entries; the index becomes read-mostly."""
+        self._flush()
+        return self
+
+    # -- OccurrenceIndex interface ----------------------------------------------
+
+    @property
+    def num_positions(self) -> int:
+        return self._num_positions
+
+    def bits(self, position: int, label: int) -> int:
+        key = (position, label)
+        staged = self._resident.get(key)
+        if staged is not None:
+            return staged
+        cached = self._lru.get(key)
+        if cached is not None:
+            self._lru.move_to_end(key)
+            return cached
+        row = self._connection.execute(
+            "SELECT bits FROM entries WHERE position = ? AND label = ?",
+            key,
+        ).fetchone()
+        value = int.from_bytes(row[0], "little") if row is not None else 0
+        self._lru[key] = value
+        if len(self._lru) > _LRU_SIZE:
+            self._lru.popitem(last=False)
+        return value
+
+    def covered(self, position: int) -> dict[int, int]:
+        return {
+            label: self.bits(position, label)
+            for label in sorted(self._covered[position])
+        }
+
+    def is_covered(self, position: int, label: int) -> bool:
+        return label in self._covered[position]
+
+    def covered_children(
+        self, position: int, label: int, taxonomy: Taxonomy
+    ) -> list[int]:
+        entry = self._covered[position]
+        return [c for c in taxonomy.children_of(label) if c in entry]
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._connection.close()
+        if self._tempdir is not None:
+            self._tempdir.cleanup()
+
+    def __enter__(self) -> "DiskOccurrenceIndex":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    @property
+    def database_path(self) -> Path:
+        return self._path
+
+
+def build_disk_occurrence_index(
+    num_positions: int,
+    embeddings: Iterable[Embedding],
+    original_labels: list[list[int]],
+    taxonomy: Taxonomy,
+    allowed_labels: frozenset[int] | None = None,
+    counters: MiningCounters | None = None,
+    directory: str | Path | None = None,
+    max_resident_entries: int = _DEFAULT_RESIDENT,
+) -> tuple[OccurrenceStore, DiskOccurrenceIndex]:
+    """Disk-backed drop-in for
+    :func:`repro.core.occurrence_index.build_occurrence_index`."""
+    store = OccurrenceStore()
+    index = DiskOccurrenceIndex(num_positions, directory, max_resident_entries)
+    updates = 0
+    ancestor_cache: dict[int, tuple[int, ...]] = {}
+    for emb in embeddings:
+        occ_bit = 1 << store.add(emb.graph_id, emb.nodes)
+        graph_originals = original_labels[emb.graph_id]
+        for position, node in enumerate(emb.nodes):
+            original = graph_originals[node]
+            ancestors = ancestor_cache.get(original)
+            if ancestors is None:
+                pool = taxonomy.ancestors_or_self(original)
+                if allowed_labels is not None:
+                    pool = pool & allowed_labels
+                ancestors = tuple(pool)
+                ancestor_cache[original] = ancestors
+            for label in ancestors:
+                index.insert(position, label, occ_bit)
+                updates += 1
+    if counters is not None:
+        counters.occurrence_index_updates += updates
+    return store, index.finish()
+
+
+def _encode(bits: int) -> bytes:
+    return bits.to_bytes((bits.bit_length() + 7) // 8 or 1, "little")

@@ -1,0 +1,142 @@
+"""Result types shared by all taxonomy-superimposed miners."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graphs.graph import Graph
+from repro.mining.dfs_code import DFSCode
+from repro.util.interner import LabelInterner
+
+__all__ = ["TaxonomyPattern", "MiningCounters", "TaxogramResult", "format_pattern"]
+
+
+@dataclass(frozen=True)
+class TaxonomyPattern:
+    """One mined (non-over-generalized, frequent) pattern.
+
+    ``graph`` carries the actual (possibly specialized) node labels;
+    ``code`` is its canonical minimum DFS code, usable as a dictionary
+    key for cross-algorithm comparisons.  ``class_id`` groups patterns of
+    the same pattern class (same structure, labels related through the
+    taxonomy); miners that do not track classes use ``-1``.
+    """
+
+    code: DFSCode
+    graph: Graph
+    support_count: int
+    support: float
+    support_set: frozenset[int]
+    class_id: int = -1
+
+    @property
+    def num_nodes(self) -> int:
+        return self.graph.num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        return self.graph.num_edges
+
+    def sort_key(self) -> tuple:
+        return (self.num_edges, self.code.edges)
+
+
+@dataclass
+class MiningCounters:
+    """Work counters backing the paper's efficiency claims.
+
+    ``isomorphism_tests`` counts full (generalized) subgraph isomorphism
+    calls; ``embedding_extensions`` counts gSpan projection growth steps
+    (the DFS analogue of isomorphism work); ``bitset_intersections``
+    counts Step-3 support computations that replaced isomorphism tests;
+    ``occurrence_index_updates`` counts occurrence-set insertions during
+    index construction (Lemma 5's cost term).
+    """
+
+    isomorphism_tests: int = 0
+    embedding_extensions: int = 0
+    bitset_intersections: int = 0
+    occurrence_index_updates: int = 0
+    pattern_classes: int = 0
+    candidates_enumerated: int = 0
+    overgeneralized_eliminated: int = 0
+    memory_cells_peak: int = 0
+
+    def merge(self, other: "MiningCounters") -> None:
+        self.isomorphism_tests += other.isomorphism_tests
+        self.embedding_extensions += other.embedding_extensions
+        self.bitset_intersections += other.bitset_intersections
+        self.occurrence_index_updates += other.occurrence_index_updates
+        self.pattern_classes += other.pattern_classes
+        self.candidates_enumerated += other.candidates_enumerated
+        self.overgeneralized_eliminated += other.overgeneralized_eliminated
+        self.memory_cells_peak = max(self.memory_cells_peak, other.memory_cells_peak)
+
+
+@dataclass
+class TaxogramResult:
+    """The output of a mining run: the pattern set plus provenance."""
+
+    patterns: list[TaxonomyPattern]
+    database_size: int
+    min_support: float
+    algorithm: str = "taxogram"
+    counters: MiningCounters = field(default_factory=MiningCounters)
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.patterns.sort(key=TaxonomyPattern.sort_key)
+
+    def __len__(self) -> int:
+        return len(self.patterns)
+
+    def __iter__(self):
+        return iter(self.patterns)
+
+    def pattern_codes(self) -> dict[DFSCode, frozenset[int]]:
+        """Canonical code -> support set; the comparison-friendly view."""
+        return {p.code: p.support_set for p in self.patterns}
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.stage_seconds.values())
+
+    def summary(self) -> str:
+        stages = ", ".join(
+            f"{name}={seconds * 1000.0:.1f}ms"
+            for name, seconds in self.stage_seconds.items()
+        )
+        return (
+            f"{self.algorithm}: {len(self.patterns)} patterns "
+            f"(classes={self.counters.pattern_classes}, "
+            f"over-generalized eliminated="
+            f"{self.counters.overgeneralized_eliminated}) [{stages}]"
+        )
+
+
+def format_pattern(
+    pattern: TaxonomyPattern,
+    interner: LabelInterner,
+    edge_labels: LabelInterner | None = None,
+) -> str:
+    """Human-readable one-liner: nodes, edges and support.
+
+    With ``edge_labels`` supplied, edges render as ``u-v:name``; without
+    it, a numeric edge-label suffix appears only when the pattern uses a
+    label other than 0, so simple single-label data stays clean while
+    multi-label patterns remain distinguishable.
+    """
+    graph = pattern.graph
+    nodes = ", ".join(
+        f"{v}:{interner.name_of(graph.node_label(v))}" for v in graph.nodes()
+    )
+
+    def render_edge(u: int, v: int, label: int) -> str:
+        if edge_labels is not None:
+            return f"{u}-{v}:{edge_labels.name_of(label)}"
+        if label != 0:
+            return f"{u}-{v}:{label}"
+        return f"{u}-{v}"
+
+    edges = ", ".join(render_edge(u, v, e) for u, v, e in graph.edges())
+    return f"[{nodes} | {edges}] sup={pattern.support:.3f}"

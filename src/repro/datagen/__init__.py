@@ -1,0 +1,34 @@
+"""Synthetic dataset generators mirroring the paper's experimental data."""
+
+from repro.datagen.datasets import (
+    DATASET_FAMILIES,
+    DatasetSpec,
+    build_dataset,
+    dataset_spec,
+)
+from repro.datagen.graph_generator import (
+    SyntheticGraphConfig,
+    generate_graph_database,
+)
+from repro.datagen.pathways import (
+    PATHWAY_PROFILES,
+    PathwayDataset,
+    generate_pathway_dataset,
+)
+from repro.datagen.pte import generate_pte_dataset
+from repro.datagen.regulatory import RegulatoryConfig, generate_regulatory_database
+
+__all__ = [
+    "SyntheticGraphConfig",
+    "generate_graph_database",
+    "DATASET_FAMILIES",
+    "DatasetSpec",
+    "dataset_spec",
+    "build_dataset",
+    "PATHWAY_PROFILES",
+    "PathwayDataset",
+    "generate_pathway_dataset",
+    "generate_pte_dataset",
+    "RegulatoryConfig",
+    "generate_regulatory_database",
+]

@@ -1,0 +1,259 @@
+"""Named dataset specifications reproducing the paper's Table 1 families.
+
+Families (paper §4.1):
+
+* ``D1000..D5000`` — database-size sweep (Fig. 4.2), GO-like taxonomy,
+  max 20 edges/graph, 10 edge labels.
+* ``NC10..NC40`` — max-graph-size sweep (Fig. 4.3), 4000 graphs.
+* ``ED06..ED11`` — edge-density sweep (Fig. 4.4), 3000 graphs.
+* ``TD5..TD15`` — taxonomy-depth sweep (Fig. 4.5), 1000-concept
+  synthetic taxonomies, uniform per-level label selection.
+* ``TS25..TS3200`` — taxonomy-size sweep (Fig. 4.6), fixed depth.
+* ``PTE`` — 416 molecule-like graphs over the atom taxonomy (Fig. 4.8).
+
+:func:`build_dataset` accepts scale factors so tests and benchmarks can
+run the same *shapes* at laptop-friendly sizes; the paper's full sizes
+are the defaults in the specs themselves.  ``PAPER_TABLE1`` records the
+published statistics for side-by-side reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datagen.graph_generator import (
+    SyntheticGraphConfig,
+    generate_graph_database,
+)
+from repro.datagen.pte import generate_pte_dataset
+from repro.exceptions import MiningError
+from repro.graphs.database import GraphDatabase
+from repro.taxonomy.generators import TaxonomyGeneratorConfig, generate_taxonomy
+from repro.taxonomy.go import go_like_taxonomy
+from repro.taxonomy.taxonomy import Taxonomy
+
+__all__ = [
+    "DatasetSpec",
+    "DATASET_FAMILIES",
+    "PAPER_TABLE1",
+    "dataset_spec",
+    "build_dataset",
+]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One Table 1 row: how to regenerate that dataset."""
+
+    name: str
+    family: str
+    graph_count: int
+    max_graph_edges: int
+    edge_density: float
+    taxonomy_kind: str  # "go", "synthetic", or "pte"
+    taxonomy_depth: int | None = None
+    taxonomy_concepts: int | None = None
+    label_selection: str = "seeded"
+    seed: int = 11
+
+
+def _d_family() -> list[DatasetSpec]:
+    return [
+        DatasetSpec(
+            name=f"D{size}",
+            family="D",
+            graph_count=size,
+            max_graph_edges=20,
+            edge_density=0.27,
+            taxonomy_kind="go",
+            seed=100 + index,
+        )
+        for index, size in enumerate((1000, 2000, 3000, 4000, 5000))
+    ]
+
+
+def _nc_family() -> list[DatasetSpec]:
+    return [
+        DatasetSpec(
+            name=f"NC{edges}",
+            family="NC",
+            graph_count=4000,
+            max_graph_edges=edges,
+            edge_density=0.27,
+            taxonomy_kind="go",
+            seed=200 + index,
+        )
+        for index, edges in enumerate((10, 20, 30, 40))
+    ]
+
+
+def _ed_family() -> list[DatasetSpec]:
+    # Densities rise with edge count at roughly constant node count
+    # (Table 1: ~13-14 nodes, 6.5 -> 10.3 edges).  The generator draws
+    # per-graph edge targets from [max/2, max], i.e. mean 0.75*max, so
+    # max = round(avg / 0.75).
+    rows = (("06", 0.06, 9), ("09", 0.09, 11), ("10", 0.10, 12),
+            ("11", 0.11, 14))
+    return [
+        DatasetSpec(
+            name=f"ED{label}",
+            family="ED",
+            graph_count=3000,
+            max_graph_edges=max_edges,
+            edge_density=density,
+            taxonomy_kind="go",
+            seed=300 + index,
+        )
+        for index, (label, density, max_edges) in enumerate(rows)
+    ]
+
+
+def _td_family() -> list[DatasetSpec]:
+    return [
+        DatasetSpec(
+            name=f"TD{depth}",
+            family="TD",
+            graph_count=4000,
+            max_graph_edges=40,
+            edge_density=0.20,
+            taxonomy_kind="synthetic",
+            taxonomy_depth=depth,
+            taxonomy_concepts=1000,
+            label_selection="uniform-level",
+            seed=400 + depth,
+        )
+        for depth in range(5, 16)
+    ]
+
+
+def _ts_family() -> list[DatasetSpec]:
+    return [
+        DatasetSpec(
+            name=f"TS{concepts}",
+            family="TS",
+            graph_count=4000,
+            max_graph_edges=40,
+            edge_density=0.21,
+            taxonomy_kind="synthetic",
+            taxonomy_depth=8,
+            taxonomy_concepts=concepts,
+            label_selection="uniform-level",
+            seed=500 + concepts,
+        )
+        for concepts in (25, 50, 100, 200, 400, 800, 1600, 3200)
+    ]
+
+
+DATASET_FAMILIES: dict[str, list[DatasetSpec]] = {
+    "D": _d_family(),
+    "NC": _nc_family(),
+    "ED": _ed_family(),
+    "TD": _td_family(),
+    "TS": _ts_family(),
+    "PTE": [
+        DatasetSpec(
+            name="PTE",
+            family="PTE",
+            graph_count=416,
+            max_graph_edges=23,
+            edge_density=0.12,
+            taxonomy_kind="pte",
+            seed=600,
+        )
+    ],
+}
+
+# Published Table 1 values: (graphs, avg nodes, avg edges, labels, density).
+PAPER_TABLE1: dict[str, tuple[int, float, float, int, float]] = {
+    "D1000": (1000, 9.3, 10.9, 5391, 0.27),
+    "D2000": (2000, 9.4, 10.9, 7071, 0.26),
+    "D3000": (3000, 9.4, 11.1, 7610, 0.27),
+    "D4000": (4000, 9.4, 11.1, 7810, 0.26),
+    "D5000": (5000, 9.4, 11.0, 7855, 0.27),
+    "NC10": (4000, 6.3, 6.1, 7450, 0.32),
+    "NC20": (4000, 9.2, 10.7, 7782, 0.27),
+    "NC30": (4000, 12.3, 15.9, 7857, 0.23),
+    "NC40": (4000, 15.4, 21.2, 7876, 0.20),
+    "ED06": (3000, 14.1, 6.5, 7800, 0.06),
+    "ED09": (3000, 13.0, 8.6, 7817, 0.09),
+    "ED10": (3000, 12.9, 9.2, 7833, 0.10),
+    "ED11": (3000, 12.9, 10.3, 7831, 0.11),
+    "TD5": (4000, 15.1, 20.9, 1000, 0.20),
+    "TD6": (4000, 15.0, 20.6, 1000, 0.21),
+    "TD7": (4000, 15.2, 21.0, 1000, 0.20),
+    "TD8": (4000, 15.3, 21.2, 1000, 0.21),
+    "TD9": (4000, 15.2, 21.1, 1000, 0.20),
+    "TD10": (4000, 15.3, 21.1, 1000, 0.20),
+    "TD11": (4000, 15.4, 21.3, 1000, 0.20),
+    "TD12": (4000, 15.0, 20.7, 1000, 0.21),
+    "TD13": (4000, 15.2, 20.9, 1000, 0.21),
+    "TD14": (4000, 15.0, 20.6, 1000, 0.21),
+    "TD15": (4000, 15.1, 20.8, 1000, 0.21),
+    "TS25": (4000, 15.3, 21.1, 25, 0.21),
+    "TS50": (4000, 15.2, 20.8, 50, 0.21),
+    "TS100": (4000, 15.0, 20.7, 100, 0.21),
+    "TS200": (4000, 14.9, 20.6, 200, 0.21),
+    "TS400": (4000, 15.1, 20.9, 400, 0.21),
+    "TS800": (4000, 15.1, 21.0, 800, 0.21),
+    "TS1600": (4000, 15.2, 21.0, 1600, 0.21),
+    "TS3200": (4000, 15.3, 21.1, 3200, 0.20),
+    "PTE": (416, 22.6, 23.0, 24, 0.12),
+}
+
+
+def dataset_spec(name: str) -> DatasetSpec:
+    """Look up a spec by its Table 1 id (e.g. ``"D4000"``)."""
+    for family in DATASET_FAMILIES.values():
+        for spec in family:
+            if spec.name == name:
+                return spec
+    raise MiningError(f"unknown dataset id {name!r}")
+
+
+def build_dataset(
+    spec: DatasetSpec,
+    graph_scale: float = 1.0,
+    taxonomy_scale: float = 1.0,
+    max_edges_override: int | None = None,
+) -> tuple[GraphDatabase, Taxonomy]:
+    """Generate (database, taxonomy) for a spec, optionally scaled down.
+
+    ``graph_scale`` multiplies the graph count (min 8); ``taxonomy_scale``
+    multiplies GO-like/synthetic concept counts (min 12).  The PTE
+    taxonomy is fixed-size and ignores ``taxonomy_scale``.
+    """
+    graph_count = max(8, round(spec.graph_count * graph_scale))
+    max_graph_edges = (
+        spec.max_graph_edges if max_edges_override is None else max_edges_override
+    )
+
+    if spec.taxonomy_kind == "pte":
+        return generate_pte_dataset(graph_count=graph_count, seed=spec.seed)
+
+    if spec.taxonomy_kind == "go":
+        concepts = max(12, round(7800 * taxonomy_scale))
+        taxonomy = go_like_taxonomy(concept_count=concepts, seed=spec.seed)
+    elif spec.taxonomy_kind == "synthetic":
+        assert spec.taxonomy_concepts is not None and spec.taxonomy_depth is not None
+        concepts = max(12, round(spec.taxonomy_concepts * taxonomy_scale))
+        depth = min(spec.taxonomy_depth, concepts - 1)
+        taxonomy = generate_taxonomy(
+            TaxonomyGeneratorConfig(
+                concept_count=concepts,
+                depth=depth,
+                seed=spec.seed,
+            )
+        )
+    else:
+        raise MiningError(f"unknown taxonomy kind {spec.taxonomy_kind!r}")
+
+    config = SyntheticGraphConfig(
+        graph_count=graph_count,
+        max_graph_edges=max_graph_edges,
+        edge_density=spec.edge_density,
+        edge_label_count=10,
+        label_selection=spec.label_selection,
+        seed=spec.seed,
+    )
+    database = generate_graph_database(taxonomy, config)
+    return database, taxonomy

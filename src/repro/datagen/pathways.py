@@ -1,0 +1,303 @@
+"""KEGG-like metabolic pathway dataset (paper §4.2, Table 2).
+
+The paper mines 25 metabolic pathways across 30 prokaryotic organisms:
+for each pathway every organism contributes its own variant — same
+overall functionality structure, different concrete enzyme annotations.
+KEGG is not reachable offline, so this module synthesizes the same shape:
+
+* one *template* graph per pathway, sized to the paper's per-pathway
+  averages (Table 2's node/edge columns), labeled with abstract GO-like
+  concepts;
+* 30 organism variants per pathway, produced by specializing every node
+  label to a random descendant and perturbing the structure with
+  probability ``1 - conservation``.
+
+Each pathway's ``conservation`` knob is derived from the paper's pattern
+counts (log-scaled), so the ordering the paper observes — Nitrogen
+metabolism and Biosynthesis of steroids most conserved — is built into
+the data rather than asserted after the fact.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import zlib
+from dataclasses import dataclass
+
+from repro.graphs.database import GraphDatabase
+from repro.graphs.graph import Graph
+from repro.taxonomy.go import go_like_taxonomy
+from repro.taxonomy.taxonomy import Taxonomy
+
+__all__ = ["PathwayProfile", "PathwayDataset", "PATHWAY_PROFILES",
+           "generate_pathway_dataset", "default_pathway_taxonomy"]
+
+ORGANISM_COUNT = 30
+
+
+@dataclass(frozen=True)
+class PathwayProfile:
+    """One Table 2 row: pathway name, published averages and results."""
+
+    name: str
+    avg_nodes: float
+    avg_edges: float
+    paper_time_ms: int
+    paper_pattern_count: int
+
+    @property
+    def conservation(self) -> float:
+        """Structure-preservation probability for organism variants,
+        log-scaled from the paper's pattern count (range ~0.30..0.95)."""
+        top = math.log(1486.0)
+        score = math.log(max(2, self.paper_pattern_count)) / top
+        return 0.30 + 0.65 * score
+
+
+# Table 2, in the paper's (running time ascending) order.
+PATHWAY_PROFILES: tuple[PathwayProfile, ...] = (
+    PathwayProfile("Vitamin B6 metabolism", 7.03, 4.03, 119, 2),
+    PathwayProfile("Inositol phosphate metabolism", 4.33, 3.33, 140, 7),
+    PathwayProfile("Sulfur metabolism", 5.17, 3.23, 156, 7),
+    PathwayProfile("Benzoate degradation via hydroxylation", 7.60, 5.30, 206, 60),
+    PathwayProfile("Riboflavin metabolism", 7.63, 4.73, 210, 12),
+    PathwayProfile("Nicotinate and nicotinamide metabolism", 6.67, 4.40, 216, 36),
+    PathwayProfile("Thiamine metabolism", 4.57, 3.60, 259, 23),
+    PathwayProfile("Lysine biosynthesis", 8.73, 7.67, 314, 61),
+    PathwayProfile("Pentose and glucuronate interconversions", 10.83, 6.70, 323, 56),
+    PathwayProfile("Synthesis and degradation of ketone bodies", 4.97, 4.10, 353, 31),
+    PathwayProfile("Histidine metabolism", 8.83, 6.60, 361, 79),
+    PathwayProfile("Tyrosine metabolism", 7.93, 6.13, 529, 57),
+    PathwayProfile("Phenylalanine metabolism", 5.80, 4.40, 613, 32),
+    PathwayProfile("Nucleotide sugars metabolism", 7.57, 6.30, 693, 106),
+    PathwayProfile("Aminosugars metabolism", 8.20, 6.60, 808, 168),
+    PathwayProfile("Citrate cycle (TCA cycle)", 10.80, 8.63, 1011, 174),
+    PathwayProfile("Glyoxylate and dicarboxylate metabolism", 9.10, 7.53, 1036, 233),
+    PathwayProfile("Selenoamino acid metabolism", 6.90, 6.50, 1046, 152),
+    PathwayProfile("Valine, leucine and isoleucine biosynthesis", 5.23, 4.70, 1069, 75),
+    PathwayProfile("Butanoate metabolism", 10.57, 8.80, 1789, 287),
+    PathwayProfile("beta-Alanine metabolism", 5.10, 5.60, 3562, 661),
+    PathwayProfile("Glycerolipid metabolism", 8.10, 7.23, 6872, 219),
+    PathwayProfile("Biosynthesis of steroids", 7.97, 8.87, 10609, 830),
+    PathwayProfile("Nitrogen metabolism", 7.20, 7.27, 62777, 1486),
+    PathwayProfile("Pantothenate and CoA biosynthesis", 10.43, 9.53, 215047, 142),
+)
+
+
+@dataclass
+class PathwayDataset:
+    """Organism-variant graphs of one pathway, ready for mining."""
+
+    profile: PathwayProfile
+    database: GraphDatabase
+    taxonomy: Taxonomy
+
+
+def default_pathway_taxonomy(
+    concept_count: int = 7800, seed: int = 7
+) -> Taxonomy:
+    """The GO-molecular-function-like annotation taxonomy (scalable)."""
+    return go_like_taxonomy(concept_count=concept_count, seed=seed)
+
+
+def generate_pathway_dataset(
+    profile: PathwayProfile,
+    taxonomy: Taxonomy | None = None,
+    organisms: int = ORGANISM_COUNT,
+    seed: int = 0,
+) -> PathwayDataset:
+    """Generate the 30-organism variant database for one pathway."""
+    taxonomy = taxonomy if taxonomy is not None else default_pathway_taxonomy(780)
+    # Stable per-pathway stream: Python's str hash is salted per process,
+    # so derive the seed from a CRC instead.
+    rng = random.Random(seed * 1_000_003 + zlib.crc32(profile.name.encode()))
+    database = GraphDatabase(node_labels=taxonomy.interner)
+    shared_edge = database.edge_labels.intern("shared_substrate")
+
+    template_categories, noise_categories = _split_categories(taxonomy)
+    template = _pathway_template(
+        profile, taxonomy, rng, shared_edge, template_categories
+    )
+    conservation = profile.conservation
+    for _ in range(organisms):
+        database.add_graph(
+            _organism_variant(
+                template, taxonomy, rng, conservation, shared_edge, noise_categories
+            )
+        )
+    return PathwayDataset(profile=profile, database=database, taxonomy=taxonomy)
+
+
+def _split_categories(taxonomy: Taxonomy) -> tuple[list[int], list[int]]:
+    """Partition the root's categories into (template, noise) halves.
+
+    Pathway enzymes cluster under a few functional branches while
+    unrelated annotations live elsewhere; separating the branches keeps
+    noise from inflating the occurrence sets of template-concept
+    ancestors (which would defeat over-generalization elimination and
+    blow pattern counts far past Table 2).
+    """
+    root = taxonomy.roots()[0]
+    categories = sorted(taxonomy.children_of(root))
+    if len(categories) < 2:
+        return categories or [root], categories or [root]
+    template = [c for index, c in enumerate(categories) if index % 2 == 0]
+    noise = [c for index, c in enumerate(categories) if index % 2 == 1]
+    return template, noise
+
+
+def _abstract_concepts(
+    taxonomy: Taxonomy,
+    rng: random.Random,
+    count: int,
+    categories: list[int],
+) -> list[int]:
+    """Deep-but-not-leaf concepts under the template categories.
+
+    Real pathway templates are annotated with specific molecular
+    functions (deep GO terms); organism variants then differ by small
+    refinements.  Two properties bound pattern counts near the paper's:
+
+    * concepts come from the deeper half of the taxonomy, so per-node
+      annotation spread stays narrow;
+    * each template node draws from a *distinct* depth-2 subtree, so one
+      concept's ancestors never absorb another concept's occurrences —
+      otherwise ancestor chains acquire distinct supports and survive
+      over-generalization elimination wholesale.
+    """
+    max_depth = taxonomy.max_depth()
+    threshold = max(1, max_depth // 2)
+    groups: list[list[int]] = []
+    for category in sorted(categories):
+        for subtree_root in sorted(taxonomy.children_of(category)):
+            group = sorted(
+                label
+                for label in taxonomy.descendants_or_self(subtree_root)
+                if taxonomy.children_of(label)
+                and taxonomy.depth_of(label) >= threshold
+            )
+            if group:
+                groups.append(group)
+    if not groups:
+        fallback = [l for l in taxonomy.labels() if taxonomy.parents_of(l)]
+        groups = [sorted(fallback) if fallback else list(taxonomy.labels())]
+    rng.shuffle(groups)
+    return [rng.choice(groups[i % len(groups)]) for i in range(count)]
+
+
+def _refine(taxonomy: Taxonomy, rng: random.Random, label: int) -> int:
+    """The label itself (usually) or a nearby descendant.
+
+    Organisms mostly share the exact annotation; occasionally one is a
+    refinement.  The 0.6 / 0.3 / 0.1 step distribution keeps per-node
+    annotation spread narrow enough that specialized patterns thin out
+    quickly — the regime behind the paper's moderate pattern counts.
+    """
+    steps = rng.choices((0, 1, 2), weights=(60, 30, 10))[0]
+    current = label
+    for _ in range(steps):
+        children = taxonomy.children_of(current)
+        if not children:
+            break
+        current = rng.choice(children)
+    return current
+
+
+def _random_noise_label(
+    taxonomy: Taxonomy, rng: random.Random, categories: list[int]
+) -> int:
+    """An unrelated deep annotation: uniform category, uniform leaf.
+
+    Noise annotations are *specific* (leaves) and scatter uniformly over
+    the noise categories, so no shallow concept pair accumulates enough
+    coverage to pass the support threshold — unrelated annotations
+    contribute almost nothing to the pattern set, exactly the regime
+    behind the paper's small counts on weakly conserved pathways.
+    """
+    if not categories:
+        return taxonomy.roots()[0]
+    category = rng.choice(categories)
+    leaves = [
+        label
+        for label in taxonomy.descendants_or_self(category)
+        if not taxonomy.children_of(label)
+    ]
+    return rng.choice(sorted(leaves)) if leaves else category
+
+
+def _pathway_template(
+    profile: PathwayProfile,
+    taxonomy: Taxonomy,
+    rng: random.Random,
+    edge_label: int,
+    template_categories: list[int],
+) -> Graph:
+    """A template graph at the pathway's published size.
+
+    Table 2's pathways average fewer edges than nodes, so templates are
+    deliberately *not* forced connected — real pathway annotation graphs
+    fragment where reactions share no substrate.
+    """
+    node_count = max(2, round(profile.avg_nodes))
+    edge_count = max(1, round(profile.avg_edges))
+    labels = _abstract_concepts(taxonomy, rng, node_count, template_categories)
+    graph = Graph()
+    for label in labels:
+        graph.add_node(label)
+    attempts = 0
+    while graph.num_edges < edge_count and attempts < 30 * edge_count:
+        attempts += 1
+        u, v = rng.randrange(node_count), rng.randrange(node_count)
+        if u != v and not graph.has_edge(u, v):
+            # Chain-biased wiring: reactions mostly link neighbors in the
+            # pathway order, with occasional long-range shared substrates.
+            if abs(u - v) > 1 and rng.random() < 0.6:
+                continue
+            graph.add_edge(u, v, edge_label)
+    return graph
+
+
+def _organism_variant(
+    template: Graph,
+    taxonomy: Taxonomy,
+    rng: random.Random,
+    conservation: float,
+    edge_label: int,
+    noise_categories: list[int],
+) -> Graph:
+    """Derive one organism's pathway variant.
+
+    Graph sizes stay close to the template (Table 2's averages describe
+    the data itself); what ``conservation`` controls is *annotation
+    agreement* — a conserved node keeps a specialization of the
+    template's functional concept, a non-conserved one is annotated with
+    an unrelated concept, which destroys cross-organism patterns without
+    shrinking the graphs.
+    """
+    graph = Graph()
+    kept: list[int | None] = []
+    for v in template.nodes():
+        if rng.random() < 0.92:  # occasional enzyme genuinely absent
+            if rng.random() < conservation:
+                specialized = _refine(taxonomy, rng, template.node_label(v))
+            else:
+                specialized = _random_noise_label(taxonomy, rng, noise_categories)
+            kept.append(graph.add_node(specialized))
+        else:
+            kept.append(None)
+    for u, v, elabel in template.edges():
+        mapped_u, mapped_v = kept[u], kept[v]
+        if mapped_u is None or mapped_v is None:
+            continue
+        if rng.random() < 0.95:
+            graph.add_edge(mapped_u, mapped_v, elabel)
+    # Organism-specific noise reactions.
+    extra = rng.randint(0, 2)
+    for _ in range(extra):
+        node = graph.add_node(_random_noise_label(taxonomy, rng, noise_categories))
+        if graph.num_nodes > 1:
+            other = rng.randrange(graph.num_nodes - 1)
+            if not graph.has_edge(node, other):
+                graph.add_edge(node, other, edge_label)
+    return graph

@@ -1,0 +1,304 @@
+"""Directed DFS codes: canonical forms for connected directed graphs.
+
+The undirected DFS code (see :mod:`repro.mining.dfs_code`) extends
+naturally to digraphs: each code edge becomes a 6-tuple
+``(i, j, li, le, lj, d)`` where ``d = 1`` when the arc runs along the
+traversal direction (``i -> j`` in discovery order) and ``d = 0`` when
+it runs against it (``j -> i``).  The DFS lexicographic order keeps the
+positional rules of Yan & Han and compares ``(li, le, lj, d)``
+lexicographically on ties, so the minimum directed DFS code is a
+canonical form: two weakly connected digraphs are isomorphic iff their
+minimum codes are equal.
+
+Traversal may follow arcs in either direction (the pattern universe is
+weakly connected subgraphs), which is why both orientations of every arc
+enter the candidate sets.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.directed.digraph import DiGraph
+from repro.exceptions import MiningError
+
+__all__ = [
+    "DirectedDFSEdge",
+    "directed_edge_lt",
+    "DirectedDFSCode",
+    "digraph_from_code",
+    "is_min_dicode",
+    "min_directed_dfs_code",
+]
+
+# (i, j, from_label, arc_label, to_label, along_traversal)
+DirectedDFSEdge = tuple[int, int, int, int, int, int]
+
+
+def directed_edge_lt(e1: DirectedDFSEdge, e2: DirectedDFSEdge) -> bool:
+    """DFS lexicographic order, positional rules first, then labels+direction."""
+    i1, j1 = e1[0], e1[1]
+    i2, j2 = e2[0], e2[1]
+    fwd1, fwd2 = i1 < j1, i2 < j2
+    if fwd1 != fwd2:
+        if not fwd1:
+            return i1 < j2
+        return j1 <= i2
+    if not fwd1:  # both backward
+        if i1 != i2:
+            return i1 < i2
+        if j1 != j2:
+            return j1 < j2
+        return e1[2:] < e2[2:]
+    if j1 != j2:
+        return j1 < j2
+    if i1 != i2:
+        return i1 > i2
+    return e1[2:] < e2[2:]
+
+
+def directed_code_lt(
+    code1: Sequence[DirectedDFSEdge], code2: Sequence[DirectedDFSEdge]
+) -> bool:
+    for e1, e2 in zip(code1, code2):
+        if e1 == e2:
+            continue
+        return directed_edge_lt(e1, e2)
+    return len(code1) < len(code2)
+
+
+class DirectedDFSCode:
+    """An immutable directed DFS code with rightmost-path bookkeeping."""
+
+    __slots__ = ("edges", "vertex_labels", "rightmost_path")
+
+    def __init__(self, edges: Iterable[DirectedDFSEdge]) -> None:
+        self.edges: tuple[DirectedDFSEdge, ...] = tuple(edges)
+        self.vertex_labels = self._derive_vertex_labels()
+        self.rightmost_path = self._derive_rightmost_path()
+
+    def _derive_vertex_labels(self) -> tuple[int, ...]:
+        labels: dict[int, int] = {}
+        for i, j, li, _le, lj, _d in self.edges:
+            labels.setdefault(i, li)
+            labels.setdefault(j, lj)
+            if labels[i] != li or labels[j] != lj:
+                raise MiningError("inconsistent vertex labels in directed DFS code")
+        if not labels:
+            return ()
+        n = max(labels) + 1
+        if sorted(labels) != list(range(n)):
+            raise MiningError("directed DFS code vertex ids must be dense")
+        return tuple(labels[v] for v in range(n))
+
+    def _derive_rightmost_path(self) -> tuple[int, ...]:
+        if not self.edges:
+            return ()
+        parent: dict[int, int] = {}
+        rightmost = 0
+        for i, j, *_rest in self.edges:
+            if i < j:
+                parent[j] = i
+                rightmost = max(rightmost, j)
+        path = [rightmost]
+        while path[-1] != 0:
+            path.append(parent[path[-1]])
+        path.reverse()
+        return tuple(path)
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.vertex_labels)
+
+    def extended(self, edge: DirectedDFSEdge) -> "DirectedDFSCode":
+        return DirectedDFSCode(self.edges + (edge,))
+
+    def to_digraph(self, graph_id: int = -1) -> DiGraph:
+        return digraph_from_code(self.edges, graph_id)
+
+    def __len__(self) -> int:
+        return len(self.edges)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, DirectedDFSCode):
+            return self.edges == other.edges
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.edges)
+
+    def __lt__(self, other: "DirectedDFSCode") -> bool:
+        return directed_code_lt(self.edges, other.edges)
+
+    def __repr__(self) -> str:
+        return f"DirectedDFSCode({list(self.edges)})"
+
+
+def digraph_from_code(
+    edges: Sequence[DirectedDFSEdge], graph_id: int = -1
+) -> DiGraph:
+    """Materialize the digraph a directed DFS code describes."""
+    code = edges if isinstance(edges, DirectedDFSCode) else DirectedDFSCode(edges)
+    graph = DiGraph(graph_id)
+    for label in code.vertex_labels:
+        graph.add_node(label)
+    for i, j, _li, le, _lj, d in code.edges:
+        if d:
+            graph.add_arc(i, j, le)
+        else:
+            graph.add_arc(j, i, le)
+    return graph
+
+
+# ---------------------------------------------------------------------------
+# Minimum code construction (mirrors the undirected builder)
+# ---------------------------------------------------------------------------
+
+
+class _State:
+    __slots__ = ("nodes", "used")
+
+    def __init__(self, nodes: tuple[int, ...], used: frozenset[tuple[int, int]]):
+        self.nodes = nodes
+        self.used = used  # directed arc keys (source, target)
+
+
+class _MinDicodeBuilder:
+    def __init__(self, graph: DiGraph) -> None:
+        self.graph = graph
+        self.code: list[DirectedDFSEdge] = []
+        self.vertex_labels: list[int] = []
+        self.states: list[_State] = []
+        self._start()
+
+    def _start(self) -> None:
+        graph = self.graph
+        best: DirectedDFSEdge | None = None
+        states: list[_State] = []
+        for source, target, label in graph.arcs():
+            for a, b, d in ((source, target, 1), (target, source, 0)):
+                cand: DirectedDFSEdge = (
+                    0, 1, graph.node_label(a), label, graph.node_label(b), d
+                )
+                if best is None or cand[2:] < best[2:]:
+                    best = cand
+                    states = []
+                if cand == best:
+                    states.append(_State((a, b), frozenset(((source, target),))))
+        if best is None:
+            return
+        self.code.append(best)
+        self.vertex_labels = [best[2], best[4]]
+        self.states = states
+
+    def step(self) -> DirectedDFSEdge | None:
+        if len(self.code) == self.graph.num_edges:
+            return None
+        rmpath = DirectedDFSCode(self.code).rightmost_path
+        best = self._min_backward(rmpath)
+        if best is None:
+            best = self._min_forward(rmpath)
+        if best is None:
+            raise MiningError("digraph is not weakly connected")
+        edge, new_states = best
+        self.code.append(edge)
+        if edge[0] < edge[1]:
+            self.vertex_labels.append(edge[4])
+        self.states = new_states
+        return edge
+
+    def _arc_candidates(self, g_from: int, g_to: int):
+        """Yield ``(arc key, label, d)`` for arcs between two graph nodes,
+        relative to traversal direction g_from -> g_to."""
+        graph = self.graph
+        if graph.has_arc(g_from, g_to):
+            yield (g_from, g_to), graph.arc_label(g_from, g_to), 1
+        if graph.has_arc(g_to, g_from):
+            yield (g_to, g_from), graph.arc_label(g_to, g_from), 0
+
+    def _min_backward(self, rmpath):
+        rm = rmpath[-1]
+        best: DirectedDFSEdge | None = None
+        best_states: list[_State] = []
+        for state in self.states:
+            g_rm = state.nodes[rm]
+            for j in rmpath[:-1]:
+                g_j = state.nodes[j]
+                for key, label, d in self._arc_candidates(g_rm, g_j):
+                    if key in state.used:
+                        continue
+                    cand: DirectedDFSEdge = (
+                        rm, j, self.vertex_labels[rm], label,
+                        self.vertex_labels[j], d,
+                    )
+                    if best is None or directed_edge_lt(cand, best):
+                        best = cand
+                        best_states = []
+                    if cand == best:
+                        best_states.append(_State(state.nodes, state.used | {key}))
+        if best is None:
+            return None
+        return best, best_states
+
+    def _min_forward(self, rmpath):
+        graph = self.graph
+        new_id = len(self.vertex_labels)
+        best: DirectedDFSEdge | None = None
+        best_states: list[_State] = []
+        for i in reversed(rmpath):
+            for state in self.states:
+                g_i = state.nodes[i]
+                mapped = set(state.nodes)
+                neighbors = set(
+                    target for target, _l in graph.out_items(g_i)
+                ) | set(source for source, _l in graph.in_items(g_i))
+                for w in neighbors:
+                    if w in mapped:
+                        continue
+                    for key, label, d in self._arc_candidates(g_i, w):
+                        cand: DirectedDFSEdge = (
+                            i, new_id, self.vertex_labels[i], label,
+                            graph.node_label(w), d,
+                        )
+                        if best is None or directed_edge_lt(cand, best):
+                            best = cand
+                            best_states = []
+                        if cand == best:
+                            best_states.append(
+                                _State(state.nodes + (w,), state.used | {key})
+                            )
+            if best is not None:
+                break
+        if best is None:
+            return None
+        return best, best_states
+
+
+def is_min_dicode(code: DirectedDFSCode | Sequence[DirectedDFSEdge]) -> bool:
+    """Minimality test for directed DFS codes."""
+    edges = code.edges if isinstance(code, DirectedDFSCode) else tuple(code)
+    if not edges:
+        return True
+    graph = digraph_from_code(edges)
+    builder = _MinDicodeBuilder(graph)
+    if builder.code[0] != edges[0]:
+        return False
+    for position in range(1, len(edges)):
+        min_edge = builder.step()
+        if min_edge != edges[position]:
+            return False
+    return True
+
+
+def min_directed_dfs_code(graph: DiGraph) -> DirectedDFSCode:
+    """The canonical (minimum) directed DFS code of a weakly connected digraph."""
+    if graph.num_edges == 0:
+        if graph.num_nodes > 1:
+            raise MiningError("digraph is not weakly connected")
+        return DirectedDFSCode(())
+    if not graph.is_weakly_connected():
+        raise MiningError("digraph is not weakly connected")
+    builder = _MinDicodeBuilder(graph)
+    while builder.step() is not None:
+        pass
+    return DirectedDFSCode(builder.code)

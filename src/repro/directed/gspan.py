@@ -1,0 +1,217 @@
+"""Directed gSpan: frequent weakly-connected subgraph mining on digraphs.
+
+Identical strategy to :class:`repro.mining.gspan.GSpanMiner` — minimum
+DFS-code pattern growth with projection lists — over directed DFS codes.
+Patterns are weakly connected digraphs; traversal may cross arcs in
+either direction, so extension candidates consider both the out- and
+in-arcs of rightmost-path vertices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.directed.dfs_code import (
+    DirectedDFSCode,
+    DirectedDFSEdge,
+    directed_edge_lt,
+    is_min_dicode,
+)
+from repro.directed.digraph import DiGraph, DiGraphDatabase
+from repro.exceptions import MiningError
+from repro.mining.gspan import min_support_count
+
+__all__ = ["DirectedEmbedding", "DirectedMinedPattern", "DirectedGSpanMiner"]
+
+
+@dataclass(frozen=True)
+class DirectedEmbedding:
+    """One occurrence: DFS-code vertex ``i`` maps to ``nodes[i]``; ``used``
+    holds the directed arc keys consumed so far."""
+
+    graph_id: int
+    nodes: tuple[int, ...]
+    used: frozenset[tuple[int, int]]
+
+
+@dataclass
+class DirectedMinedPattern:
+    code: DirectedDFSCode
+    graph: DiGraph
+    support_count: int
+    support_set: frozenset[int]
+    embeddings: list[DirectedEmbedding] = field(repr=False, default_factory=list)
+
+
+ReportCallback = Callable[[DirectedMinedPattern], None]
+
+
+class DirectedGSpanMiner:
+    """Mines frequent weakly-connected subgraphs from a digraph database."""
+
+    def __init__(
+        self,
+        database: DiGraphDatabase,
+        min_support: float = 0.1,
+        max_edges: int | None = None,
+        keep_embeddings: bool = False,
+    ) -> None:
+        if len(database) == 0:
+            raise MiningError("cannot mine an empty database")
+        if max_edges is not None and max_edges < 1:
+            raise MiningError("max_edges must be at least 1")
+        self.database = database
+        self.min_support = min_support
+        self.min_count = min_support_count(min_support, len(database))
+        self.max_edges = max_edges
+        self.keep_embeddings = keep_embeddings
+
+    def mine(
+        self, report: ReportCallback | None = None
+    ) -> list[DirectedMinedPattern]:
+        results: list[DirectedMinedPattern] = []
+
+        def deliver(pattern: DirectedMinedPattern) -> None:
+            if report is not None:
+                report(pattern)
+            if not self.keep_embeddings:
+                pattern = DirectedMinedPattern(
+                    code=pattern.code,
+                    graph=pattern.graph,
+                    support_count=pattern.support_count,
+                    support_set=pattern.support_set,
+                    embeddings=[],
+                )
+            results.append(pattern)
+
+        for edge, embeddings in self._initial_projections():
+            self._grow(DirectedDFSCode((edge,)), embeddings, deliver)
+        return results
+
+    # -- internals -----------------------------------------------------------------
+
+    def _initial_projections(
+        self,
+    ) -> Iterable[tuple[DirectedDFSEdge, list[DirectedEmbedding]]]:
+        projections: dict[DirectedDFSEdge, list[DirectedEmbedding]] = {}
+        for graph in self.database:
+            gid = graph.graph_id
+            for source, target, label in graph.arcs():
+                ls, lt = graph.node_label(source), graph.node_label(target)
+                key = frozenset(((source, target),))
+                for a, b, la, lb, d in (
+                    (source, target, ls, lt, 1),
+                    (target, source, lt, ls, 0),
+                ):
+                    edge: DirectedDFSEdge = (0, 1, la, label, lb, d)
+                    projections.setdefault(edge, []).append(
+                        DirectedEmbedding(gid, (a, b), key)
+                    )
+        frequent = []
+        for edge, embeddings in projections.items():
+            if self._support_count(embeddings) < self.min_count:
+                continue
+            if not is_min_dicode((edge,)):
+                continue
+            frequent.append((edge, embeddings))
+        frequent.sort(key=lambda item: item[0][2:])
+        return frequent
+
+    def _grow(
+        self,
+        code: DirectedDFSCode,
+        embeddings: list[DirectedEmbedding],
+        deliver: Callable[[DirectedMinedPattern], None],
+    ) -> None:
+        support_set = frozenset(e.graph_id for e in embeddings)
+        deliver(
+            DirectedMinedPattern(
+                code=code,
+                graph=code.to_digraph(),
+                support_count=len(support_set),
+                support_set=support_set,
+                embeddings=embeddings,
+            )
+        )
+        if self.max_edges is not None and len(code) >= self.max_edges:
+            return
+        extensions = self._extensions(code, embeddings)
+        for edge in sorted(extensions, key=_DirectedEdgeKey):
+            child_embeddings = extensions[edge]
+            if self._support_count(child_embeddings) < self.min_count:
+                continue
+            child = code.extended(edge)
+            if not is_min_dicode(child):
+                continue
+            self._grow(child, child_embeddings, deliver)
+
+    def _extensions(
+        self, code: DirectedDFSCode, embeddings: list[DirectedEmbedding]
+    ) -> dict[DirectedDFSEdge, list[DirectedEmbedding]]:
+        rmpath = code.rightmost_path
+        rm = rmpath[-1]
+        vlabels = code.vertex_labels
+        new_id = len(vlabels)
+        out: dict[DirectedDFSEdge, list[DirectedEmbedding]] = {}
+        for emb in embeddings:
+            graph = self.database[emb.graph_id]
+            nodes = emb.nodes
+            mapped = set(nodes)
+            # Backward: rightmost vertex to rightmost-path vertices, arcs
+            # in either direction.
+            g_rm = nodes[rm]
+            for j in rmpath[:-1]:
+                g_j = nodes[j]
+                for key, label, d in _arc_candidates(graph, g_rm, g_j):
+                    if key in emb.used:
+                        continue
+                    edge: DirectedDFSEdge = (
+                        rm, j, vlabels[rm], label, vlabels[j], d
+                    )
+                    out.setdefault(edge, []).append(
+                        DirectedEmbedding(emb.graph_id, nodes, emb.used | {key})
+                    )
+            # Forward: from every rightmost-path vertex to a new node.
+            for i in rmpath:
+                g_i = nodes[i]
+                neighbors = set(t for t, _l in graph.out_items(g_i)) | set(
+                    s for s, _l in graph.in_items(g_i)
+                )
+                for w in neighbors:
+                    if w in mapped:
+                        continue
+                    for key, label, d in _arc_candidates(graph, g_i, w):
+                        edge = (
+                            i, new_id, vlabels[i], label,
+                            graph.node_label(w), d,
+                        )
+                        out.setdefault(edge, []).append(
+                            DirectedEmbedding(
+                                emb.graph_id, nodes + (w,), emb.used | {key}
+                            )
+                        )
+        return out
+
+    @staticmethod
+    def _support_count(embeddings: list[DirectedEmbedding]) -> int:
+        return len({e.graph_id for e in embeddings})
+
+
+def _arc_candidates(graph: DiGraph, g_from: int, g_to: int):
+    """``(arc key, label, d)`` for arcs between two nodes, relative to the
+    traversal direction ``g_from -> g_to``."""
+    if graph.has_arc(g_from, g_to):
+        yield (g_from, g_to), graph.arc_label(g_from, g_to), 1
+    if graph.has_arc(g_to, g_from):
+        yield (g_to, g_from), graph.arc_label(g_to, g_from), 0
+
+
+class _DirectedEdgeKey:
+    __slots__ = ("edge",)
+
+    def __init__(self, edge: DirectedDFSEdge) -> None:
+        self.edge = edge
+
+    def __lt__(self, other: "_DirectedEdgeKey") -> bool:
+        return directed_edge_lt(self.edge, other.edge)

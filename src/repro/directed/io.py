@@ -1,0 +1,133 @@
+"""Text serialization for directed graph databases.
+
+Same line-oriented dialect as :mod:`repro.graphs.io`, with ``a`` (arc)
+records instead of ``e`` (edge) records:
+
+.. code-block:: text
+
+    t # 0
+    v 0 kinase
+    v 1 transcription_factor
+    a 0 1 activates        # arc <source> <target> [label]
+
+A file mixing ``e`` and ``a`` records is rejected: direction must not be
+silently invented or dropped.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Iterable, TextIO
+
+from repro.directed.digraph import DiGraph, DiGraphDatabase
+from repro.exceptions import FormatError
+from repro.util.interner import LabelInterner
+
+__all__ = [
+    "parse_digraph_database",
+    "read_digraph_database",
+    "serialize_digraph_database",
+    "write_digraph_database",
+]
+
+
+def parse_digraph_database(
+    text: str,
+    node_labels: LabelInterner | None = None,
+    edge_labels: LabelInterner | None = None,
+) -> DiGraphDatabase:
+    """Parse the text format into a :class:`DiGraphDatabase`."""
+    return _parse(io.StringIO(text), node_labels, edge_labels)
+
+
+def read_digraph_database(
+    path: str | Path,
+    node_labels: LabelInterner | None = None,
+    edge_labels: LabelInterner | None = None,
+) -> DiGraphDatabase:
+    with open(path, "r", encoding="utf-8") as handle:
+        return _parse(handle, node_labels, edge_labels)
+
+
+def serialize_digraph_database(db: DiGraphDatabase) -> str:
+    out: list[str] = []
+    for graph in db:
+        out.append(f"t # {graph.graph_id}")
+        for v in graph.nodes():
+            out.append(f"v {v} {db.node_labels.name_of(graph.node_label(v))}")
+        for source, target, label in graph.arcs():
+            out.append(
+                f"a {source} {target} {db.edge_labels.name_of(label)}"
+            )
+    out.append("")
+    return "\n".join(out)
+
+
+def write_digraph_database(db: DiGraphDatabase, path: str | Path) -> None:
+    Path(path).write_text(serialize_digraph_database(db), encoding="utf-8")
+
+
+def _parse(
+    handle: TextIO | Iterable[str],
+    node_labels: LabelInterner | None,
+    edge_labels: LabelInterner | None,
+) -> DiGraphDatabase:
+    db = DiGraphDatabase(node_labels, edge_labels)
+    graph: DiGraph | None = None
+    for lineno, raw in enumerate(handle, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        kind = parts[0]
+        if kind == "t":
+            if graph is not None:
+                db.add_graph(graph)
+            graph = DiGraph()
+        elif kind == "v":
+            if graph is None:
+                raise FormatError(f"line {lineno}: 'v' before any 't' header")
+            if len(parts) != 3:
+                raise FormatError(f"line {lineno}: expected 'v <id> <label>'")
+            node_id = _parse_int(parts[1], lineno)
+            if node_id != graph.num_nodes:
+                raise FormatError(
+                    f"line {lineno}: node ids must be dense and ascending "
+                    f"(expected {graph.num_nodes}, got {node_id})"
+                )
+            graph.add_node(db.node_labels.intern(parts[2]))
+        elif kind == "a":
+            if graph is None:
+                raise FormatError(f"line {lineno}: 'a' before any 't' header")
+            if len(parts) not in (3, 4):
+                raise FormatError(
+                    f"line {lineno}: expected 'a <source> <target> [label]'"
+                )
+            source = _parse_int(parts[1], lineno)
+            target = _parse_int(parts[2], lineno)
+            name = parts[3] if len(parts) == 4 else "-"
+            try:
+                graph.add_arc(source, target, db.edge_labels.intern(name))
+            except Exception as exc:
+                raise FormatError(f"line {lineno}: {exc}") from exc
+        elif kind == "e":
+            raise FormatError(
+                f"line {lineno}: undirected 'e' record in a directed "
+                "database; use 'a <source> <target>' or parse with "
+                "repro.graphs.io"
+            )
+        else:
+            raise FormatError(f"line {lineno}: unknown record type {kind!r}")
+    if graph is not None:
+        db.add_graph(graph)
+    return db
+
+
+def _parse_int(token: str, lineno: int) -> int:
+    try:
+        return int(token)
+    except ValueError:
+        raise FormatError(
+            f"line {lineno}: expected integer, got {token!r}"
+        ) from None

@@ -1,0 +1,169 @@
+"""Directed (generalized) subgraph isomorphism.
+
+Same semantics as :mod:`repro.isomorphism.vf2`, with arc direction
+respected: an embedding maps every pattern arc ``u -> v`` onto a graph
+arc in the same direction with an equal arc label.  Node-label
+compatibility is pluggable (exact or taxonomy-generalized).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.directed.digraph import DiGraph
+from repro.isomorphism.matchers import ExactMatcher, GeneralizedMatcher, NodeMatcher
+from repro.taxonomy.taxonomy import Taxonomy
+
+__all__ = [
+    "directed_iter_embeddings",
+    "directed_find_embedding",
+    "is_directed_subgraph_isomorphic",
+    "is_directed_generalized_subgraph_isomorphic",
+    "is_directed_generalized_isomorphic",
+]
+
+_EXACT = ExactMatcher()
+
+
+def directed_iter_embeddings(
+    pattern: DiGraph,
+    graph: DiGraph,
+    matcher: NodeMatcher | None = None,
+) -> Iterator[tuple[int, ...]]:
+    """Yield every direction-respecting embedding of ``pattern``."""
+    matcher = matcher if matcher is not None else _EXACT
+    np = pattern.num_nodes
+    if np == 0:
+        yield ()
+        return
+    if np > graph.num_nodes:
+        return
+
+    order = _matching_order(pattern)
+    placed: set[int] = set()
+    anchors: list[tuple[int, bool]] = []  # (anchor node, anchor_is_source)
+    for p in order:
+        anchor = (-1, True)
+        for q, _label in pattern.out_items(p):
+            if q in placed:
+                anchor = (q, False)  # arc p -> q, q already placed
+                break
+        else:
+            for q, _label in pattern.in_items(p):
+                if q in placed:
+                    anchor = (q, True)  # arc q -> p
+                    break
+        anchors.append(anchor)
+        placed.add(p)
+
+    mapping = [-1] * np
+    used = [False] * graph.num_nodes
+
+    def candidates(position: int) -> Iterator[int]:
+        p = order[position]
+        anchor, anchor_is_source = anchors[position]
+        if anchor >= 0:
+            g_anchor = mapping[anchor]
+            if anchor_is_source:
+                pool: Iterator[int] = (t for t, _l in graph.out_items(g_anchor))
+            else:
+                pool = (s for s, _l in graph.in_items(g_anchor))
+        else:
+            pool = iter(graph.nodes())
+        p_label = pattern.node_label(p)
+        p_degree = pattern.undirected_degree(p)
+        for g in pool:
+            if used[g]:
+                continue
+            if graph.undirected_degree(g) < p_degree:
+                continue
+            if not matcher.matches(p_label, graph.node_label(g)):
+                continue
+            yield g
+
+    def feasible(p: int, g: int) -> bool:
+        for q, label in pattern.out_items(p):
+            gq = mapping[q]
+            if gq < 0:
+                continue
+            if not graph.has_arc(g, gq) or graph.arc_label(g, gq) != label:
+                return False
+        for q, label in pattern.in_items(p):
+            gq = mapping[q]
+            if gq < 0:
+                continue
+            if not graph.has_arc(gq, g) or graph.arc_label(gq, g) != label:
+                return False
+        return True
+
+    def search(position: int) -> Iterator[tuple[int, ...]]:
+        if position == np:
+            yield tuple(mapping)
+            return
+        p = order[position]
+        for g in candidates(position):
+            if feasible(p, g):
+                mapping[p] = g
+                used[g] = True
+                yield from search(position + 1)
+                mapping[p] = -1
+                used[g] = False
+
+    yield from search(0)
+
+
+def directed_find_embedding(
+    pattern: DiGraph, graph: DiGraph, matcher: NodeMatcher | None = None
+) -> tuple[int, ...] | None:
+    for embedding in directed_iter_embeddings(pattern, graph, matcher):
+        return embedding
+    return None
+
+
+def is_directed_subgraph_isomorphic(pattern: DiGraph, graph: DiGraph) -> bool:
+    return directed_find_embedding(pattern, graph, _EXACT) is not None
+
+
+def is_directed_generalized_subgraph_isomorphic(
+    pattern: DiGraph, graph: DiGraph, taxonomy: Taxonomy
+) -> bool:
+    matcher = GeneralizedMatcher(taxonomy)
+    return directed_find_embedding(pattern, graph, matcher) is not None
+
+
+def is_directed_generalized_isomorphic(
+    general: DiGraph, specific: DiGraph, taxonomy: Taxonomy
+) -> bool:
+    """Pattern-class semantics: structure-preserving bijection with every
+    ``general`` label an ancestor-or-self of its image's label."""
+    if general.num_nodes != specific.num_nodes:
+        return False
+    if general.num_edges != specific.num_edges:
+        return False
+    matcher = GeneralizedMatcher(taxonomy)
+    return directed_find_embedding(general, specific, matcher) is not None
+
+
+def _matching_order(pattern: DiGraph) -> list[int]:
+    n = pattern.num_nodes
+    visited = [False] * n
+    order: list[int] = []
+    seeds = sorted(pattern.nodes(), key=pattern.undirected_degree, reverse=True)
+    for seed in seeds:
+        if visited[seed]:
+            continue
+        queue = [seed]
+        visited[seed] = True
+        while queue:
+            u = queue.pop(0)
+            order.append(u)
+            neighbors = [t for t, _l in pattern.out_items(u)] + [
+                s for s, _l in pattern.in_items(u)
+            ]
+            for v in sorted(
+                neighbors, key=pattern.undirected_degree, reverse=True
+            ):
+                if not visited[v]:
+                    visited[v] = True
+                    queue.append(v)
+    return order

@@ -1,0 +1,46 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised intentionally by this library derive from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while letting programming errors propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GraphError(ReproError):
+    """Invalid graph construction or access (unknown node, duplicate edge...)."""
+
+
+class TaxonomyError(ReproError):
+    """Invalid taxonomy construction or lookup (cycle, unknown label...)."""
+
+
+class FormatError(ReproError):
+    """Malformed input while parsing a graph database or taxonomy file."""
+
+
+class MiningError(ReproError):
+    """Invalid mining configuration (bad support threshold, empty DB...)."""
+
+
+class MemoryBudgetExceeded(ReproError):
+    """A mining run exceeded its configured memory budget.
+
+    Used by the level-wise TAcGM comparator to reproduce the paper's
+    out-of-memory failure mode deterministically: the budget counts stored
+    candidate/embedding cells rather than real process memory, so the
+    failure point is machine-independent.
+    """
+
+    def __init__(self, used: int, budget: int, message: str = "") -> None:
+        detail = f"memory budget exceeded ({message})" if message else (
+            "memory budget exceeded"
+        )
+        super().__init__(f"{detail}: used {used} cells of {budget} allowed")
+        self.used = used
+        self.budget = budget

@@ -1,0 +1,131 @@
+"""Text serialization for graph databases.
+
+The format is the line-oriented dialect used by gSpan-era tools, with
+string labels:
+
+.. code-block:: text
+
+    t # 0              # graph header (index after '#' is informational)
+    v 0 transporter    # node <id> <label>
+    v 1 helicase
+    e 0 1 binds        # edge <u> <v> <label>
+    t # 1
+    ...
+
+Blank lines and ``#``-prefixed comment lines are ignored.  Node ids must
+be dense and ascending within a graph.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Iterable, TextIO
+
+from repro.exceptions import FormatError
+from repro.graphs.database import GraphDatabase
+from repro.graphs.graph import Graph
+from repro.util.interner import LabelInterner
+
+__all__ = [
+    "parse_graph_database",
+    "read_graph_database",
+    "serialize_graph_database",
+    "write_graph_database",
+]
+
+
+def parse_graph_database(
+    text: str,
+    node_labels: LabelInterner | None = None,
+    edge_labels: LabelInterner | None = None,
+) -> GraphDatabase:
+    """Parse the text format into a :class:`GraphDatabase`.
+
+    Pass an existing ``node_labels`` interner (typically the taxonomy's)
+    to keep label ids consistent with a taxonomy parsed separately.
+    """
+    return _parse(io.StringIO(text), node_labels, edge_labels)
+
+
+def read_graph_database(
+    path: str | Path,
+    node_labels: LabelInterner | None = None,
+    edge_labels: LabelInterner | None = None,
+) -> GraphDatabase:
+    """Read a graph database file (see module docstring for the format)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return _parse(handle, node_labels, edge_labels)
+
+
+def serialize_graph_database(db: GraphDatabase) -> str:
+    """Render ``db`` in the text format; inverse of :func:`parse_graph_database`."""
+    out: list[str] = []
+    for graph in db:
+        out.append(f"t # {graph.graph_id}")
+        for v in graph.nodes():
+            out.append(f"v {v} {db.node_label_name(graph.node_label(v))}")
+        for u, v, elabel in graph.edges():
+            out.append(f"e {u} {v} {db.edge_label_name(elabel)}")
+    out.append("")
+    return "\n".join(out)
+
+
+def write_graph_database(db: GraphDatabase, path: str | Path) -> None:
+    """Write ``db`` to ``path`` in the text format."""
+    Path(path).write_text(serialize_graph_database(db), encoding="utf-8")
+
+
+def _parse(
+    handle: TextIO | Iterable[str],
+    node_labels: LabelInterner | None,
+    edge_labels: LabelInterner | None,
+) -> GraphDatabase:
+    db = GraphDatabase(node_labels, edge_labels)
+    graph: Graph | None = None
+    for lineno, raw in enumerate(handle, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        kind = parts[0]
+        if kind == "t":
+            if graph is not None:
+                db.add_graph(graph)
+            graph = Graph()
+        elif kind == "v":
+            if graph is None:
+                raise FormatError(f"line {lineno}: 'v' before any 't' header")
+            if len(parts) != 3:
+                raise FormatError(f"line {lineno}: expected 'v <id> <label>'")
+            node_id = _parse_int(parts[1], lineno)
+            if node_id != graph.num_nodes:
+                raise FormatError(
+                    f"line {lineno}: node ids must be dense and ascending "
+                    f"(expected {graph.num_nodes}, got {node_id})"
+                )
+            graph.add_node(db.node_labels.intern(parts[2]))
+        elif kind == "e":
+            if graph is None:
+                raise FormatError(f"line {lineno}: 'e' before any 't' header")
+            if len(parts) not in (3, 4):
+                raise FormatError(f"line {lineno}: expected 'e <u> <v> [label]'")
+            u = _parse_int(parts[1], lineno)
+            v = _parse_int(parts[2], lineno)
+            name = parts[3] if len(parts) == 4 else "-"
+            try:
+                graph.add_edge(u, v, db.edge_labels.intern(name))
+            except Exception as exc:
+                raise FormatError(f"line {lineno}: {exc}") from exc
+        else:
+            raise FormatError(f"line {lineno}: unknown record type {kind!r}")
+    if graph is not None:
+        db.add_graph(graph)
+    return db
+
+
+def _parse_int(token: str, lineno: int) -> int:
+    try:
+        return int(token)
+    except ValueError:
+        raise FormatError(f"line {lineno}: expected integer, got {token!r}") from None

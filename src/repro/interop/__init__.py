@@ -1,0 +1,17 @@
+"""Interoperability with third-party graph libraries (optional extras)."""
+
+from repro.interop.nx import (
+    digraph_to_networkx,
+    graph_from_networkx,
+    graph_to_networkx,
+    pattern_to_networkx,
+    taxonomy_to_networkx,
+)
+
+__all__ = [
+    "graph_to_networkx",
+    "graph_from_networkx",
+    "digraph_to_networkx",
+    "pattern_to_networkx",
+    "taxonomy_to_networkx",
+]

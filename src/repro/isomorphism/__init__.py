@@ -1,0 +1,23 @@
+"""(Generalized) subgraph isomorphism: matchers and a VF2-style solver."""
+
+from repro.isomorphism.matchers import ExactMatcher, GeneralizedMatcher, NodeMatcher
+from repro.isomorphism.vf2 import (
+    count_embeddings,
+    find_embedding,
+    is_generalized_isomorphic,
+    is_generalized_subgraph_isomorphic,
+    is_subgraph_isomorphic,
+    iter_embeddings,
+)
+
+__all__ = [
+    "NodeMatcher",
+    "ExactMatcher",
+    "GeneralizedMatcher",
+    "find_embedding",
+    "iter_embeddings",
+    "count_embeddings",
+    "is_subgraph_isomorphic",
+    "is_generalized_subgraph_isomorphic",
+    "is_generalized_isomorphic",
+]

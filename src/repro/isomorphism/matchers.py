@@ -1,0 +1,53 @@
+"""Node-label compatibility predicates for isomorphism testing.
+
+The paper's *generalized* subgraph isomorphism (§1, §2) relaxes label
+equality: a pattern node labeled ``l`` may match a graph node labeled by
+``l`` or by any label of which ``l`` is an ancestor.  Both the exact and
+the generalized predicate implement the same two-argument protocol so the
+VF2 solver is agnostic to which semantics it runs under.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.taxonomy.taxonomy import Taxonomy
+
+__all__ = ["NodeMatcher", "ExactMatcher", "GeneralizedMatcher"]
+
+
+class NodeMatcher(Protocol):
+    """Decides whether a pattern node label may map onto a graph node label."""
+
+    def matches(self, pattern_label: int, graph_label: int) -> bool: ...
+
+
+class ExactMatcher:
+    """Traditional label equality (general-purpose graph mining)."""
+
+    __slots__ = ()
+
+    def matches(self, pattern_label: int, graph_label: int) -> bool:
+        return pattern_label == graph_label
+
+
+class GeneralizedMatcher:
+    """Taxonomy-aware matching: pattern label generalizes the graph label.
+
+    A pattern node labeled ``l`` matches a graph node labeled ``g`` iff
+    ``l == g`` or ``l`` is an ancestor of ``g`` in the taxonomy.  Labels
+    outside the taxonomy only match themselves, so mixed databases (some
+    labels taxonomized, some not) degrade gracefully.
+    """
+
+    __slots__ = ("_taxonomy",)
+
+    def __init__(self, taxonomy: Taxonomy) -> None:
+        self._taxonomy = taxonomy
+
+    def matches(self, pattern_label: int, graph_label: int) -> bool:
+        if pattern_label == graph_label:
+            return True
+        if graph_label not in self._taxonomy or pattern_label not in self._taxonomy:
+            return False
+        return self._taxonomy.is_ancestor_or_self(pattern_label, graph_label)

@@ -1,0 +1,22 @@
+"""Frequent subgraph mining substrate: DFS codes and a gSpan implementation."""
+
+from repro.mining.brute_force import brute_force_frequent_subgraphs
+from repro.mining.dfs_code import (
+    DFSCode,
+    dfs_edge_lt,
+    graph_from_code,
+    is_min_code,
+    min_dfs_code,
+)
+from repro.mining.gspan import GSpanMiner, MinedPattern
+
+__all__ = [
+    "DFSCode",
+    "dfs_edge_lt",
+    "graph_from_code",
+    "is_min_code",
+    "min_dfs_code",
+    "GSpanMiner",
+    "MinedPattern",
+    "brute_force_frequent_subgraphs",
+]

@@ -1,0 +1,363 @@
+"""DFS codes: gSpan's canonical representation of connected labeled graphs.
+
+A DFS code is a sequence of edge 5-tuples ``(i, j, li, le, lj)`` where
+``i``/``j`` are discovery indices of the edge endpoints, ``li``/``lj``
+their node labels and ``le`` the edge label.  ``i < j`` marks a *forward*
+edge (discovering vertex ``j``), ``i > j`` a *backward* edge.
+
+Among all DFS codes of a graph, the lexicographically smallest under the
+DFS lexicographic order (Yan & Han 2002) is the *minimum DFS code* — a
+canonical form.  Two connected labeled graphs are isomorphic iff their
+minimum DFS codes are equal, which is how the whole library deduplicates
+patterns.
+
+This module provides:
+
+* :func:`dfs_edge_lt` — the DFS lexicographic edge order;
+* :class:`DFSCode` — an immutable code with rightmost-path bookkeeping;
+* :func:`is_min_code` — gSpan's minimality check;
+* :func:`min_dfs_code` — canonical form of an arbitrary connected graph.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.exceptions import MiningError
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "DFSEdge",
+    "dfs_edge_lt",
+    "DFSCode",
+    "graph_from_code",
+    "is_min_code",
+    "min_dfs_code",
+]
+
+# (i, j, from_label, edge_label, to_label)
+DFSEdge = tuple[int, int, int, int, int]
+
+
+def dfs_edge_lt(e1: DFSEdge, e2: DFSEdge) -> bool:
+    """True iff ``e1`` precedes ``e2`` in the DFS lexicographic order.
+
+    Rules (Yan & Han, gSpan TR):
+
+    * backward vs forward: backward ``(i1, j1)`` precedes forward
+      ``(i2, j2)`` iff ``i1 < j2``; forward precedes backward iff
+      ``j1 <= i2``.
+    * two backward edges: smaller ``i`` first, then smaller ``j``, then
+      label tuple.
+    * two forward edges: smaller ``j`` first, then *larger* ``i``, then
+      label tuple.
+    """
+    i1, j1 = e1[0], e1[1]
+    i2, j2 = e2[0], e2[1]
+    fwd1, fwd2 = i1 < j1, i2 < j2
+    if fwd1 != fwd2:
+        if not fwd1:  # e1 backward, e2 forward
+            return i1 < j2
+        return j1 <= i2  # e1 forward, e2 backward
+    if not fwd1:  # both backward
+        if i1 != i2:
+            return i1 < i2
+        if j1 != j2:
+            return j1 < j2
+        return e1[2:] < e2[2:]
+    # both forward
+    if j1 != j2:
+        return j1 < j2
+    if i1 != i2:
+        return i1 > i2
+    return e1[2:] < e2[2:]
+
+
+def code_lt(code1: Sequence[DFSEdge], code2: Sequence[DFSEdge]) -> bool:
+    """Lexicographic order on whole codes (prefix is smaller)."""
+    for e1, e2 in zip(code1, code2):
+        if e1 == e2:
+            continue
+        return dfs_edge_lt(e1, e2)
+    return len(code1) < len(code2)
+
+
+class DFSCode:
+    """An immutable DFS code with derived vertex labels and rightmost path."""
+
+    __slots__ = ("edges", "vertex_labels", "rightmost_path")
+
+    def __init__(self, edges: Iterable[DFSEdge]) -> None:
+        self.edges: tuple[DFSEdge, ...] = tuple(edges)
+        self.vertex_labels: tuple[int, ...] = self._derive_vertex_labels()
+        self.rightmost_path: tuple[int, ...] = self._derive_rightmost_path()
+
+    def _derive_vertex_labels(self) -> tuple[int, ...]:
+        labels: dict[int, int] = {}
+        for i, j, li, _le, lj in self.edges:
+            labels.setdefault(i, li)
+            labels.setdefault(j, lj)
+            if labels[i] != li or labels[j] != lj:
+                raise MiningError("inconsistent vertex labels in DFS code")
+        if not labels:
+            return ()
+        n = max(labels) + 1
+        if sorted(labels) != list(range(n)):
+            raise MiningError("DFS code vertex ids must be dense")
+        return tuple(labels[v] for v in range(n))
+
+    def _derive_rightmost_path(self) -> tuple[int, ...]:
+        """Vertex ids from the root (0) to the rightmost vertex, following
+        forward edges."""
+        if not self.edges:
+            return ()
+        parent: dict[int, int] = {}
+        rightmost = 0
+        for i, j, *_ in self.edges:
+            if i < j:  # forward
+                parent[j] = i
+                rightmost = max(rightmost, j)
+        path = [rightmost]
+        while path[-1] != 0:
+            path.append(parent[path[-1]])
+        path.reverse()
+        return tuple(path)
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.vertex_labels)
+
+    @property
+    def rightmost_vertex(self) -> int:
+        if not self.edges:
+            raise MiningError("empty DFS code has no rightmost vertex")
+        return self.rightmost_path[-1]
+
+    def extended(self, edge: DFSEdge) -> "DFSCode":
+        return DFSCode(self.edges + (edge,))
+
+    def to_graph(self, graph_id: int = -1) -> Graph:
+        return graph_from_code(self.edges, graph_id)
+
+    def __len__(self) -> int:
+        return len(self.edges)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, DFSCode):
+            return self.edges == other.edges
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.edges)
+
+    def __lt__(self, other: "DFSCode") -> bool:
+        return code_lt(self.edges, other.edges)
+
+    def __repr__(self) -> str:
+        return f"DFSCode({list(self.edges)})"
+
+
+def graph_from_code(edges: Sequence[DFSEdge], graph_id: int = -1) -> Graph:
+    """Materialize the labeled graph a DFS code describes."""
+    code = edges if isinstance(edges, DFSCode) else DFSCode(edges)
+    graph = Graph(graph_id)
+    for label in code.vertex_labels:
+        graph.add_node(label)
+    for i, j, _li, le, _lj in code.edges:
+        graph.add_edge(i, j, le)
+    return graph
+
+
+# ---------------------------------------------------------------------------
+# Minimum DFS code construction
+# ---------------------------------------------------------------------------
+#
+# Both the minimality check (is_min_code) and canonicalization
+# (min_dfs_code) run the same incremental construction: grow the minimum
+# code one edge at a time on the target graph, keeping every partial
+# embedding that realizes the minimum prefix.  At each step the candidate
+# extensions follow gSpan's rightmost-path rule; the DFS lexicographic
+# order picks the unique minimum next edge.
+
+
+class _State:
+    """A partial embedding of the code being built into the host graph."""
+
+    __slots__ = ("nodes", "used")
+
+    def __init__(self, nodes: tuple[int, ...], used: frozenset[tuple[int, int]]):
+        self.nodes = nodes  # code vertex id -> graph node
+        self.used = used  # undirected edge keys already consumed
+
+
+def _edge_key(u: int, v: int) -> tuple[int, int]:
+    return (u, v) if u < v else (v, u)
+
+
+def _min_code_steps(graph: Graph) -> "_MinCodeBuilder":
+    return _MinCodeBuilder(graph)
+
+
+class _MinCodeBuilder:
+    """Incrementally constructs the minimum DFS code of ``graph``."""
+
+    def __init__(self, graph: Graph) -> None:
+        self.graph = graph
+        self.code: list[DFSEdge] = []
+        self.vertex_labels: list[int] = []
+        self.states: list[_State] = []
+        self._start()
+
+    def _start(self) -> None:
+        graph = self.graph
+        best: DFSEdge | None = None
+        states: list[_State] = []
+        for u, v, elabel in graph.edges():
+            for a, b in ((u, v), (v, u)):
+                cand: DFSEdge = (
+                    0,
+                    1,
+                    graph.node_label(a),
+                    elabel,
+                    graph.node_label(b),
+                )
+                if best is None or cand[2:] < best[2:]:
+                    best = cand
+                    states = []
+                if cand == best:
+                    states.append(
+                        _State((a, b), frozenset((_edge_key(a, b),)))
+                    )
+        if best is None:
+            return  # edgeless graph: empty code
+        self.code.append(best)
+        self.vertex_labels = [best[2], best[4]]
+        self.states = states
+
+    def step(self) -> DFSEdge | None:
+        """Append the next minimum edge; None when the code is complete."""
+        if len(self.code) == self.graph.num_edges:
+            return None
+        rmpath = DFSCode(self.code).rightmost_path
+        best = self._min_backward(rmpath)
+        if best is None:
+            best = self._min_forward(rmpath)
+        if best is None:
+            raise MiningError("graph is not connected")
+        edge, new_states = best
+        self.code.append(edge)
+        if edge[0] < edge[1]:  # forward discovers a vertex
+            self.vertex_labels.append(edge[4])
+        self.states = new_states
+        return edge
+
+    def _min_backward(
+        self, rmpath: tuple[int, ...]
+    ) -> tuple[DFSEdge, list[_State]] | None:
+        graph = self.graph
+        rm = rmpath[-1]
+        best: DFSEdge | None = None
+        best_states: list[_State] = []
+        for state in self.states:
+            g_rm = state.nodes[rm]
+            for j in rmpath[:-1]:
+                g_j = state.nodes[j]
+                if not graph.has_edge(g_rm, g_j):
+                    continue
+                key = _edge_key(g_rm, g_j)
+                if key in state.used:
+                    continue
+                cand: DFSEdge = (
+                    rm,
+                    j,
+                    self.vertex_labels[rm],
+                    graph.edge_label(g_rm, g_j),
+                    self.vertex_labels[j],
+                )
+                if best is None or dfs_edge_lt(cand, best):
+                    best = cand
+                    best_states = []
+                if cand == best:
+                    best_states.append(
+                        _State(state.nodes, state.used | {key})
+                    )
+        if best is None:
+            return None
+        return best, best_states
+
+    def _min_forward(
+        self, rmpath: tuple[int, ...]
+    ) -> tuple[DFSEdge, list[_State]] | None:
+        graph = self.graph
+        new_id = len(self.vertex_labels)
+        best: DFSEdge | None = None
+        best_states: list[_State] = []
+        # Larger anchor i = smaller edge, so scan the rightmost path from
+        # the rightmost vertex toward the root and stop at the first depth
+        # with any candidate.
+        for i in reversed(rmpath):
+            for state in self.states:
+                g_i = state.nodes[i]
+                mapped = set(state.nodes)
+                for w, elabel in graph.neighbor_items(g_i):
+                    if w in mapped:
+                        continue
+                    cand: DFSEdge = (
+                        i,
+                        new_id,
+                        self.vertex_labels[i],
+                        elabel,
+                        graph.node_label(w),
+                    )
+                    if best is None or dfs_edge_lt(cand, best):
+                        best = cand
+                        best_states = []
+                    if cand == best:
+                        best_states.append(
+                            _State(
+                                state.nodes + (w,),
+                                state.used | {_edge_key(g_i, w)},
+                            )
+                        )
+            if best is not None:
+                break
+        if best is None:
+            return None
+        return best, best_states
+
+
+def is_min_code(code: DFSCode | Sequence[DFSEdge]) -> bool:
+    """gSpan's minimality test: is ``code`` the minimum DFS code of the
+    graph it describes?"""
+    edges = code.edges if isinstance(code, DFSCode) else tuple(code)
+    if not edges:
+        return True
+    graph = graph_from_code(edges)
+    builder = _min_code_steps(graph)
+    if builder.code[0] != edges[0]:
+        return False
+    for position in range(1, len(edges)):
+        min_edge = builder.step()
+        if min_edge != edges[position]:
+            return False
+    return True
+
+
+def min_dfs_code(graph: Graph) -> DFSCode:
+    """The canonical (minimum) DFS code of a connected labeled graph.
+
+    Raises :class:`MiningError` for disconnected graphs.  An edgeless
+    single-vertex graph yields the empty code; since frequent patterns
+    always contain an edge this is only relevant to callers using codes
+    as general-purpose canonical keys.
+    """
+    if graph.num_edges == 0:
+        if graph.num_nodes > 1:
+            raise MiningError("graph is not connected")
+        return DFSCode(())
+    if not graph.is_connected():
+        raise MiningError("graph is not connected")
+    builder = _min_code_steps(graph)
+    while builder.step() is not None:
+        pass
+    return DFSCode(builder.code)

@@ -1,0 +1,266 @@
+"""gSpan: frequent connected-subgraph mining over a graph database.
+
+This is a from-scratch implementation of Yan & Han's gSpan (ICDM 2002):
+depth-first pattern growth along minimum DFS codes, with projection
+(embedding) lists carried down the search tree so that support counting
+never rescans the database.
+
+The miner is deliberately callback-friendly: Taxogram's Step 2 subscribes
+to each reported pattern *with its full embedding list* to build the
+taxonomy-projected occurrence index, then discards the embeddings —
+memory stays proportional to one pattern at a time, exactly as the paper
+argues for the DFS strategy.
+
+Support is the number of distinct database graphs containing at least one
+embedding; patterns have at least one edge.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.exceptions import MiningError
+from repro.graphs.database import GraphDatabase
+from repro.graphs.graph import Graph
+from repro.mining.dfs_code import DFSCode, DFSEdge, dfs_edge_lt, is_min_code
+
+__all__ = ["Embedding", "MinedPattern", "GSpanMiner", "min_support_count"]
+
+
+def min_support_count(min_support: float, database_size: int) -> int:
+    """Smallest absolute graph count satisfying a fractional threshold.
+
+    ``sup(P) >= sigma`` with ``sup(P) = count / |D|`` means
+    ``count >= ceil(sigma * |D|)`` up to floating-point noise.
+    """
+    if not 0.0 < min_support <= 1.0:
+        raise MiningError(f"min_support must be in (0, 1], got {min_support}")
+    return max(1, math.ceil(min_support * database_size - 1e-9))
+
+
+@dataclass(frozen=True)
+class Embedding:
+    """One occurrence of a pattern: a mapping into a database graph.
+
+    ``nodes[i]`` is the graph node that DFS-code vertex ``i`` maps to;
+    ``used`` holds the undirected graph-edge keys consumed so far (gSpan
+    never reuses an edge within one embedding).
+    """
+
+    graph_id: int
+    nodes: tuple[int, ...]
+    used: frozenset[tuple[int, int]]
+
+
+@dataclass
+class MinedPattern:
+    """A frequent pattern as reported by the miner."""
+
+    code: DFSCode
+    graph: Graph
+    support_count: int
+    support_set: frozenset[int]
+    embeddings: list[Embedding] = field(repr=False, default_factory=list)
+
+    def support(self, database_size: int) -> float:
+        return self.support_count / database_size
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.code)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.code.num_vertices
+
+
+ReportCallback = Callable[[MinedPattern], None]
+
+
+class GSpanMiner:
+    """Mines frequent connected subgraphs from a :class:`GraphDatabase`.
+
+    Parameters
+    ----------
+    database:
+        The graph database to mine.
+    min_support:
+        Fractional support threshold in ``(0, 1]``.
+    max_edges:
+        Optional cap on pattern size in edges (``None`` = unbounded).
+    keep_embeddings:
+        Whether reported patterns retain their embedding lists.  The
+        Taxogram class miner needs them; plain mining usually does not.
+    """
+
+    def __init__(
+        self,
+        database: GraphDatabase,
+        min_support: float = 0.1,
+        max_edges: int | None = None,
+        keep_embeddings: bool = False,
+    ) -> None:
+        if len(database) == 0:
+            raise MiningError("cannot mine an empty database")
+        if max_edges is not None and max_edges < 1:
+            raise MiningError("max_edges must be at least 1")
+        self.database = database
+        self.min_support = min_support
+        self.min_count = min_support_count(min_support, len(database))
+        self.max_edges = max_edges
+        self.keep_embeddings = keep_embeddings
+
+    # -- public API -------------------------------------------------------------
+
+    def mine(self, report: ReportCallback | None = None) -> list[MinedPattern]:
+        """Run the miner; returns all frequent patterns.
+
+        If ``report`` is given it is invoked once per pattern, always with
+        the embedding list attached; the returned copies honor
+        ``keep_embeddings``.
+        """
+        results: list[MinedPattern] = []
+
+        def deliver(pattern: MinedPattern) -> None:
+            if report is not None:
+                report(pattern)
+            if not self.keep_embeddings:
+                pattern = MinedPattern(
+                    code=pattern.code,
+                    graph=pattern.graph,
+                    support_count=pattern.support_count,
+                    support_set=pattern.support_set,
+                    embeddings=[],
+                )
+            results.append(pattern)
+
+        for edge, embeddings in self._initial_projections():
+            self._grow(DFSCode((edge,)), embeddings, deliver)
+        return results
+
+    # -- internals ----------------------------------------------------------------
+
+    def _initial_projections(
+        self,
+    ) -> Iterable[tuple[DFSEdge, list[Embedding]]]:
+        """Frequent one-edge seeds in ascending DFS order.
+
+        A one-edge code ``(0, 1, la, le, lb)`` is minimal iff
+        ``(la, le, lb) <= (lb, le, la)``, i.e. ``la <= lb``; both
+        orientations are embedded when labels are equal.
+        """
+        projections: dict[DFSEdge, list[Embedding]] = {}
+        for graph in self.database:
+            gid = graph.graph_id
+            for u, v, elabel in graph.edges():
+                lu, lv = graph.node_label(u), graph.node_label(v)
+                key = (u, v) if u < v else (v, u)
+                orientations = []
+                if lu <= lv:
+                    orientations.append((u, v, lu, lv))
+                if lv < lu or lu == lv:
+                    orientations.append((v, u, lv, lu))
+                for a, b, la, lb in orientations:
+                    edge: DFSEdge = (0, 1, la, elabel, lb)
+                    projections.setdefault(edge, []).append(
+                        Embedding(gid, (a, b), frozenset((key,)))
+                    )
+        frequent = [
+            (edge, embeddings)
+            for edge, embeddings in projections.items()
+            if self._support_count(embeddings) >= self.min_count
+        ]
+        frequent.sort(key=lambda item: item[0][2:])
+        return frequent
+
+    def _grow(
+        self,
+        code: DFSCode,
+        embeddings: list[Embedding],
+        deliver: Callable[[MinedPattern], None],
+    ) -> None:
+        support_set = frozenset(e.graph_id for e in embeddings)
+        deliver(
+            MinedPattern(
+                code=code,
+                graph=code.to_graph(),
+                support_count=len(support_set),
+                support_set=support_set,
+                embeddings=embeddings,
+            )
+        )
+        if self.max_edges is not None and len(code) >= self.max_edges:
+            return
+
+        extensions = self._extensions(code, embeddings)
+        for edge in sorted(extensions, key=_DfsEdgeKey):
+            child_embeddings = extensions[edge]
+            if self._support_count(child_embeddings) < self.min_count:
+                continue
+            child = code.extended(edge)
+            if not is_min_code(child):
+                continue
+            self._grow(child, child_embeddings, deliver)
+
+    def _extensions(
+        self, code: DFSCode, embeddings: list[Embedding]
+    ) -> dict[DFSEdge, list[Embedding]]:
+        """All rightmost-path one-edge extensions, grouped by DFS edge."""
+        rmpath = code.rightmost_path
+        rm = rmpath[-1]
+        vlabels = code.vertex_labels
+        new_id = len(vlabels)
+        out: dict[DFSEdge, list[Embedding]] = {}
+        for emb in embeddings:
+            graph = self.database[emb.graph_id]
+            nodes = emb.nodes
+            mapped = set(nodes)
+            # Backward extensions: rightmost vertex to rightmost path.
+            g_rm = nodes[rm]
+            for j in rmpath[:-1]:
+                g_j = nodes[j]
+                if not graph.has_edge(g_rm, g_j):
+                    continue
+                key = (g_rm, g_j) if g_rm < g_j else (g_j, g_rm)
+                if key in emb.used:
+                    continue
+                edge: DFSEdge = (
+                    rm,
+                    j,
+                    vlabels[rm],
+                    graph.edge_label(g_rm, g_j),
+                    vlabels[j],
+                )
+                out.setdefault(edge, []).append(
+                    Embedding(emb.graph_id, nodes, emb.used | {key})
+                )
+            # Forward extensions from every rightmost-path vertex.
+            for i in rmpath:
+                g_i = nodes[i]
+                for w, elabel in graph.neighbor_items(g_i):
+                    if w in mapped:
+                        continue
+                    edge = (i, new_id, vlabels[i], elabel, graph.node_label(w))
+                    key = (g_i, w) if g_i < w else (w, g_i)
+                    out.setdefault(edge, []).append(
+                        Embedding(emb.graph_id, nodes + (w,), emb.used | {key})
+                    )
+        return out
+
+    @staticmethod
+    def _support_count(embeddings: list[Embedding]) -> int:
+        return len({e.graph_id for e in embeddings})
+
+
+class _DfsEdgeKey:
+    """Sort key adapter exposing :func:`dfs_edge_lt` to ``sorted``."""
+
+    __slots__ = ("edge",)
+
+    def __init__(self, edge: DFSEdge) -> None:
+        self.edge = edge
+
+    def __lt__(self, other: "_DfsEdgeKey") -> bool:
+        return dfs_edge_lt(self.edge, other.edge)

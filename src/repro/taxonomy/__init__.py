@@ -1,0 +1,27 @@
+"""Taxonomies: is-a DAGs over node labels, plus generators and presets."""
+
+from repro.taxonomy.atoms import pte_atom_taxonomy
+from repro.taxonomy.builders import taxonomy_from_parent_names
+from repro.taxonomy.generators import TaxonomyGeneratorConfig, generate_taxonomy
+from repro.taxonomy.go import go_like_taxonomy
+from repro.taxonomy.io import (
+    parse_taxonomy,
+    read_taxonomy,
+    serialize_taxonomy,
+    write_taxonomy,
+)
+from repro.taxonomy.taxonomy import ARTIFICIAL_ROOT_NAME, Taxonomy
+
+__all__ = [
+    "Taxonomy",
+    "ARTIFICIAL_ROOT_NAME",
+    "taxonomy_from_parent_names",
+    "TaxonomyGeneratorConfig",
+    "generate_taxonomy",
+    "go_like_taxonomy",
+    "pte_atom_taxonomy",
+    "parse_taxonomy",
+    "read_taxonomy",
+    "serialize_taxonomy",
+    "write_taxonomy",
+]

@@ -1,0 +1,51 @@
+"""The PTE atom taxonomy (paper Figure 4.1).
+
+The paper's Figure 4.1 organizes the atoms of the Predictive Toxicology
+Challenge compounds hierarchically: leaf-level letters are atom labels,
+upper levels are "logical groupings of atoms based on their similarity",
+with lower-case letters for aromatic atoms and upper-case for
+non-aromatic ones.  The printed figure is not legible in the source text,
+so this module reconstructs a faithful hierarchy over the PTE atom set
+grouped by chemical family, with the aromatic/non-aromatic split the
+caption describes.
+"""
+
+from __future__ import annotations
+
+from repro.taxonomy.builders import taxonomy_from_parent_names
+from repro.taxonomy.taxonomy import Taxonomy
+from repro.util.interner import LabelInterner
+
+__all__ = ["pte_atom_taxonomy", "PTE_ATOM_GROUPS", "PTE_LEAF_ATOMS"]
+
+# Family -> leaf atoms.  Lower-case atoms are aromatic variants.
+PTE_ATOM_GROUPS: dict[str, tuple[str, ...]] = {
+    "aromatic": ("c", "n", "o", "s"),
+    "halogen": ("F", "Cl", "Br", "I"),
+    "chalcogen": ("O", "S", "Te"),
+    "pnictogen": ("N", "P", "As"),
+    "carbon_group": ("C", "Sn", "Pb"),
+    "alkali_metal": ("Na", "K"),
+    "alkaline_earth": ("Ba", "Ca"),
+    "transition_metal": ("Cu", "Zn", "Hg"),
+    "hydrogen_group": ("H",),
+}
+
+PTE_LEAF_ATOMS: tuple[str, ...] = tuple(
+    atom for group in PTE_ATOM_GROUPS.values() for atom in group
+)
+
+
+def pte_atom_taxonomy(interner: LabelInterner | None = None) -> Taxonomy:
+    """Build the three-level atom taxonomy of Figure 4.1.
+
+    Root ``atom`` -> family groupings -> individual atoms.  Aromatic
+    atoms sit under their own ``aromatic`` family, mirroring the paper's
+    lower-case/upper-case distinction.
+    """
+    parent_names: dict[str, list[str] | str] = {"atom": []}
+    for group, atoms in PTE_ATOM_GROUPS.items():
+        parent_names[group] = "atom"
+        for atom in atoms:
+            parent_names[atom] = group
+    return taxonomy_from_parent_names(parent_names, interner)

@@ -1,0 +1,187 @@
+"""Synthetic taxonomy generator (paper §4.1).
+
+The paper's generator is parameterized by taxonomy *size* (concept count
+and relationship count) and *depth* (number of levels).  Ours follows the
+same contract: concepts are distributed over levels ``1..depth`` under
+the root, every concept gets one tree parent on the level directly above,
+and additional is-a relationships (making the taxonomy a DAG rather than
+a tree) connect concepts to extra parents on strictly higher levels.
+
+All randomness flows from the explicit ``seed``, so datasets are
+reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.exceptions import TaxonomyError
+from repro.taxonomy.taxonomy import Taxonomy
+from repro.util.interner import LabelInterner
+
+__all__ = ["TaxonomyGeneratorConfig", "generate_taxonomy"]
+
+
+@dataclass(frozen=True)
+class TaxonomyGeneratorConfig:
+    """Parameters for :func:`generate_taxonomy`.
+
+    ``relationship_count`` counts all direct is-a edges including the
+    spanning-tree ones; the minimum is ``concept_count - 1`` (a pure
+    tree).  ``level_growth`` shapes how concept mass shifts toward deeper
+    levels (1.0 = uniform, >1 = bottom-heavy like real ontologies);
+    ``level_profile``, when given, overrides it with explicit relative
+    weights per level (entry ``i`` weighs level ``i + 1``), which is how
+    the GO-shaped taxonomy gets its high shallow fan-out.
+    """
+
+    concept_count: int = 1000
+    depth: int = 8
+    relationship_count: int | None = None
+    level_growth: float = 1.6
+    level_profile: tuple[float, ...] | None = None
+    label_prefix: str = "c"
+    seed: int = 0
+
+    def resolved_relationship_count(self) -> int:
+        if self.relationship_count is None:
+            # The paper's TD-family uses 1000 concepts / 2000 relationships;
+            # default to the same 2x ratio.
+            return 2 * (self.concept_count - 1)
+        return self.relationship_count
+
+
+def generate_taxonomy(
+    config: TaxonomyGeneratorConfig,
+    interner: LabelInterner | None = None,
+) -> Taxonomy:
+    """Generate a single-rooted DAG taxonomy per ``config``."""
+    if config.concept_count < 1:
+        raise TaxonomyError("concept_count must be at least 1")
+    if config.depth < 1 and config.concept_count > 1:
+        raise TaxonomyError("depth must be at least 1 for multi-concept taxonomies")
+    rel_target = config.resolved_relationship_count()
+    if rel_target < config.concept_count - 1:
+        raise TaxonomyError(
+            f"relationship_count {rel_target} below spanning-tree minimum "
+            f"{config.concept_count - 1}"
+        )
+
+    rng = random.Random(config.seed)
+    interner = interner if interner is not None else LabelInterner()
+    labels = [
+        interner.intern(f"{config.label_prefix}{i}")
+        for i in range(config.concept_count)
+    ]
+    root = labels[0]
+
+    levels = _assign_levels(config, rng)
+    by_level: list[list[int]] = [[] for _ in range(config.depth + 1)]
+    by_level[0].append(root)
+    for label, level in zip(labels[1:], levels):
+        by_level[level].append(label)
+
+    parents: dict[int, list[int]] = {label: [] for label in labels}
+    for level in range(1, config.depth + 1):
+        above = by_level[level - 1]
+        if not above:
+            continue
+        for label in by_level[level]:
+            parents[label].append(rng.choice(above))
+
+    _add_extra_relationships(parents, by_level, rel_target, rng)
+    return Taxonomy({k: tuple(v) for k, v in parents.items()}, interner)
+
+
+def _assign_levels(config: TaxonomyGeneratorConfig, rng: random.Random) -> list[int]:
+    """Assign every non-root concept to a level in ``1..depth``.
+
+    Level weights follow a geometric progression with ratio
+    ``level_growth``; each level is guaranteed at least one concept while
+    concepts remain, so the taxonomy reaches its full depth whenever
+    ``concept_count > depth``.
+    """
+    remaining = config.concept_count - 1
+    if remaining == 0:
+        return []
+    depth = min(config.depth, remaining)
+    if config.level_profile is not None:
+        profile = list(config.level_profile)
+        if len(profile) < depth:
+            profile += [profile[-1]] * (depth - len(profile))
+        weights = [max(1e-9, profile[level - 1]) for level in range(1, depth + 1)]
+    else:
+        weights = [config.level_growth**level for level in range(1, depth + 1)]
+    total = sum(weights)
+    counts = [max(1, round(remaining * w / total)) for w in weights]
+    # Repair rounding so counts sum exactly to ``remaining``.
+    overflow = sum(counts) - remaining
+    index = len(counts) - 1
+    while overflow > 0:
+        if counts[index] > 1:
+            counts[index] -= 1
+            overflow -= 1
+        else:
+            index -= 1
+    index = len(counts) - 1
+    while overflow < 0:
+        counts[index] += 1
+        overflow += 1
+
+    levels: list[int] = []
+    for level, count in enumerate(counts, start=1):
+        levels.extend([level] * count)
+    rng.shuffle(levels)
+    return levels
+
+
+def _add_extra_relationships(
+    parents: dict[int, list[int]],
+    by_level: list[list[int]],
+    rel_target: int,
+    rng: random.Random,
+) -> None:
+    """Add DAG edges (extra parents from strictly higher levels) until the
+    relationship count reaches ``rel_target`` or no legal edge remains.
+
+    Extra parents stay within the child's top-level branch, as in real
+    ontologies where multi-parenting is local.  Unrestricted cross-branch
+    parents would make every top category cover a large, heavily
+    overlapping share of the taxonomy, qualitatively changing mining
+    behaviour (every shallow label combination becomes frequent).
+    """
+    level_of: dict[int, int] = {}
+    for level, members in enumerate(by_level):
+        for label in members:
+            level_of[label] = level
+
+    # Top-level branch of each concept, following tree (first) parents.
+    branch_of: dict[int, int] = {}
+    for level, members in enumerate(by_level):
+        for label in members:
+            if level <= 1:
+                branch_of[label] = label
+            else:
+                branch_of[label] = branch_of[parents[label][0]]
+    by_level_branch: dict[tuple[int, int], list[int]] = {}
+    for label, level in level_of.items():
+        by_level_branch.setdefault((level, branch_of[label]), []).append(label)
+
+    current = sum(len(v) for v in parents.values())
+    deep_labels = [l for l, lvl in level_of.items() if lvl >= 2]
+    attempts = 0
+    max_attempts = 50 * max(1, rel_target)
+    while current < rel_target and deep_labels and attempts < max_attempts:
+        attempts += 1
+        child = rng.choice(deep_labels)
+        child_level = level_of[child]
+        parent_level = rng.randrange(1, child_level)
+        candidates = by_level_branch.get((parent_level, branch_of[child]), ())
+        if not candidates:
+            continue
+        parent = rng.choice(candidates)
+        if parent in parents[child]:
+            continue
+        parents[child].append(parent)
+        current += 1

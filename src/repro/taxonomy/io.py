@@ -1,0 +1,77 @@
+"""Text serialization for taxonomies.
+
+Line-oriented format:
+
+.. code-block:: text
+
+    n molecular_function        # declare a concept (needed for roots or
+                                # isolated concepts)
+    i transporter molecular_function   # is-a: <child> <parent>
+
+Blank lines and ``#`` comments are ignored.  Concepts referenced by an
+``i`` record are declared implicitly.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Iterable, TextIO
+
+from repro.exceptions import FormatError
+from repro.taxonomy.taxonomy import Taxonomy
+from repro.util.interner import LabelInterner
+
+__all__ = ["parse_taxonomy", "read_taxonomy", "serialize_taxonomy", "write_taxonomy"]
+
+
+def parse_taxonomy(text: str, interner: LabelInterner | None = None) -> Taxonomy:
+    """Parse the text format into a :class:`Taxonomy`."""
+    return _parse(io.StringIO(text), interner)
+
+
+def read_taxonomy(path: str | Path, interner: LabelInterner | None = None) -> Taxonomy:
+    """Read a taxonomy file (see module docstring for the format)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return _parse(handle, interner)
+
+
+def serialize_taxonomy(taxonomy: Taxonomy) -> str:
+    """Render in the text format; inverse of :func:`parse_taxonomy`."""
+    out: list[str] = []
+    for label in taxonomy.labels():
+        out.append(f"n {taxonomy.name_of(label)}")
+    for label in taxonomy.labels():
+        for parent in taxonomy.parents_of(label):
+            out.append(f"i {taxonomy.name_of(label)} {taxonomy.name_of(parent)}")
+    out.append("")
+    return "\n".join(out)
+
+
+def write_taxonomy(taxonomy: Taxonomy, path: str | Path) -> None:
+    Path(path).write_text(serialize_taxonomy(taxonomy), encoding="utf-8")
+
+
+def _parse(handle: TextIO | Iterable[str], interner: LabelInterner | None) -> Taxonomy:
+    interner = interner if interner is not None else LabelInterner()
+    parents: dict[int, list[int]] = {}
+    for lineno, raw in enumerate(handle, start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        kind = parts[0]
+        if kind == "n":
+            if len(parts) != 2:
+                raise FormatError(f"line {lineno}: expected 'n <label>'")
+            parents.setdefault(interner.intern(parts[1]), [])
+        elif kind == "i":
+            if len(parts) != 3:
+                raise FormatError(f"line {lineno}: expected 'i <child> <parent>'")
+            child = interner.intern(parts[1])
+            parent = interner.intern(parts[2])
+            parents.setdefault(parent, [])
+            parents.setdefault(child, []).append(parent)
+        else:
+            raise FormatError(f"line {lineno}: unknown record type {kind!r}")
+    return Taxonomy({k: tuple(v) for k, v in parents.items()}, interner)

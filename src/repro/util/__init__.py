@@ -1,0 +1,14 @@
+"""Shared infrastructure: bit-sets, label interning, statistics, timing."""
+
+from repro.util.bitset import BitSet
+from repro.util.interner import LabelInterner
+from repro.util.stats import DatabaseStats, describe_database
+from repro.util.timing import Stopwatch
+
+__all__ = [
+    "BitSet",
+    "LabelInterner",
+    "DatabaseStats",
+    "describe_database",
+    "Stopwatch",
+]

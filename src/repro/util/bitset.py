@@ -1,0 +1,135 @@
+"""Compact bit-sets over non-negative integer ids.
+
+The Taxogram occurrence indices (paper §3, Step 2) store occurrence-id
+sets as bit vectors so that computing the occurrence set of a specialized
+pattern is a single bitwise AND (Lemma 7).  Python's arbitrary-precision
+integers make an excellent backing store: AND/OR are C-speed, and
+``int.bit_count`` gives popcount.
+
+:class:`BitSet` is a thin immutable-style wrapper.  All binary operations
+return new instances; in-place mutation is limited to :meth:`add` and
+:meth:`discard` which update the wrapper in place (the underlying int is
+still replaced, as ints are immutable).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+__all__ = ["BitSet"]
+
+
+class BitSet:
+    """A set of non-negative integers backed by a single Python int."""
+
+    __slots__ = ("_bits",)
+
+    def __init__(self, ids: Iterable[int] = (), _bits: int = 0) -> None:
+        bits = _bits
+        for i in ids:
+            if i < 0:
+                raise ValueError(f"BitSet ids must be non-negative, got {i}")
+            bits |= 1 << i
+        self._bits = bits
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def from_bits(cls, bits: int) -> "BitSet":
+        """Wrap a raw integer bit mask (no copying)."""
+        if bits < 0:
+            raise ValueError("bit mask must be non-negative")
+        out = cls.__new__(cls)
+        out._bits = bits
+        return out
+
+    @classmethod
+    def full(cls, n: int) -> "BitSet":
+        """The set {0, 1, ..., n-1}."""
+        if n < 0:
+            raise ValueError("size must be non-negative")
+        return cls.from_bits((1 << n) - 1)
+
+    # -- basic protocol --------------------------------------------------------
+
+    @property
+    def bits(self) -> int:
+        """The raw integer mask (read-only view)."""
+        return self._bits
+
+    def __len__(self) -> int:
+        return self._bits.bit_count()
+
+    def __bool__(self) -> bool:
+        return self._bits != 0
+
+    def __contains__(self, i: int) -> bool:
+        return i >= 0 and (self._bits >> i) & 1 == 1
+
+    def __iter__(self) -> Iterator[int]:
+        bits = self._bits
+        while bits:
+            low = bits & -bits
+            yield low.bit_length() - 1
+            bits ^= low
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, BitSet):
+            return self._bits == other._bits
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._bits)
+
+    def __repr__(self) -> str:
+        return f"BitSet({{{', '.join(map(str, self))}}})"
+
+    # -- mutation --------------------------------------------------------------
+
+    def add(self, i: int) -> None:
+        if i < 0:
+            raise ValueError(f"BitSet ids must be non-negative, got {i}")
+        self._bits |= 1 << i
+
+    def discard(self, i: int) -> None:
+        if i >= 0:
+            self._bits &= ~(1 << i)
+
+    # -- set algebra -----------------------------------------------------------
+
+    def __and__(self, other: "BitSet") -> "BitSet":
+        return BitSet.from_bits(self._bits & other._bits)
+
+    def __or__(self, other: "BitSet") -> "BitSet":
+        return BitSet.from_bits(self._bits | other._bits)
+
+    def __xor__(self, other: "BitSet") -> "BitSet":
+        return BitSet.from_bits(self._bits ^ other._bits)
+
+    def __sub__(self, other: "BitSet") -> "BitSet":
+        return BitSet.from_bits(self._bits & ~other._bits)
+
+    def intersection(self, other: "BitSet") -> "BitSet":
+        return self & other
+
+    def union(self, other: "BitSet") -> "BitSet":
+        return self | other
+
+    def difference(self, other: "BitSet") -> "BitSet":
+        return self - other
+
+    def isdisjoint(self, other: "BitSet") -> bool:
+        return self._bits & other._bits == 0
+
+    def issubset(self, other: "BitSet") -> bool:
+        return self._bits & ~other._bits == 0
+
+    def issuperset(self, other: "BitSet") -> bool:
+        return other.issubset(self)
+
+    def copy(self) -> "BitSet":
+        return BitSet.from_bits(self._bits)
+
+    def to_set(self) -> set[int]:
+        """Materialize as a plain Python set (mostly for tests/debugging)."""
+        return set(self)

@@ -1,0 +1,68 @@
+"""Bidirectional string-label <-> integer-id interning.
+
+Graphs and taxonomies store labels internally as small integers; the
+interner is the single source of truth for the mapping.  A database and
+its taxonomy must share one interner so that a graph node label and the
+corresponding taxonomy concept compare equal as ints.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+__all__ = ["LabelInterner"]
+
+
+class LabelInterner:
+    """Assigns stable consecutive integer ids to string labels."""
+
+    __slots__ = ("_by_name", "_by_id")
+
+    def __init__(self, labels: Iterable[str] = ()) -> None:
+        self._by_name: dict[str, int] = {}
+        self._by_id: list[str] = []
+        for label in labels:
+            self.intern(label)
+
+    def intern(self, label: str) -> int:
+        """Return the id for ``label``, allocating a new one if needed."""
+        existing = self._by_name.get(label)
+        if existing is not None:
+            return existing
+        new_id = len(self._by_id)
+        self._by_name[label] = new_id
+        self._by_id.append(label)
+        return new_id
+
+    def id_of(self, label: str) -> int:
+        """Return the id for a label that must already be interned."""
+        try:
+            return self._by_name[label]
+        except KeyError:
+            raise KeyError(f"unknown label: {label!r}") from None
+
+    def name_of(self, label_id: int) -> str:
+        """Return the string for an interned id."""
+        try:
+            return self._by_id[label_id]
+        except IndexError:
+            raise KeyError(f"unknown label id: {label_id}") from None
+
+    def __contains__(self, label: str) -> bool:
+        return label in self._by_name
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._by_id)
+
+    def names(self) -> list[str]:
+        """All interned labels in id order (a copy)."""
+        return list(self._by_id)
+
+    def copy(self) -> "LabelInterner":
+        out = LabelInterner.__new__(LabelInterner)
+        out._by_name = dict(self._by_name)
+        out._by_id = list(self._by_id)
+        return out

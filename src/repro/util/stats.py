@@ -1,0 +1,82 @@
+"""Dataset statistics in the shape of the paper's Table 1.
+
+Each row of Table 1 reports: database size (graph count), average graph
+size in nodes and in edges, distinct node-label count, and average edge
+density, where density follows Worlein et al.: ``2 * |E| / |V|^2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graphs.graph import Graph
+
+__all__ = ["DatabaseStats", "describe_database", "edge_density"]
+
+
+def edge_density(num_nodes: int, num_edges: int) -> float:
+    """Edge density ``2|E| / |V|^2`` (0.0 for graphs with < 1 node)."""
+    if num_nodes <= 0:
+        return 0.0
+    return 2.0 * num_edges / (num_nodes * num_nodes)
+
+
+@dataclass(frozen=True)
+class DatabaseStats:
+    """Aggregate properties of a graph database (one Table 1 row)."""
+
+    graph_count: int
+    avg_nodes: float
+    avg_edges: float
+    distinct_label_count: int
+    avg_edge_density: float
+    max_nodes: int
+    max_edges: int
+
+    def as_row(self, db_id: str = "-") -> str:
+        """Render as a Table 1-style text row."""
+        return (
+            f"{db_id:<10} {self.graph_count:>8} {self.avg_nodes:>10.1f} "
+            f"{self.avg_edges:>10.1f} {self.distinct_label_count:>12} "
+            f"{self.avg_edge_density:>10.2f}"
+        )
+
+    @staticmethod
+    def header() -> str:
+        return (
+            f"{'DB Id':<10} {'Graphs':>8} {'AvgNodes':>10} {'AvgEdges':>10} "
+            f"{'Labels':>12} {'Density':>10}"
+        )
+
+
+def describe_database(graphs: Iterable["Graph"]) -> DatabaseStats:
+    """Compute Table 1-style statistics for an iterable of graphs."""
+    graph_count = 0
+    total_nodes = 0
+    total_edges = 0
+    total_density = 0.0
+    max_nodes = 0
+    max_edges = 0
+    labels: set[int] = set()
+    for graph in graphs:
+        graph_count += 1
+        n, m = graph.num_nodes, graph.num_edges
+        total_nodes += n
+        total_edges += m
+        total_density += edge_density(n, m)
+        max_nodes = max(max_nodes, n)
+        max_edges = max(max_edges, m)
+        labels.update(graph.node_labels())
+    if graph_count == 0:
+        return DatabaseStats(0, 0.0, 0.0, 0, 0.0, 0, 0)
+    return DatabaseStats(
+        graph_count=graph_count,
+        avg_nodes=total_nodes / graph_count,
+        avg_edges=total_edges / graph_count,
+        distinct_label_count=len(labels),
+        avg_edge_density=total_density / graph_count,
+        max_nodes=max_nodes,
+        max_edges=max_edges,
+    )

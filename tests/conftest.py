@@ -1,0 +1,96 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graphs.database import GraphDatabase
+from repro.taxonomy.builders import taxonomy_from_parent_names
+from repro.taxonomy.taxonomy import Taxonomy
+from repro.util.interner import LabelInterner
+
+
+@pytest.fixture
+def go_excerpt() -> Taxonomy:
+    """The paper's Figure 1.1 GO excerpt (plus the root)."""
+    return taxonomy_from_parent_names(
+        {
+            "molecular_function": [],
+            "transporter": "molecular_function",
+            "catalytic_activity": "molecular_function",
+            "carrier": "transporter",
+            "cation_transporter": "transporter",
+            "protein_carrier": "carrier",
+            "helicase": "catalytic_activity",
+            "dna_helicase": "helicase",
+        }
+    )
+
+
+@pytest.fixture
+def pathway_db(go_excerpt: Taxonomy) -> GraphDatabase:
+    """The Figure 1.2-style two-pathway database over ``go_excerpt``."""
+    db = GraphDatabase(node_labels=go_excerpt.interner)
+    db.new_graph(
+        ["protein_carrier", "cation_transporter", "dna_helicase", "dna_helicase"],
+        [(0, 1, "i"), (1, 2, "i"), (2, 3, "i")],
+    )
+    db.new_graph(
+        ["carrier", "helicase", "dna_helicase"],
+        [(0, 1, "i"), (1, 2, "i")],
+    )
+    return db
+
+
+def make_random_taxonomy(
+    rng: random.Random,
+    interner: LabelInterner,
+    n_labels: int,
+    dag: bool = False,
+    multiroot: bool = False,
+) -> Taxonomy:
+    """A random taxonomy for equivalence/property tests."""
+    parents: dict[int, tuple[int, ...]] = {}
+    n_roots = rng.randint(2, 3) if multiroot else 1
+    labels = [interner.intern(f"L{i}") for i in range(n_labels)]
+    for index, label in enumerate(labels):
+        if index < min(n_roots, n_labels):
+            parents[label] = ()
+            continue
+        plist = [labels[rng.randrange(index)]]
+        if dag and index > 1 and rng.random() < 0.35:
+            extra = labels[rng.randrange(index)]
+            if extra not in plist:
+                plist.append(extra)
+        parents[label] = tuple(plist)
+    return Taxonomy(parents, interner)
+
+
+def make_random_database(
+    rng: random.Random,
+    taxonomy: Taxonomy,
+    n_graphs: int,
+    max_nodes: int = 5,
+    max_edges: int = 6,
+    edge_labels: tuple[str, ...] = ("x", "y"),
+) -> GraphDatabase:
+    """A random database whose node labels come from ``taxonomy``."""
+    interner = taxonomy.interner
+    all_labels = list(taxonomy.labels())
+    db = GraphDatabase(node_labels=interner)
+    for _ in range(n_graphs):
+        n = rng.randint(2, max_nodes)
+        node_labels = [interner.name_of(rng.choice(all_labels)) for _ in range(n)]
+        edges: list[tuple[int, int, str]] = []
+        present: set[tuple[int, int]] = set()
+        for _ in range(rng.randint(1, max_edges)):
+            u, v = rng.randrange(n), rng.randrange(n)
+            key = (min(u, v), max(u, v))
+            if u == v or key in present:
+                continue
+            present.add(key)
+            edges.append((u, v, rng.choice(edge_labels)))
+        db.new_graph(node_labels, edges)
+    return db

@@ -1,0 +1,161 @@
+"""Tests for the post-mining analysis toolkit."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.analysis import (
+    closed_patterns,
+    filter_patterns,
+    group_by_class,
+    label_depth_profile,
+    specialization_edges,
+    top_patterns,
+)
+from repro.core.taxogram import mine
+from repro.graphs.database import GraphDatabase
+from repro.taxonomy.builders import taxonomy_from_parent_names
+
+
+@pytest.fixture
+def mined():
+    tax = taxonomy_from_parent_names(
+        {"b": "a", "c": "a", "d": "b", "x": []}
+    )
+    db = GraphDatabase(node_labels=tax.interner)
+    db.new_graph(["d", "x"], [(0, 1)])
+    db.new_graph(["d", "x", "c"], [(0, 1), (1, 2)])
+    db.new_graph(["c", "x"], [(0, 1)])
+    result = mine(db, tax, min_support=0.34)
+    return tax, result
+
+
+class TestFilterPatterns:
+    def test_by_support(self, mined):
+        tax, result = mined
+        strict = filter_patterns(result, min_support=0.9)
+        assert strict
+        assert all(p.support >= 0.9 for p in strict)
+        assert len(strict) <= len(result.patterns)
+
+    def test_by_size(self, mined):
+        tax, result = mined
+        singles = filter_patterns(result, max_edges=1)
+        assert singles and all(p.num_edges == 1 for p in singles)
+        doubles = filter_patterns(result, min_edges=2)
+        assert all(p.num_edges >= 2 for p in doubles)
+
+    def test_by_concept_subtree(self, mined):
+        tax, result = mined
+        b = tax.id_of("b")
+        involving_b = filter_patterns(result, taxonomy=tax, involves=b)
+        assert involving_b
+        for pattern in involving_b:
+            labels = {
+                pattern.graph.node_label(v) for v in pattern.graph.nodes()
+            }
+            assert labels & set(tax.descendants_or_self(b))
+
+    def test_involves_requires_taxonomy(self, mined):
+        _tax, result = mined
+        with pytest.raises(ValueError, match="requires the taxonomy"):
+            filter_patterns(result, involves=0)
+
+    def test_no_mutation(self, mined):
+        _tax, result = mined
+        before = list(result.patterns)
+        filter_patterns(result, min_support=0.99)
+        assert result.patterns == before
+
+
+class TestGroupsAndLattice:
+    def test_group_by_class_shares_structure(self, mined):
+        _tax, result = mined
+        for members in group_by_class(result).values():
+            shapes = {(p.num_nodes, p.num_edges) for p in members}
+            assert len(shapes) == 1
+
+    def test_specialization_edges_point_downward(self, mined):
+        tax, result = mined
+        patterns = result.patterns
+        edges = specialization_edges(patterns, tax)
+        for general_index, specific_index in edges:
+            general = patterns[general_index]
+            specific = patterns[specific_index]
+            # The general side can never have a strictly higher support.
+            assert general.support_count >= specific.support_count
+        # In a minimal pattern set, related patterns differ in support.
+        for general_index, specific_index in edges:
+            assert (
+                patterns[general_index].support_count
+                != patterns[specific_index].support_count
+            )
+
+    def test_lattice_on_known_chain(self):
+        tax = taxonomy_from_parent_names({"b": "a", "x": []})
+        db = GraphDatabase(node_labels=tax.interner)
+        db.new_graph(["b", "x"], [(0, 1)])
+        db.new_graph(["a", "x"], [(0, 1)])
+        result = mine(db, tax, min_support=0.5)
+        patterns = result.patterns
+        edges = specialization_edges(patterns, tax)
+        # a-x (sup 1.0) generalizes b-x (sup 0.5): exactly one edge.
+        assert len(edges) == 1
+
+
+class TestSummaries:
+    def test_label_depth_profile(self, mined):
+        tax, result = mined
+        profile = label_depth_profile(result, tax)
+        assert profile
+        assert all(depth >= -1 for depth in profile)
+        assert sum(profile.values()) == sum(
+            p.num_nodes for p in result.patterns
+        )
+
+    def test_top_patterns_sorted_and_capped(self, mined):
+        _tax, result = mined
+        top = top_patterns(result, count=3)
+        assert len(top) == min(3, len(result.patterns))
+        supports = [p.support_count for p in top]
+        assert supports == sorted(supports, reverse=True)
+
+    def test_top_patterns_large_count(self, mined):
+        _tax, result = mined
+        assert len(top_patterns(result, count=10_000)) == len(result.patterns)
+
+
+class TestClosedPatterns:
+    def test_subpattern_with_equal_support_absorbed(self):
+        tax = taxonomy_from_parent_names({"b": "a", "x": [], "y": []})
+        db = GraphDatabase(node_labels=tax.interner)
+        # Every graph contains the full path b-x-y, so b-x and x-y are
+        # absorbed by the 2-edge pattern (equal support).
+        db.new_graph(["b", "x", "y"], [(0, 1), (1, 2)])
+        db.new_graph(["b", "x", "y"], [(0, 1), (1, 2)])
+        result = mine(db, tax, min_support=1.0)
+        closed = closed_patterns(result, tax)
+        assert len(closed) < len(result.patterns)
+        assert max(p.num_edges for p in closed) == 2
+        # The maximal pattern itself survives.
+        assert any(p.num_edges == 2 for p in closed)
+        assert all(p.num_edges == 2 for p in closed)
+
+    def test_distinct_support_kept(self):
+        tax = taxonomy_from_parent_names({"b": "a", "x": []})
+        db = GraphDatabase(node_labels=tax.interner)
+        db.new_graph(["b", "x", "x"], [(0, 1), (1, 2)])
+        db.new_graph(["b", "x"], [(0, 1)])
+        result = mine(db, tax, min_support=0.5)
+        closed = closed_patterns(result, tax)
+        # b-x has support 1.0, the path only 0.5: both are closed.
+        supports = sorted(p.support for p in closed)
+        assert 1.0 in supports
+        assert 0.5 in supports
+
+    def test_closed_is_subset(self, mined):
+        tax, result = mined
+        closed = closed_patterns(result, tax)
+        codes = {p.code for p in result}
+        assert all(p.code in codes for p in closed)
+        assert len(closed) <= len(result.patterns)

@@ -1,0 +1,135 @@
+"""Unit and property tests for :mod:`repro.util.bitset`."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.bitset import BitSet
+
+id_sets = st.sets(st.integers(min_value=0, max_value=300), max_size=40)
+
+
+class TestConstruction:
+    def test_empty(self):
+        bs = BitSet()
+        assert len(bs) == 0
+        assert not bs
+        assert list(bs) == []
+
+    def test_from_iterable(self):
+        bs = BitSet([3, 1, 4, 1, 5])
+        assert sorted(bs) == [1, 3, 4, 5]
+        assert len(bs) == 4
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ValueError):
+            BitSet([-1])
+
+    def test_from_bits(self):
+        assert BitSet.from_bits(0b1011).to_set() == {0, 1, 3}
+
+    def test_from_bits_negative_rejected(self):
+        with pytest.raises(ValueError):
+            BitSet.from_bits(-1)
+
+    def test_full(self):
+        assert BitSet.full(4).to_set() == {0, 1, 2, 3}
+        assert BitSet.full(0).to_set() == set()
+
+    def test_full_negative_rejected(self):
+        with pytest.raises(ValueError):
+            BitSet.full(-2)
+
+
+class TestMembershipAndMutation:
+    def test_contains(self):
+        bs = BitSet([2, 7])
+        assert 2 in bs
+        assert 7 in bs
+        assert 3 not in bs
+        assert -1 not in bs
+
+    def test_add_discard(self):
+        bs = BitSet()
+        bs.add(5)
+        assert 5 in bs
+        bs.discard(5)
+        assert 5 not in bs
+
+    def test_discard_missing_is_noop(self):
+        bs = BitSet([1])
+        bs.discard(9)
+        bs.discard(-3)
+        assert bs.to_set() == {1}
+
+    def test_add_negative_rejected(self):
+        with pytest.raises(ValueError):
+            BitSet().add(-2)
+
+
+class TestAlgebra:
+    def test_and(self):
+        assert (BitSet([1, 2, 3]) & BitSet([2, 3, 4])).to_set() == {2, 3}
+
+    def test_or(self):
+        assert (BitSet([1]) | BitSet([2])).to_set() == {1, 2}
+
+    def test_xor(self):
+        assert (BitSet([1, 2]) ^ BitSet([2, 3])).to_set() == {1, 3}
+
+    def test_sub(self):
+        assert (BitSet([1, 2, 3]) - BitSet([2])).to_set() == {1, 3}
+
+    def test_subset_superset(self):
+        small, big = BitSet([1, 2]), BitSet([1, 2, 3])
+        assert small.issubset(big)
+        assert big.issuperset(small)
+        assert not big.issubset(small)
+
+    def test_disjoint(self):
+        assert BitSet([1]).isdisjoint(BitSet([2]))
+        assert not BitSet([1, 2]).isdisjoint(BitSet([2]))
+
+    def test_equality_and_hash(self):
+        assert BitSet([1, 2]) == BitSet([2, 1])
+        assert hash(BitSet([1, 2])) == hash(BitSet([2, 1]))
+        assert BitSet([1]) != BitSet([2])
+
+    def test_copy_is_independent(self):
+        original = BitSet([1])
+        copy = original.copy()
+        copy.add(2)
+        assert original.to_set() == {1}
+
+    def test_repr_lists_members(self):
+        assert repr(BitSet([2, 0])) == "BitSet({0, 2})"
+
+
+class TestHypothesis:
+    @given(id_sets, id_sets)
+    def test_and_matches_set_intersection(self, a, b):
+        assert (BitSet(a) & BitSet(b)).to_set() == a & b
+
+    @given(id_sets, id_sets)
+    def test_or_matches_set_union(self, a, b):
+        assert (BitSet(a) | BitSet(b)).to_set() == a | b
+
+    @given(id_sets, id_sets)
+    def test_difference_matches_set_difference(self, a, b):
+        assert (BitSet(a) - BitSet(b)).to_set() == a - b
+
+    @given(id_sets)
+    def test_roundtrip_and_len(self, a):
+        bs = BitSet(a)
+        assert bs.to_set() == a
+        assert len(bs) == len(a)
+
+    @given(id_sets, id_sets)
+    def test_subset_consistent(self, a, b):
+        assert BitSet(a).issubset(BitSet(b)) == (a <= b)
+
+    @given(id_sets)
+    def test_iteration_sorted_ascending(self, a):
+        assert list(BitSet(a)) == sorted(a)

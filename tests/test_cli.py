@@ -1,0 +1,129 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graphs.io import write_graph_database
+from repro.graphs.database import GraphDatabase
+from repro.taxonomy.builders import taxonomy_from_parent_names
+from repro.taxonomy.io import write_taxonomy
+
+
+@pytest.fixture
+def files(tmp_path):
+    tax = taxonomy_from_parent_names({"b": "a", "c": "a"})
+    db = GraphDatabase(node_labels=tax.interner)
+    db.new_graph(["b", "c"], [(0, 1, "x")])
+    db.new_graph(["c", "b"], [(0, 1, "x")])
+    db.new_graph(["b", "b"], [(0, 1, "x")])
+    tax_path = tmp_path / "tax.txt"
+    db_path = tmp_path / "db.graphs"
+    write_taxonomy(tax, tax_path)
+    write_graph_database(db, db_path)
+    return db_path, tax_path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_mine_defaults(self):
+        args = build_parser().parse_args(["mine", "db", "tax"])
+        assert args.algorithm == "taxogram"
+        assert args.support == 0.2
+
+
+class TestMine:
+    def test_taxogram(self, files, capsys):
+        db_path, tax_path = files
+        code = main(["mine", str(db_path), str(tax_path), "--support", "1.0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "taxogram:" in out
+        assert "sup=1.000" in out
+
+    def test_disk_index_flag(self, files, capsys):
+        db_path, tax_path = files
+        code = main(
+            ["mine", str(db_path), str(tax_path), "--support", "1.0",
+             "--disk-index"]
+        )
+        assert code == 0
+        assert "taxogram:" in capsys.readouterr().out
+
+    def test_baseline_and_tacgm(self, files, capsys):
+        db_path, tax_path = files
+        for algo in ("baseline", "tacgm"):
+            code = main(
+                [
+                    "mine", str(db_path), str(tax_path),
+                    "--algorithm", algo, "--support", "1.0",
+                ]
+            )
+            assert code == 0
+            assert algo in capsys.readouterr().out
+
+    def test_limit_and_truncation_notice(self, files, capsys):
+        db_path, tax_path = files
+        main(
+            ["mine", str(db_path), str(tax_path), "--support", "0.3",
+             "--limit", "1"]
+        )
+        out = capsys.readouterr().out
+        assert "more (use --limit 0" in out
+
+    def test_tacgm_memory_budget_error_reported(self, files, capsys):
+        db_path, tax_path = files
+        code = main(
+            [
+                "mine", str(db_path), str(tax_path),
+                "--algorithm", "tacgm", "--support", "0.5",
+                "--memory-budget", "1",
+            ]
+        )
+        assert code == 1
+        assert "memory budget" in capsys.readouterr().err
+
+
+class TestGenerateAndStats:
+    def test_generate_writes_files(self, tmp_path, capsys):
+        graphs_out = tmp_path / "g.graphs"
+        tax_out = tmp_path / "t.tax"
+        code = main(
+            [
+                "generate", "TS25",
+                "--graphs-out", str(graphs_out),
+                "--taxonomy-out", str(tax_out),
+                "--graph-scale", "0.003",
+                "--taxonomy-scale", "1.0",
+            ]
+        )
+        assert code == 0
+        assert graphs_out.exists()
+        assert tax_out.exists()
+        out = capsys.readouterr().out
+        assert "wrote" in out
+
+        code = main(["stats", str(graphs_out)])
+        assert code == 0
+        assert "DB Id" in capsys.readouterr().out
+
+    def test_generate_unknown_dataset(self, tmp_path, capsys):
+        code = main(
+            [
+                "generate", "BOGUS",
+                "--graphs-out", str(tmp_path / "g"),
+                "--taxonomy-out", str(tmp_path / "t"),
+            ]
+        )
+        assert code == 1
+        assert "unknown dataset" in capsys.readouterr().err
+
+    def test_datasets_listing(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "D1000" in out
+        assert "PTE" in out

@@ -1,0 +1,60 @@
+"""Tests for the ``taxogram compare`` subcommand."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.graphs.database import GraphDatabase
+from repro.graphs.io import write_graph_database
+from repro.taxonomy.builders import taxonomy_from_parent_names
+from repro.taxonomy.io import write_taxonomy
+
+
+@pytest.fixture
+def files(tmp_path):
+    tax = taxonomy_from_parent_names({"b": "a", "c": "a"})
+    db = GraphDatabase(node_labels=tax.interner)
+    db.new_graph(["b", "c"], [(0, 1, "x")])
+    db.new_graph(["c", "b"], [(0, 1, "x")])
+    db.new_graph(["b", "b", "c"], [(0, 1, "x"), (1, 2, "x")])
+    tax_path = tmp_path / "tax.txt"
+    db_path = tmp_path / "db.graphs"
+    write_taxonomy(tax, tax_path)
+    write_graph_database(db, db_path)
+    return db_path, tax_path
+
+
+class TestCompare:
+    def test_all_algorithms_reported_and_agree(self, files, capsys):
+        db_path, tax_path = files
+        code = main(
+            ["compare", str(db_path), str(tax_path), "--support", "0.67",
+             "--max-edges", "2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "taxogram" in out
+        assert "baseline" in out
+        assert "tacgm" in out
+        assert "pattern sets agree: True" in out
+
+    def test_tacgm_oom_reported_without_failing(self, files, capsys):
+        db_path, tax_path = files
+        code = main(
+            ["compare", str(db_path), str(tax_path), "--support", "0.34",
+             "--memory-budget", "5"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0  # taxogram/baseline still agree
+        assert "OOM" in out
+        assert "pattern sets agree: True" in out
+
+    def test_unlimited_budget_flag(self, files, capsys):
+        db_path, tax_path = files
+        code = main(
+            ["compare", str(db_path), str(tax_path), "--support", "0.67",
+             "--max-edges", "1", "--memory-budget", "0"]
+        )
+        assert code == 0
+        assert "OOM" not in capsys.readouterr().out

@@ -1,0 +1,121 @@
+"""Soundness tests for enhancement (d): taxonomy contraction.
+
+The paper removes a taxonomy concept when a child has the same occurrence
+set.  On DAG taxonomies the naive form is unsound (see DESIGN.md); our
+implementation only removes an unobserved interior concept when one
+child generalizes *every observed label* the concept generalizes.  These
+tests pin both directions: redundant concepts go, diamond corners stay.
+"""
+
+from __future__ import annotations
+
+from repro.core.taxogram import Taxogram, TaxogramOptions, mine, mine_baseline
+from repro.core.taxogram import _contract_taxonomy
+from repro.graphs.database import GraphDatabase
+from repro.taxonomy.builders import taxonomy_from_parent_names
+
+
+class TestContractTaxonomy:
+    def test_redundant_chain_collapsed(self):
+        # root -> mid -> leaf; only leaf observed: mid is redundant.
+        tax = taxonomy_from_parent_names({"mid": "root", "leaf": "mid"})
+        contracted = _contract_taxonomy(tax, {tax.id_of("leaf")})
+        names = {contracted.name_of(l) for l in contracted.labels()}
+        assert "mid" not in names
+        assert {"root", "leaf"} <= names
+
+    def test_observed_concepts_never_removed(self):
+        tax = taxonomy_from_parent_names({"mid": "root", "leaf": "mid"})
+        observed = {tax.id_of("mid"), tax.id_of("leaf")}
+        contracted = _contract_taxonomy(tax, observed)
+        names = {contracted.name_of(l) for l in contracted.labels()}
+        assert "mid" in names
+
+    def test_roots_never_removed(self):
+        tax = taxonomy_from_parent_names({"leaf": "root"})
+        contracted = _contract_taxonomy(tax, {tax.id_of("leaf")})
+        names = {contracted.name_of(l) for l in contracted.labels()}
+        assert "root" in names
+
+    def test_diamond_corner_kept(self):
+        # root -> {l, r} -> leaf1/leaf2 under BOTH l and r.
+        # l does not dominate r's observed descendants and vice versa
+        # when the observed sets split, so neither corner may go.
+        tax = taxonomy_from_parent_names(
+            {
+                "l": "root",
+                "r": "root",
+                "leaf1": ["l", "r"],
+                "leaf2": ["l"],
+            }
+        )
+        observed = {tax.id_of("leaf1"), tax.id_of("leaf2")}
+        contracted = _contract_taxonomy(tax, observed)
+        names = {contracted.name_of(l) for l in contracted.labels()}
+        # l generalizes {leaf1, leaf2}; its only child chain... l cannot be
+        # removed (leaf2 only reachable under l); r's observed set {leaf1}
+        # is fully generalized by its child leaf1 -> r is removable.
+        assert "l" in names
+        assert "r" not in names
+
+    def test_cascading_removal(self):
+        tax = taxonomy_from_parent_names(
+            {"a": "root", "b": "a", "c": "b", "leaf": "c"}
+        )
+        contracted = _contract_taxonomy(tax, {tax.id_of("leaf")})
+        names = {contracted.name_of(l) for l in contracted.labels()}
+        assert names & {"a", "b", "c"} == set()
+        leaf = contracted.id_of("leaf")
+        assert contracted.parents_of(leaf) == (contracted.id_of("root"),)
+
+
+class TestContractionPreservesResults:
+    def test_deep_chain_results_identical(self):
+        tax = taxonomy_from_parent_names(
+            {"a": "root", "b": "a", "c": "b", "leaf": "c", "x": "root"}
+        )
+        db = GraphDatabase(node_labels=tax.interner)
+        db.new_graph(["leaf", "x"], [(0, 1)])
+        db.new_graph(["leaf", "x"], [(0, 1)])
+        db.new_graph(["c", "x"], [(0, 1)])
+        with_d = mine(db, tax, min_support=0.5)
+        without_d = Taxogram(
+            TaxogramOptions(
+                min_support=0.5, enhancement_taxonomy_contraction=False
+            )
+        ).mine(db, tax)
+        baseline = mine_baseline(db, tax, min_support=0.5)
+        assert with_d.pattern_codes() == without_d.pattern_codes()
+        assert with_d.pattern_codes() == baseline.pattern_codes()
+
+    def test_diamond_results_identical(self):
+        tax = taxonomy_from_parent_names(
+            {
+                "l": "root",
+                "r": "root",
+                "o1": ["l", "r"],
+                "o2": ["l", "r"],
+                "x": "root",
+            }
+        )
+        db = GraphDatabase(node_labels=tax.interner)
+        db.new_graph(["o1", "x"], [(0, 1)])
+        db.new_graph(["o2", "x"], [(0, 1)])
+        with_d = mine(db, tax, min_support=1.0)
+        without_d = Taxogram(
+            TaxogramOptions(
+                min_support=1.0, enhancement_taxonomy_contraction=False
+            )
+        ).mine(db, tax)
+        assert with_d.pattern_codes() == without_d.pattern_codes()
+        # Both diamond corners generalize {o1, o2} with support 1 and
+        # neither child keeps support 1 alone: both l-x and r-x are
+        # minimal patterns and must be present.
+        label_sets = {
+            frozenset(
+                tax.name_of(p.graph.node_label(v)) for v in p.graph.nodes()
+            )
+            for p in with_d
+        }
+        assert frozenset({"l", "x"}) in label_sets
+        assert frozenset({"r", "x"}) in label_sets

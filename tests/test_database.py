@@ -1,0 +1,70 @@
+"""Unit tests for :mod:`repro.graphs.database`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs.database import GraphDatabase
+from repro.graphs.graph import Graph
+from repro.util.interner import LabelInterner
+
+
+class TestNewGraph:
+    def test_labels_interned_and_ids_assigned(self):
+        db = GraphDatabase()
+        g1 = db.new_graph(["a", "b"], [(0, 1, "x")])
+        g2 = db.new_graph(["b", "a"], [(0, 1)])
+        assert g1.graph_id == 0
+        assert g2.graph_id == 1
+        assert len(db) == 2
+        assert db.node_label_name(g1.node_label(0)) == "a"
+        assert g1.node_label(1) == g2.node_label(0)  # shared interner
+        assert db.edge_label_name(g1.edge_label(0, 1)) == "x"
+        assert db.edge_label_name(g2.edge_label(0, 1)) == "-"
+
+    def test_add_graph_checks_labels(self):
+        db = GraphDatabase()
+        rogue = Graph.from_edges([99], [])
+        with pytest.raises(GraphError, match="not present"):
+            db.add_graph(rogue)
+
+    def test_shared_interner_with_taxonomy(self):
+        interner = LabelInterner(["root", "leaf"])
+        db = GraphDatabase(node_labels=interner)
+        g = db.new_graph(["leaf"], [])
+        assert g.node_label(0) == interner.id_of("leaf")
+
+
+class TestAccess:
+    def _db(self) -> GraphDatabase:
+        db = GraphDatabase()
+        db.new_graph(["a", "b"], [(0, 1)])
+        db.new_graph(["c"], [])
+        return db
+
+    def test_indexing_and_iteration(self):
+        db = self._db()
+        assert db[0].num_nodes == 2
+        assert [g.graph_id for g in db] == [0, 1]
+        assert len(db.graphs) == 2
+
+    def test_distinct_node_labels(self):
+        db = self._db()
+        names = {db.node_label_name(l) for l in db.distinct_node_labels()}
+        assert names == {"a", "b", "c"}
+
+    def test_stats(self):
+        stats = self._db().stats()
+        assert stats.graph_count == 2
+        assert stats.avg_nodes == 1.5
+
+    def test_copy_independent(self):
+        db = self._db()
+        clone = db.copy()
+        clone[0].relabel_node(0, clone.node_labels.intern("z"))
+        assert db.node_label_name(db[0].node_label(0)) == "a"
+        assert len(clone) == len(db)
+
+    def test_repr(self):
+        assert "graphs=2" in repr(self._db())

@@ -1,0 +1,136 @@
+"""Tests for the synthetic dataset generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen.datasets import (
+    DATASET_FAMILIES,
+    PAPER_TABLE1,
+    build_dataset,
+    dataset_spec,
+)
+from repro.datagen.graph_generator import (
+    SyntheticGraphConfig,
+    generate_graph_database,
+)
+from repro.exceptions import MiningError
+from repro.taxonomy.generators import TaxonomyGeneratorConfig, generate_taxonomy
+from repro.taxonomy.go import go_like_taxonomy
+
+
+class TestGraphGenerator:
+    def _taxonomy(self):
+        return go_like_taxonomy(concept_count=150, seed=3)
+
+    def test_counts_and_labels_from_taxonomy(self):
+        tax = self._taxonomy()
+        config = SyntheticGraphConfig(graph_count=20, max_graph_edges=10, seed=1)
+        db = generate_graph_database(tax, config)
+        assert len(db) == 20
+        for graph in db:
+            assert graph.num_edges <= 10
+            for label in graph.node_labels():
+                assert label in tax
+
+    def test_deterministic_by_seed(self):
+        tax = self._taxonomy()
+        config = SyntheticGraphConfig(graph_count=10, seed=5)
+        a = generate_graph_database(tax, config)
+        b = generate_graph_database(tax, config)
+        for ga, gb in zip(a, b):
+            assert ga.structure_key() == gb.structure_key()
+
+    def test_edge_density_targeted(self):
+        tax = self._taxonomy()
+        for density in (0.1, 0.3):
+            config = SyntheticGraphConfig(
+                graph_count=40, max_graph_edges=20, edge_density=density, seed=2
+            )
+            stats = generate_graph_database(tax, config).stats()
+            assert abs(stats.avg_edge_density - density) < 0.12
+
+    def test_uniform_level_mode(self):
+        tax = self._taxonomy()
+        config = SyntheticGraphConfig(
+            graph_count=30, label_selection="uniform-level", seed=4
+        )
+        db = generate_graph_database(tax, config)
+        depths = {
+            tax.depth_of(label)
+            for graph in db
+            for label in graph.node_labels()
+        }
+        # Uniform per-level selection reaches shallow and deep levels.
+        assert 0 in depths or 1 in depths
+        assert max(depths) >= tax.max_depth() - 2
+
+    def test_invalid_configs_rejected(self):
+        tax = self._taxonomy()
+        with pytest.raises(MiningError):
+            generate_graph_database(tax, SyntheticGraphConfig(graph_count=0))
+        with pytest.raises(MiningError):
+            generate_graph_database(
+                tax, SyntheticGraphConfig(edge_density=0.0)
+            )
+        with pytest.raises(MiningError):
+            generate_graph_database(
+                tax, SyntheticGraphConfig(label_selection="bogus")
+            )
+        with pytest.raises(MiningError):
+            generate_graph_database(
+                tax, SyntheticGraphConfig(max_graph_edges=0)
+            )
+
+    def test_edge_labels_bounded(self):
+        tax = self._taxonomy()
+        config = SyntheticGraphConfig(graph_count=10, edge_label_count=3, seed=6)
+        db = generate_graph_database(tax, config)
+        labels = {e for g in db for _, _, e in g.edges()}
+        assert labels <= {0, 1, 2}
+
+
+class TestDatasetSpecs:
+    def test_every_table1_row_has_a_spec(self):
+        spec_names = {
+            spec.name for family in DATASET_FAMILIES.values() for spec in family
+        }
+        assert spec_names == set(PAPER_TABLE1)
+
+    def test_lookup(self):
+        spec = dataset_spec("D4000")
+        assert spec.graph_count == 4000
+        assert spec.family == "D"
+        with pytest.raises(MiningError):
+            dataset_spec("NOPE")
+
+    def test_paper_row_sizes_match_specs(self):
+        for family in DATASET_FAMILIES.values():
+            for spec in family:
+                paper = PAPER_TABLE1[spec.name]
+                assert spec.graph_count == paper[0]
+
+    @pytest.mark.parametrize("name", ["D1000", "NC10", "ED06", "TD5", "TS25"])
+    def test_build_scaled(self, name):
+        spec = dataset_spec(name)
+        db, tax = build_dataset(spec, graph_scale=0.01, taxonomy_scale=0.02)
+        assert len(db) >= 8
+        assert len(tax) >= 12
+        for graph in db:
+            for label in graph.node_labels():
+                assert label in tax
+
+    def test_build_pte(self):
+        db, tax = build_dataset(dataset_spec("PTE"), graph_scale=0.1)
+        assert len(db) == 42
+        assert tax.name_of(tax.roots()[0]) == "atom"
+
+    def test_td_family_depth_honored(self):
+        spec = dataset_spec("TD7")
+        _db, tax = build_dataset(spec, graph_scale=0.005, taxonomy_scale=0.2)
+        assert tax.max_depth() == 7
+
+    def test_ts_family_concept_scaling(self):
+        spec = dataset_spec("TS400")
+        _db, tax = build_dataset(spec, graph_scale=0.005, taxonomy_scale=0.5)
+        assert len(tax) == 200

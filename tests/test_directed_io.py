@@ -1,0 +1,117 @@
+"""Tests for directed graph database serialization and the CLI path."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cli import main
+from repro.directed.digraph import DiGraphDatabase
+from repro.directed.io import (
+    parse_digraph_database,
+    read_digraph_database,
+    serialize_digraph_database,
+    write_digraph_database,
+)
+from repro.exceptions import FormatError
+from repro.taxonomy.builders import taxonomy_from_parent_names
+from repro.taxonomy.io import write_taxonomy
+
+SAMPLE = """
+t # 0
+v 0 kinase
+v 1 tf
+a 0 1 activates
+t # 1
+v 0 tf
+"""
+
+
+class TestParse:
+    def test_parse_sample(self):
+        db = parse_digraph_database(SAMPLE)
+        assert len(db) == 2
+        assert db[0].has_arc(0, 1)
+        assert not db[0].has_arc(1, 0)
+        assert db.edge_labels.name_of(db[0].arc_label(0, 1)) == "activates"
+
+    def test_arc_without_label_gets_default(self):
+        db = parse_digraph_database("t # 0\nv 0 a\nv 1 b\na 1 0\n")
+        assert db.edge_labels.name_of(db[0].arc_label(1, 0)) == "-"
+
+    def test_undirected_record_rejected(self):
+        with pytest.raises(FormatError, match="undirected 'e' record"):
+            parse_digraph_database("t # 0\nv 0 a\nv 1 b\ne 0 1\n")
+
+    def test_structural_errors(self):
+        with pytest.raises(FormatError, match="before any 't'"):
+            parse_digraph_database("a 0 1\n")
+        with pytest.raises(FormatError, match="dense"):
+            parse_digraph_database("t # 0\nv 3 a\n")
+        with pytest.raises(FormatError, match="unknown record"):
+            parse_digraph_database("t # 0\nq x\n")
+        with pytest.raises(FormatError, match="line 4"):
+            parse_digraph_database("t # 0\nv 0 a\nv 1 b\na 0 0\n")
+
+
+class TestRoundTrip:
+    def test_file_round_trip(self, tmp_path):
+        db = DiGraphDatabase()
+        db.new_graph(["a", "b", "c"], [(0, 1, "x"), (2, 1, "y"), (1, 0, "x")])
+        path = tmp_path / "db.digraphs"
+        write_digraph_database(db, path)
+        loaded = read_digraph_database(path)
+        assert serialize_digraph_database(loaded) == serialize_digraph_database(db)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_random_round_trip(self, seed):
+        rng = random.Random(seed)
+        db = DiGraphDatabase()
+        for _ in range(rng.randint(1, 3)):
+            n = rng.randint(1, 4)
+            graph = db.new_graph([rng.choice("abc") for _ in range(n)], [])
+            for _ in range(rng.randint(0, 6)):
+                u, v = rng.randrange(n), rng.randrange(n)
+                if u != v and not graph.has_arc(u, v):
+                    graph.add_arc(u, v, db.edge_labels.intern(rng.choice("xy")))
+        text = serialize_digraph_database(db)
+        assert serialize_digraph_database(parse_digraph_database(text)) == text
+
+
+class TestDirectedCLI:
+    def test_mine_directed(self, tmp_path, capsys):
+        tax = taxonomy_from_parent_names({"kinase": "protein", "tf": "protein"})
+        db = DiGraphDatabase(node_labels=tax.interner)
+        db.new_graph(["kinase", "tf"], [(0, 1, "activates")])
+        db.new_graph(["kinase", "tf"], [(0, 1, "activates")])
+        db_path = tmp_path / "db.digraphs"
+        tax_path = tmp_path / "tax.txt"
+        write_digraph_database(db, db_path)
+        write_taxonomy(tax, tax_path)
+        code = main(
+            ["mine", str(db_path), str(tax_path), "--directed",
+             "--support", "1.0"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "taxogram-directed" in out
+        assert "kinase->tf" in out
+
+    def test_directed_rejects_other_algorithms(self, tmp_path, capsys):
+        tax = taxonomy_from_parent_names({"b": "a"})
+        tax_path = tmp_path / "t.txt"
+        write_taxonomy(tax, tax_path)
+        db = DiGraphDatabase(node_labels=tax.interner)
+        db.new_graph(["b"], [])
+        db_path = tmp_path / "d.txt"
+        write_digraph_database(db, db_path)
+        code = main(
+            ["mine", str(db_path), str(tax_path), "--directed",
+             "--algorithm", "tacgm"]
+        )
+        assert code == 1
+        assert "only the taxogram algorithm" in capsys.readouterr().err

@@ -1,0 +1,168 @@
+"""Tests for the disk-backed occurrence index (the paper's future work)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.disk_index import DiskOccurrenceIndex, build_disk_occurrence_index
+from repro.core.occurrence_index import build_occurrence_index
+from repro.core.results import MiningCounters
+from repro.core.taxogram import Taxogram, TaxogramOptions, mine
+from repro.exceptions import MiningError
+from repro.mining.gspan import Embedding
+from repro.taxonomy.builders import taxonomy_from_parent_names
+from repro.util.interner import LabelInterner
+from tests.conftest import make_random_database, make_random_taxonomy
+
+
+def _fixture():
+    tax = taxonomy_from_parent_names({"b": "a", "c": "a", "d": "b"})
+    ids = {n: tax.id_of(n) for n in "abcd"}
+    originals = [[ids["d"], ids["c"]], [ids["b"], ids["c"]]]
+    embeddings = [
+        Embedding(0, (0, 1), frozenset()),
+        Embedding(1, (0, 1), frozenset()),
+        Embedding(1, (1, 0), frozenset()),
+    ]
+    return tax, originals, embeddings
+
+
+class TestDiskIndex:
+    def test_matches_memory_index(self, tmp_path):
+        tax, originals, embeddings = _fixture()
+        mem_store, mem_index = build_occurrence_index(
+            2, embeddings, originals, tax, None, MiningCounters()
+        )
+        disk_store, disk_index = build_disk_occurrence_index(
+            2, embeddings, originals, tax, None, MiningCounters(),
+            directory=tmp_path,
+        )
+        try:
+            assert len(disk_store) == len(mem_store)
+            for position in range(2):
+                assert disk_index.covered(position) == mem_index.covered(position)
+                for label in mem_index.covered(position):
+                    assert disk_index.bits(position, label) == mem_index.bits(
+                        position, label
+                    )
+                    assert disk_index.covered_children(
+                        position, label, tax
+                    ) == mem_index.covered_children(position, label, tax)
+        finally:
+            disk_index.close()
+
+    def test_spills_to_sqlite_with_tiny_staging(self, tmp_path):
+        tax, originals, embeddings = _fixture()
+        _store, index = build_disk_occurrence_index(
+            2, embeddings, originals, tax, None, MiningCounters(),
+            directory=tmp_path, max_resident_entries=1,
+        )
+        try:
+            assert index.database_path.exists()
+            assert index.database_path.stat().st_size > 0
+            # Entries survive the spill/merge cycle.
+            mem_store, mem_index = build_occurrence_index(
+                2, embeddings, originals, tax, None, MiningCounters()
+            )
+            for position in range(2):
+                for label in mem_index.covered(position):
+                    assert index.bits(position, label) == mem_index.bits(
+                        position, label
+                    )
+        finally:
+            index.close()
+
+    def test_uncovered_label_bits_zero(self, tmp_path):
+        tax, originals, embeddings = _fixture()
+        _store, index = build_disk_occurrence_index(
+            2, embeddings, originals, tax, None, MiningCounters(),
+            directory=tmp_path,
+        )
+        try:
+            assert index.bits(1, tax.id_of("d")) == 0
+            assert not index.is_covered(1, tax.id_of("d"))
+        finally:
+            index.close()
+
+    def test_temporary_directory_cleanup(self):
+        index = DiskOccurrenceIndex(1)
+        path = index.database_path
+        index.insert(0, 0, 1)
+        index.finish()
+        assert path.exists()
+        index.close()
+        assert not path.exists()  # temp dir removed
+
+    def test_context_manager(self):
+        with DiskOccurrenceIndex(1) as index:
+            index.insert(0, 3, 0b1)
+            index.finish()
+            assert index.bits(0, 3) == 0b1
+
+    def test_close_idempotent(self):
+        index = DiskOccurrenceIndex(1)
+        index.close()
+        index.close()
+
+
+class TestTaxogramDiskBackend:
+    def test_identical_results_randomized(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        @settings(max_examples=8, deadline=None)
+        @given(st.integers(min_value=0, max_value=10_000))
+        def check(seed):
+            rng = random.Random(seed)
+            interner = LabelInterner()
+            tax = make_random_taxonomy(
+                rng, interner, rng.randint(3, 7), dag=seed % 2 == 0
+            )
+            db = make_random_database(rng, tax, rng.randint(2, 4))
+            memory = mine(db, tax, min_support=0.5, max_edges=2)
+            disk = Taxogram(
+                TaxogramOptions(
+                    min_support=0.5,
+                    max_edges=2,
+                    occurrence_index_backend="disk",
+                    disk_max_resident_entries=2,
+                )
+            ).mine(db, tax)
+            assert disk.pattern_codes() == memory.pattern_codes()
+
+        check()
+
+    def test_identical_results(self):
+        rng = random.Random(13)
+        interner = LabelInterner()
+        tax = make_random_taxonomy(rng, interner, 7, dag=True)
+        db = make_random_database(rng, tax, 4)
+        memory = mine(db, tax, min_support=0.5, max_edges=2)
+        disk = Taxogram(
+            TaxogramOptions(
+                min_support=0.5,
+                max_edges=2,
+                occurrence_index_backend="disk",
+                disk_max_resident_entries=4,
+            )
+        ).mine(db, tax)
+        assert disk.pattern_codes() == memory.pattern_codes()
+
+    def test_explicit_directory_used(self, tmp_path, go_excerpt, pathway_db):
+        result = Taxogram(
+            TaxogramOptions(
+                min_support=1.0,
+                occurrence_index_backend="disk",
+                disk_index_directory=str(tmp_path),
+            )
+        ).mine(pathway_db, go_excerpt)
+        assert result.patterns
+        assert (tmp_path / "occurrence_index.sqlite3").exists()
+
+    def test_unknown_backend_rejected(self, go_excerpt, pathway_db):
+        with pytest.raises(MiningError, match="occurrence_index_backend"):
+            Taxogram(
+                TaxogramOptions(occurrence_index_backend="cloud")
+            ).mine(pathway_db, go_excerpt)

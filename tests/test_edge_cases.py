@@ -1,0 +1,164 @@
+"""Edge-case tests across modules: empty inputs, extremes, odd shapes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.taxogram import Taxogram, TaxogramOptions, mine
+from repro.core.tacgm import TAcGM, TAcGMOptions
+from repro.datagen.datasets import build_dataset, dataset_spec
+from repro.exceptions import MiningError
+from repro.graphs.database import GraphDatabase
+from repro.graphs.graph import Graph
+from repro.mining.gspan import GSpanMiner
+from repro.taxonomy.builders import taxonomy_from_parent_names
+
+
+class TestDegenerateDatabases:
+    def test_single_graph_database(self):
+        tax = taxonomy_from_parent_names({"b": "a"})
+        db = GraphDatabase(node_labels=tax.interner)
+        db.new_graph(["b", "b"], [(0, 1)])
+        result = mine(db, tax, min_support=1.0)
+        assert len(result) == 1
+        assert result.patterns[0].support == 1.0
+
+    def test_all_graphs_edgeless(self):
+        tax = taxonomy_from_parent_names({"b": "a"})
+        db = GraphDatabase(node_labels=tax.interner)
+        db.new_graph(["b"], [])
+        db.new_graph(["a"], [])
+        # Patterns need at least one edge, so nothing is frequent.
+        assert len(mine(db, tax, min_support=0.5)) == 0
+        tacgm = TAcGM(TAcGMOptions(min_support=0.5)).mine(db, tax)
+        assert len(tacgm) == 0
+
+    def test_identical_graphs(self):
+        tax = taxonomy_from_parent_names({"b": "a", "c": "a"})
+        db = GraphDatabase(node_labels=tax.interner)
+        for _ in range(4):
+            db.new_graph(["b", "c"], [(0, 1, "x")])
+        result = mine(db, tax, min_support=1.0)
+        # b-c survives; a-c, b-a, a-a are all over-generalized.
+        assert len(result) == 1
+        names = {
+            tax.name_of(result.patterns[0].graph.node_label(v))
+            for v in result.patterns[0].graph.nodes()
+        }
+        assert names == {"b", "c"}
+
+    def test_flat_taxonomy_reduces_to_plain_mining(self):
+        # A taxonomy with no hierarchy: Taxogram == gSpan + nothing to
+        # generalize or eliminate.
+        tax = taxonomy_from_parent_names({"p": [], "q": [], "r": []})
+        db = GraphDatabase(node_labels=tax.interner)
+        db.new_graph(["p", "q"], [(0, 1, "x")])
+        db.new_graph(["p", "q"], [(0, 1, "x")])
+        db.new_graph(["q", "r"], [(0, 1, "x")])
+        taxogram = mine(db, tax, min_support=0.5)
+        plain = GSpanMiner(db, min_support=0.5).mine()
+        assert {p.code for p in taxogram} == {p.code for p in plain}
+
+    def test_deep_chain_taxonomy(self):
+        # 30-level chain: relabel collapses to the root, specialization
+        # walks all the way back down.
+        names = {f"c{i}": f"c{i - 1}" for i in range(1, 30)}
+        names["c0"] = []
+        tax = taxonomy_from_parent_names(names)
+        db = GraphDatabase(node_labels=tax.interner)
+        db.new_graph(["c29", "c29"], [(0, 1)])
+        db.new_graph(["c29", "c29"], [(0, 1)])
+        result = mine(db, tax, min_support=1.0)
+        assert len(result) == 1
+        label = result.patterns[0].graph.node_label(0)
+        assert tax.name_of(label) == "c29"  # deepest survives, chain dies
+
+    def test_star_graph_automorphisms(self):
+        # A 5-point star has 4! automorphisms per embedding; dedup and
+        # support must stay exact.
+        tax = taxonomy_from_parent_names({"hub": [], "leaf": []})
+        db = GraphDatabase(node_labels=tax.interner)
+        for _ in range(2):
+            db.new_graph(
+                ["hub", "leaf", "leaf", "leaf", "leaf"],
+                [(0, i) for i in range(1, 5)],
+            )
+        result = mine(db, tax, min_support=1.0, max_edges=4)
+        codes = [p.code for p in result]
+        assert len(codes) == len(set(codes))
+        by_edges = {}
+        for p in result:
+            by_edges.setdefault(p.num_edges, []).append(p)
+        # One pattern per size: the star prefix of each size.
+        assert all(len(v) == 1 for v in by_edges.values())
+        assert set(by_edges) == {1, 2, 3, 4}
+
+
+class TestThresholdExtremes:
+    def _db(self):
+        tax = taxonomy_from_parent_names({"b": "a"})
+        db = GraphDatabase(node_labels=tax.interner)
+        db.new_graph(["b", "b"], [(0, 1)])
+        db.new_graph(["a", "a"], [(0, 1)])
+        return db, tax
+
+    def test_minimum_possible_support(self):
+        db, tax = self._db()
+        result = mine(db, tax, min_support=0.0001)
+        assert len(result) >= 1
+
+    def test_support_exactly_one(self):
+        db, tax = self._db()
+        result = mine(db, tax, min_support=1.0)
+        # Only a-a spans both graphs (b-b misses graph 1).
+        assert len(result) == 1
+        assert tax.name_of(result.patterns[0].graph.node_label(0)) == "a"
+
+    def test_invalid_supports_rejected(self):
+        db, tax = self._db()
+        with pytest.raises(MiningError):
+            mine(db, tax, min_support=0.0)
+        with pytest.raises(MiningError):
+            mine(db, tax, min_support=1.5)
+
+
+class TestBuildDatasetOverrides:
+    def test_max_edges_override(self):
+        spec = dataset_spec("D1000")
+        db, _tax = build_dataset(
+            spec, graph_scale=0.01, taxonomy_scale=0.02, max_edges_override=5
+        )
+        assert all(g.num_edges <= 5 for g in db)
+
+    def test_unknown_taxonomy_kind_rejected(self):
+        from dataclasses import replace
+
+        spec = replace(dataset_spec("D1000"), taxonomy_kind="quantum")
+        with pytest.raises(MiningError, match="unknown taxonomy kind"):
+            build_dataset(spec, graph_scale=0.01)
+
+
+class TestLargePatternCap:
+    def test_unbounded_matches_large_cap(self):
+        tax = taxonomy_from_parent_names({"b": "a"})
+        db = GraphDatabase(node_labels=tax.interner)
+        db.new_graph(["b", "b", "b"], [(0, 1), (1, 2)])
+        db.new_graph(["b", "b", "b"], [(0, 1), (1, 2)])
+        unbounded = mine(db, tax, min_support=1.0)
+        capped = mine(db, tax, min_support=1.0, max_edges=10)
+        assert unbounded.pattern_codes() == capped.pattern_codes()
+
+    def test_disk_backend_on_star(self):
+        tax = taxonomy_from_parent_names({"b": "a"})
+        db = GraphDatabase(node_labels=tax.interner)
+        db.new_graph(["b", "b", "b", "b"], [(0, 1), (0, 2), (0, 3)])
+        db.new_graph(["b", "b", "b", "b"], [(0, 1), (0, 2), (0, 3)])
+        memory = mine(db, tax, min_support=1.0)
+        disk = Taxogram(
+            TaxogramOptions(
+                min_support=1.0,
+                occurrence_index_backend="disk",
+                disk_max_resident_entries=1,
+            )
+        ).mine(db, tax)
+        assert disk.pattern_codes() == memory.pattern_codes()

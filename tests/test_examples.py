@@ -1,0 +1,64 @@
+"""Smoke tests: every example script runs and prints sensible output."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "Traditional" in out
+        assert "Taxonomy-superimposed" in out
+        assert "sup=1.000" in out
+
+    def test_pathway_mining(self):
+        out = run_example(
+            "pathway_mining.py",
+            "--organisms", "10",
+            "--taxonomy-size", "200",
+            "--max-edges", "2",
+        )
+        assert "Most conserved pathway" in out
+        assert "Patterns" in out
+
+    def test_chemical_compounds(self):
+        out = run_example("chemical_compounds.py", "--molecules", "30",
+                          "--max-edges", "2")
+        assert "Patterns" in out
+        assert "atom" in out
+
+    def test_pattern_analysis(self):
+        out = run_example("pattern_analysis.py")
+        assert "Top patterns by support" in out
+        assert "Label depth profile" in out
+        assert "Busiest functional category" in out
+
+    def test_directed_mining(self):
+        out = run_example("directed_mining.py")
+        assert "taxogram-directed" in out
+        assert "kinase -> transcription_factor" in out
+
+    def test_algorithm_comparison(self):
+        out = run_example("algorithm_comparison.py", "--graphs", "12",
+                          "--max-edges", "2")
+        assert "taxogram" in out
+        assert "tacgm" in out or "OUT OF MEMORY" in out
+        assert "agree on the pattern set: True" in out

@@ -1,0 +1,120 @@
+"""Unit tests for :mod:`repro.graphs.graph`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs.graph import Graph
+
+
+class TestConstruction:
+    def test_add_nodes_and_edges(self):
+        g = Graph()
+        a = g.add_node(5)
+        b = g.add_node(7)
+        g.add_edge(a, b, 3)
+        assert g.num_nodes == 2
+        assert g.num_edges == 1
+        assert g.node_label(a) == 5
+        assert g.edge_label(a, b) == 3
+        assert g.edge_label(b, a) == 3  # undirected
+
+    def test_from_edges_with_and_without_labels(self):
+        g = Graph.from_edges([1, 2, 3], [(0, 1), (1, 2, 9)])
+        assert g.num_edges == 2
+        assert g.edge_label(0, 1) == 0  # default label
+        assert g.edge_label(1, 2) == 9
+
+    def test_negative_node_label_rejected(self):
+        with pytest.raises(GraphError):
+            Graph().add_node(-1)
+
+    def test_self_loop_rejected(self):
+        g = Graph.from_edges([1, 2], [])
+        with pytest.raises(GraphError, match="self-loop"):
+            g.add_edge(0, 0)
+
+    def test_duplicate_edge_rejected(self):
+        g = Graph.from_edges([1, 2], [(0, 1)])
+        with pytest.raises(GraphError, match="duplicate"):
+            g.add_edge(1, 0)
+
+    def test_unknown_node_rejected(self):
+        g = Graph.from_edges([1], [])
+        with pytest.raises(GraphError, match="unknown node"):
+            g.add_edge(0, 5)
+        with pytest.raises(GraphError):
+            g.node_label(2)
+
+    def test_negative_edge_label_rejected(self):
+        g = Graph.from_edges([1, 2], [])
+        with pytest.raises(GraphError):
+            g.add_edge(0, 1, -2)
+
+
+class TestInspection:
+    def _triangle(self) -> Graph:
+        return Graph.from_edges([1, 2, 3], [(0, 1, 4), (1, 2, 5), (0, 2, 6)])
+
+    def test_neighbors_and_degree(self):
+        g = self._triangle()
+        assert sorted(g.neighbors(0)) == [1, 2]
+        assert g.degree(1) == 2
+        assert sorted(g.neighbor_items(0)) == [(1, 4), (2, 6)]
+
+    def test_edges_iterates_once_each(self):
+        g = self._triangle()
+        assert sorted(g.edges()) == [(0, 1, 4), (0, 2, 6), (1, 2, 5)]
+
+    def test_has_edge(self):
+        g = self._triangle()
+        assert g.has_edge(2, 0)
+        assert not g.has_edge(0, 3)  # out-of-range is just False
+
+    def test_missing_edge_label_raises(self):
+        g = Graph.from_edges([1, 2, 3], [(0, 1)])
+        with pytest.raises(GraphError, match="no edge"):
+            g.edge_label(0, 2)
+
+    def test_node_labels_returns_copy(self):
+        g = self._triangle()
+        labels = g.node_labels()
+        labels[0] = 99
+        assert g.node_label(0) == 1
+
+    def test_connectivity(self):
+        assert self._triangle().is_connected()
+        assert Graph().is_connected()  # empty graph
+        g = Graph.from_edges([1, 2, 3], [(0, 1)])
+        assert not g.is_connected()
+
+    def test_relabel_node(self):
+        g = self._triangle()
+        g.relabel_node(0, 42)
+        assert g.node_label(0) == 42
+        with pytest.raises(GraphError):
+            g.relabel_node(0, -1)
+
+
+class TestEqualityAndCopy:
+    def test_equality_is_exact_not_isomorphic(self):
+        g1 = Graph.from_edges([1, 2], [(0, 1)])
+        g2 = Graph.from_edges([1, 2], [(0, 1)])
+        g3 = Graph.from_edges([2, 1], [(0, 1)])  # permuted labels
+        assert g1 == g2
+        assert hash(g1) == hash(g2)
+        assert g1 != g3
+
+    def test_copy_deep(self):
+        g = Graph.from_edges([1, 2], [(0, 1)], graph_id=7)
+        c = g.copy()
+        c.relabel_node(0, 9)
+        c.add_node(3)
+        assert g.node_label(0) == 1
+        assert g.num_nodes == 2
+        assert c.graph_id == 7
+        assert g.copy(graph_id=3).graph_id == 3
+
+    def test_repr(self):
+        assert "nodes=2" in repr(Graph.from_edges([1, 2], [(0, 1)]))

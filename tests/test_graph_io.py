@@ -1,0 +1,116 @@
+"""Unit and round-trip tests for :mod:`repro.graphs.io`."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import FormatError
+from repro.graphs.database import GraphDatabase
+from repro.graphs.io import (
+    parse_graph_database,
+    read_graph_database,
+    serialize_graph_database,
+    write_graph_database,
+)
+
+SAMPLE = """
+# a comment
+t # 0
+v 0 transporter
+v 1 helicase
+e 0 1 binds
+
+t # 1
+v 0 carrier
+"""
+
+
+class TestParse:
+    def test_parse_sample(self):
+        db = parse_graph_database(SAMPLE)
+        assert len(db) == 2
+        assert db[0].num_nodes == 2
+        assert db[0].num_edges == 1
+        assert db.node_label_name(db[0].node_label(1)) == "helicase"
+        assert db.edge_label_name(db[0].edge_label(0, 1)) == "binds"
+        assert db[1].num_edges == 0
+
+    def test_edge_without_label_gets_default(self):
+        db = parse_graph_database("t # 0\nv 0 a\nv 1 b\ne 0 1\n")
+        assert db.edge_label_name(db[0].edge_label(0, 1)) == "-"
+
+    def test_vertex_before_header_rejected(self):
+        with pytest.raises(FormatError, match="before any 't'"):
+            parse_graph_database("v 0 a\n")
+
+    def test_edge_before_header_rejected(self):
+        with pytest.raises(FormatError, match="before any 't'"):
+            parse_graph_database("e 0 1\n")
+
+    def test_sparse_node_ids_rejected(self):
+        with pytest.raises(FormatError, match="dense"):
+            parse_graph_database("t # 0\nv 1 a\n")
+
+    def test_unknown_record_rejected(self):
+        with pytest.raises(FormatError, match="unknown record"):
+            parse_graph_database("t # 0\nq nonsense\n")
+
+    def test_bad_integer_rejected(self):
+        with pytest.raises(FormatError, match="expected integer"):
+            parse_graph_database("t # 0\nv zero a\n")
+
+    def test_bad_edge_reported_with_line(self):
+        with pytest.raises(FormatError, match="line 4"):
+            parse_graph_database("t # 0\nv 0 a\nv 1 b\ne 0 0\n")
+
+    def test_malformed_vertex_record(self):
+        with pytest.raises(FormatError, match="expected 'v"):
+            parse_graph_database("t # 0\nv 0\n")
+
+
+class TestRoundTrip:
+    def test_file_round_trip(self, tmp_path):
+        db = GraphDatabase()
+        db.new_graph(["a", "b", "c"], [(0, 1, "x"), (1, 2, "y")])
+        db.new_graph(["c"], [])
+        path = tmp_path / "db.graphs"
+        write_graph_database(db, path)
+        loaded = read_graph_database(path)
+        assert serialize_graph_database(loaded) == serialize_graph_database(db)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_random_round_trip(self, seed):
+        rng = random.Random(seed)
+        db = GraphDatabase()
+        for _ in range(rng.randint(1, 4)):
+            n = rng.randint(1, 5)
+            labels = [rng.choice("abcde") for _ in range(n)]
+            edges = []
+            present = set()
+            for _ in range(rng.randint(0, 6)):
+                u, v = rng.randrange(n), rng.randrange(n)
+                if u == v or (min(u, v), max(u, v)) in present:
+                    continue
+                present.add((min(u, v), max(u, v)))
+                edges.append((u, v, rng.choice("xy")))
+            db.new_graph(labels, edges)
+        text = serialize_graph_database(db)
+        reparsed = parse_graph_database(text)
+        assert serialize_graph_database(reparsed) == text
+        assert len(reparsed) == len(db)
+        for original, loaded in zip(db, reparsed):
+            assert original.num_nodes == loaded.num_nodes
+            # Interner ids may be assigned in a different encounter order;
+            # compare by name.
+            original_edges = sorted(
+                (u, v, db.edge_label_name(e)) for u, v, e in original.edges()
+            )
+            loaded_edges = sorted(
+                (u, v, reparsed.edge_label_name(e)) for u, v, e in loaded.edges()
+            )
+            assert original_edges == loaded_edges

@@ -1,0 +1,156 @@
+"""Tests for the gSpan miner, including oracle equality."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import MiningError
+from repro.graphs.database import GraphDatabase
+from repro.mining.brute_force import brute_force_frequent_subgraphs
+from repro.mining.dfs_code import min_dfs_code
+from repro.mining.gspan import GSpanMiner, min_support_count
+
+
+def random_db(rng: random.Random, n_graphs: int | None = None) -> GraphDatabase:
+    db = GraphDatabase()
+    for _ in range(n_graphs or rng.randint(2, 4)):
+        n = rng.randint(2, 5)
+        labels = [rng.choice("abc") for _ in range(n)]
+        edges = []
+        present = set()
+        for _ in range(rng.randint(1, 6)):
+            u, v = rng.randrange(n), rng.randrange(n)
+            if u == v or (min(u, v), max(u, v)) in present:
+                continue
+            present.add((min(u, v), max(u, v)))
+            edges.append((u, v, rng.choice("xy")))
+        db.new_graph(labels, edges)
+    return db
+
+
+class TestMinSupportCount:
+    def test_rounds_up(self):
+        assert min_support_count(0.2, 10) == 2
+        assert min_support_count(0.25, 10) == 3
+        assert min_support_count(1.0, 7) == 7
+
+    def test_floating_point_robustness(self):
+        # 0.3 * 10 is 2.9999...96 in binary; must still be 3.
+        assert min_support_count(0.3, 10) == 3
+
+    def test_at_least_one(self):
+        assert min_support_count(0.01, 5) == 1
+
+    def test_invalid_rejected(self):
+        with pytest.raises(MiningError):
+            min_support_count(0.0, 10)
+        with pytest.raises(MiningError):
+            min_support_count(1.5, 10)
+
+
+class TestMinerBasics:
+    def _simple_db(self) -> GraphDatabase:
+        db = GraphDatabase()
+        db.new_graph(["a", "b", "c"], [(0, 1, "x"), (1, 2, "x")])
+        db.new_graph(["a", "b"], [(0, 1, "x")])
+        return db
+
+    def test_patterns_have_min_codes_and_supports(self):
+        db = self._simple_db()
+        patterns = GSpanMiner(db, min_support=1.0).mine()
+        assert len(patterns) == 1  # only a-b appears in both
+        p = patterns[0]
+        assert p.support_count == 2
+        assert p.support_set == frozenset({0, 1})
+        assert p.support(2) == 1.0
+        assert p.num_edges == 1
+        assert p.num_nodes == 2
+        assert min_dfs_code(p.graph) == p.code
+
+    def test_lower_support_yields_more(self):
+        db = self._simple_db()
+        at_half = GSpanMiner(db, min_support=0.5).mine()
+        codes = {p.code for p in at_half}
+        # a-b, b-c, a-b-c path
+        assert len(codes) == 3
+
+    def test_max_edges_cap(self):
+        db = self._simple_db()
+        patterns = GSpanMiner(db, min_support=0.5, max_edges=1).mine()
+        assert all(p.num_edges == 1 for p in patterns)
+
+    def test_empty_database_rejected(self):
+        with pytest.raises(MiningError, match="empty"):
+            GSpanMiner(GraphDatabase())
+
+    def test_bad_max_edges_rejected(self):
+        with pytest.raises(MiningError):
+            GSpanMiner(self._simple_db(), max_edges=0)
+
+    def test_edgeless_database_yields_nothing(self):
+        db = GraphDatabase()
+        db.new_graph(["a"], [])
+        assert GSpanMiner(db, min_support=1.0).mine() == []
+
+    def test_report_callback_receives_embeddings(self):
+        db = self._simple_db()
+        seen: list[int] = []
+
+        def report(pattern):
+            assert pattern.embeddings, "callback must see embeddings"
+            for emb in pattern.embeddings:
+                graph = db[emb.graph_id]
+                # Embedding maps code vertices to real graph nodes with
+                # matching labels.
+                for code_vertex, node in enumerate(emb.nodes):
+                    assert (
+                        graph.node_label(node)
+                        == pattern.code.vertex_labels[code_vertex]
+                    )
+            seen.append(pattern.support_count)
+
+        results = GSpanMiner(db, min_support=0.5).mine(report=report)
+        assert len(seen) == len(results)
+        # keep_embeddings=False strips embeddings from the returned copies.
+        assert all(not p.embeddings for p in results)
+
+    def test_keep_embeddings_true(self):
+        db = self._simple_db()
+        results = GSpanMiner(db, min_support=0.5, keep_embeddings=True).mine()
+        assert all(p.embeddings for p in results)
+
+    def test_no_duplicate_codes(self):
+        rng = random.Random(5)
+        db = random_db(rng, 4)
+        patterns = GSpanMiner(db, min_support=0.5, max_edges=4).mine()
+        codes = [p.code for p in patterns]
+        assert len(codes) == len(set(codes))
+
+
+class TestOracleEquality:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=100_000))
+    def test_matches_brute_force(self, seed):
+        rng = random.Random(seed)
+        db = random_db(rng)
+        sigma = rng.choice([0.5, 0.6, 1.0])
+        expected = brute_force_frequent_subgraphs(db, sigma, max_edges=3)
+        mined = {
+            p.code: p.support_set
+            for p in GSpanMiner(db, sigma, max_edges=3).mine()
+        }
+        assert mined == expected
+
+    def test_support_sets_exact_on_fixed_example(self):
+        db = GraphDatabase()
+        db.new_graph(["a", "a"], [(0, 1, "x")])
+        db.new_graph(["a", "a", "a"], [(0, 1, "x"), (1, 2, "x")])
+        db.new_graph(["b"], [])
+        patterns = GSpanMiner(db, min_support=0.5).mine()
+        by_edges = {p.num_edges: p for p in patterns}
+        assert by_edges[1].support_set == frozenset({0, 1})
+        assert 2 not in by_edges  # the 2-edge path appears only in graph 1

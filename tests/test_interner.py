@@ -1,0 +1,55 @@
+"""Unit tests for :mod:`repro.util.interner`."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.interner import LabelInterner
+
+
+class TestIntern:
+    def test_ids_are_dense_and_stable(self):
+        interner = LabelInterner()
+        assert interner.intern("a") == 0
+        assert interner.intern("b") == 1
+        assert interner.intern("a") == 0  # repeated intern returns same id
+        assert len(interner) == 2
+
+    def test_constructor_interns_in_order(self):
+        interner = LabelInterner(["x", "y", "x"])
+        assert interner.id_of("x") == 0
+        assert interner.id_of("y") == 1
+        assert len(interner) == 2
+
+    def test_id_of_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown label"):
+            LabelInterner().id_of("missing")
+
+    def test_name_of_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown label id"):
+            LabelInterner().name_of(0)
+
+    def test_contains_and_iter(self):
+        interner = LabelInterner(["a", "b"])
+        assert "a" in interner
+        assert "z" not in interner
+        assert list(interner) == ["a", "b"]
+        assert interner.names() == ["a", "b"]
+
+    def test_copy_is_independent(self):
+        original = LabelInterner(["a"])
+        copy = original.copy()
+        copy.intern("b")
+        assert "b" not in original
+        assert copy.id_of("a") == original.id_of("a")
+
+    @given(st.lists(st.text(min_size=1, max_size=8), max_size=30))
+    def test_roundtrip(self, labels):
+        interner = LabelInterner()
+        ids = [interner.intern(label) for label in labels]
+        for label, label_id in zip(labels, ids):
+            assert interner.name_of(label_id) == label
+            assert interner.id_of(label) == label_id
+        assert len(interner) == len(set(labels))

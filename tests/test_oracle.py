@@ -1,0 +1,88 @@
+"""Tests for the brute-force taxonomy-superimposed oracle itself."""
+
+from __future__ import annotations
+
+from repro.core.oracle import mine_with_oracle
+from repro.graphs.database import GraphDatabase
+from repro.taxonomy.builders import taxonomy_from_parent_names
+
+
+def _fixture():
+    tax = taxonomy_from_parent_names({"b": "a", "c": "a", "x": []})
+    db = GraphDatabase(node_labels=tax.interner)
+    db.new_graph(["b", "x"], [(0, 1)])
+    db.new_graph(["c", "x"], [(0, 1)])
+    return db, tax
+
+
+class TestOracle:
+    def test_finds_implied_pattern(self):
+        db, tax = _fixture()
+        result = mine_with_oracle(db, tax, min_support=1.0, max_edges=2)
+        assert len(result) == 1
+        pattern = result.patterns[0]
+        names = {
+            tax.name_of(pattern.graph.node_label(v))
+            for v in pattern.graph.nodes()
+        }
+        assert names == {"a", "x"}
+        assert pattern.support == 1.0
+
+    def test_threshold_respected(self):
+        db, tax = _fixture()
+        result = mine_with_oracle(db, tax, min_support=0.5, max_edges=2)
+        assert all(p.support >= 0.5 for p in result)
+        # At sigma=0.5, b-x and c-x are frequent and minimal; a-x is kept
+        # too (support 1.0 exceeds both specializations' 0.5).
+        rendered = {
+            frozenset(
+                tax.name_of(p.graph.node_label(v)) for v in p.graph.nodes()
+            )
+            for p in result
+        }
+        assert rendered == {
+            frozenset({"a", "x"}),
+            frozenset({"b", "x"}),
+            frozenset({"c", "x"}),
+        }
+
+    def test_max_edges_cap(self):
+        tax = taxonomy_from_parent_names({"b": "a"})
+        db = GraphDatabase(node_labels=tax.interner)
+        db.new_graph(["b", "b", "b"], [(0, 1), (1, 2)])
+        result = mine_with_oracle(db, tax, min_support=1.0, max_edges=1)
+        assert all(p.num_edges == 1 for p in result)
+
+    def test_algorithm_label(self):
+        db, tax = _fixture()
+        assert mine_with_oracle(db, tax, 1.0, 1).algorithm == "oracle"
+
+    def test_multiroot_artificial_labels_allowed(self):
+        tax = taxonomy_from_parent_names({"m": ["r1", "r2"], "y": "r1"})
+        db = GraphDatabase(node_labels=tax.interner)
+        db.new_graph(["m", "m"], [(0, 1)])
+        db.new_graph(["y", "y"], [(0, 1)])
+        result = mine_with_oracle(db, tax, min_support=1.0, max_edges=1)
+        # r1 generalizes both m and y; <root>-<root> is over-generalized
+        # by r1-r1 (same support), and neither child of r1 keeps support 1.
+        assert len(result) == 1
+        names = {
+            tax.interner.name_of(result.patterns[0].graph.node_label(v))
+            for v in result.patterns[0].graph.nodes()
+        }
+        assert names == {"r1"}
+
+    def test_multiroot_artificial_root_survives_when_minimal(self):
+        tax = taxonomy_from_parent_names({"m": ["r1", "r2"], "y": "r2"})
+        db = GraphDatabase(node_labels=tax.interner)
+        # m sits under both roots; r1 alone covers only m, r2 covers both.
+        db.new_graph(["m", "m"], [(0, 1)])
+        db.new_graph(["y", "y"], [(0, 1)])
+        db.new_graph(["r1", "r1"], [(0, 1)])
+        result = mine_with_oracle(db, tax, min_support=1.0, max_edges=1)
+        assert len(result) == 1
+        names = {
+            tax.interner.name_of(result.patterns[0].graph.node_label(v))
+            for v in result.patterns[0].graph.nodes()
+        }
+        assert names == {"<root>"}

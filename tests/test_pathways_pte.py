@@ -1,0 +1,119 @@
+"""Tests for the pathway and PTE dataset simulators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.taxogram import mine
+from repro.datagen.pathways import (
+    ORGANISM_COUNT,
+    PATHWAY_PROFILES,
+    default_pathway_taxonomy,
+    generate_pathway_dataset,
+)
+from repro.datagen.pte import PTE_GRAPH_COUNT, generate_pte_dataset
+
+
+class TestPathwayProfiles:
+    def test_all_25_pathways_present(self):
+        assert len(PATHWAY_PROFILES) == 25
+        names = {p.name for p in PATHWAY_PROFILES}
+        assert "Nitrogen metabolism" in names
+        assert "Citrate cycle (TCA cycle)" in names
+
+    def test_conservation_monotone_in_pattern_count(self):
+        by_count = sorted(PATHWAY_PROFILES, key=lambda p: p.paper_pattern_count)
+        conservations = [p.conservation for p in by_count]
+        assert conservations == sorted(conservations)
+        assert 0.25 <= conservations[0] <= conservations[-1] <= 1.0
+
+    def test_paper_values_recorded(self):
+        nitrogen = next(
+            p for p in PATHWAY_PROFILES if p.name == "Nitrogen metabolism"
+        )
+        assert nitrogen.paper_pattern_count == 1486
+        assert nitrogen.paper_time_ms == 62777
+
+
+class TestPathwayDataset:
+    @pytest.fixture(scope="class")
+    def taxonomy(self):
+        return default_pathway_taxonomy(300)
+
+    def test_organism_count_and_sizes(self, taxonomy):
+        profile = PATHWAY_PROFILES[10]  # Histidine metabolism
+        dataset = generate_pathway_dataset(profile, taxonomy=taxonomy)
+        assert len(dataset.database) == ORGANISM_COUNT
+        stats = dataset.database.stats()
+        assert abs(stats.avg_nodes - profile.avg_nodes) < 3.0
+        assert stats.avg_edges <= profile.avg_edges + 2.0
+
+    def test_deterministic(self, taxonomy):
+        profile = PATHWAY_PROFILES[0]
+        a = generate_pathway_dataset(profile, taxonomy=taxonomy, seed=1)
+        b = generate_pathway_dataset(profile, taxonomy=taxonomy, seed=1)
+        for ga, gb in zip(a.database, b.database):
+            assert ga.structure_key() == gb.structure_key()
+
+    def test_different_pathways_differ(self, taxonomy):
+        a = generate_pathway_dataset(PATHWAY_PROFILES[0], taxonomy=taxonomy)
+        b = generate_pathway_dataset(PATHWAY_PROFILES[1], taxonomy=taxonomy)
+        keys_a = [g.structure_key() for g in a.database]
+        keys_b = [g.structure_key() for g in b.database]
+        assert keys_a != keys_b
+
+    def test_conserved_pathway_yields_more_patterns(self, taxonomy):
+        weak = generate_pathway_dataset(
+            PATHWAY_PROFILES[0], taxonomy=taxonomy  # Vitamin B6, cons ~0.36
+        )
+        strong = generate_pathway_dataset(
+            PATHWAY_PROFILES[23], taxonomy=taxonomy  # Nitrogen, cons ~0.95
+        )
+        weak_result = mine(weak.database, taxonomy, min_support=0.2, max_edges=2)
+        strong_result = mine(
+            strong.database, taxonomy, min_support=0.2, max_edges=2
+        )
+        assert len(strong_result) > len(weak_result)
+
+
+class TestPTEDataset:
+    def test_default_count_matches_paper(self):
+        db, _tax = generate_pte_dataset(graph_count=30)
+        assert len(db) == 30
+        assert PTE_GRAPH_COUNT == 416
+
+    def test_molecule_shape(self):
+        db, tax = generate_pte_dataset(graph_count=60, seed=1)
+        stats = db.stats()
+        assert 10 <= stats.avg_nodes <= 30
+        assert stats.avg_edges >= stats.avg_nodes * 0.7
+        # C/H/O skew: carbon and hydrogen dominate.
+        from collections import Counter
+
+        counts = Counter(
+            tax.name_of(label) for g in db for label in g.node_labels()
+        )
+        assert counts["C"] + counts["H"] > sum(counts.values()) * 0.5
+
+    def test_bond_labels(self):
+        db, _tax = generate_pte_dataset(graph_count=20, seed=2)
+        names = {db.edge_label_name(e) for g in db for _, _, e in g.edges()}
+        assert names <= {"single", "double", "aromatic"}
+
+    def test_deterministic(self):
+        a, _ = generate_pte_dataset(graph_count=15, seed=9)
+        b, _ = generate_pte_dataset(graph_count=15, seed=9)
+        for ga, gb in zip(a, b):
+            assert ga.structure_key() == gb.structure_key()
+
+    def test_labels_live_in_atom_taxonomy(self):
+        db, tax = generate_pte_dataset(graph_count=10)
+        for g in db:
+            for label in g.node_labels():
+                assert label in tax
+
+    def test_pattern_count_grows_as_support_drops(self):
+        db, tax = generate_pte_dataset(graph_count=60, seed=4)
+        high = mine(db, tax, min_support=0.6, max_edges=2)
+        low = mine(db, tax, min_support=0.3, max_edges=2)
+        assert len(low) > len(high)

@@ -1,0 +1,159 @@
+"""Property tests for the paper's lemmas and pattern-set invariants."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.relabel import relabel_database, repair_taxonomy
+from repro.core.taxogram import mine
+from repro.graphs.graph import Graph
+from repro.isomorphism.matchers import GeneralizedMatcher
+from repro.isomorphism.vf2 import (
+    find_embedding,
+    is_generalized_isomorphic,
+)
+from repro.mining.gspan import GSpanMiner
+from repro.util.interner import LabelInterner
+from tests.conftest import make_random_database, make_random_taxonomy
+
+
+def _instance(seed: int, max_labels: int = 8):
+    rng = random.Random(seed)
+    interner = LabelInterner()
+    taxonomy = make_random_taxonomy(
+        rng, interner, rng.randint(3, max_labels),
+        dag=seed % 2 == 1, multiroot=seed % 5 == 4,
+    )
+    database = make_random_database(rng, taxonomy, rng.randint(2, 4))
+    return rng, taxonomy, database
+
+
+class TestLemma2SupportMonotonicity:
+    """sup(P) <= sup(Pg) for every generalization Pg of P."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=100_000))
+    def test_generalizing_one_label_never_lowers_support(self, seed):
+        rng, taxonomy, database = _instance(seed)
+        working, _mg = repair_taxonomy(taxonomy)
+        matcher = GeneralizedMatcher(working)
+
+        result = mine(database, taxonomy, min_support=0.4, max_edges=2)
+        for pattern in result.patterns[:10]:
+            graph = pattern.graph
+            for v in graph.nodes():
+                label = graph.node_label(v)
+                for parent in working.parents_of(label):
+                    generalized = graph.copy()
+                    generalized.relabel_node(v, parent)
+                    support = sum(
+                        1
+                        for g in database
+                        if find_embedding(generalized, g, matcher) is not None
+                    )
+                    assert support >= pattern.support_count
+
+
+class TestMinimality:
+    """Lemma 8: the final pattern set has no over-generalized member."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=100_000))
+    def test_no_overgeneralized_pairs(self, seed):
+        _rng, taxonomy, database = _instance(seed)
+        working, _mg = repair_taxonomy(taxonomy)
+        result = mine(database, taxonomy, min_support=0.5, max_edges=2)
+        patterns = result.patterns
+        for general in patterns:
+            for specific in patterns:
+                if general.code == specific.code:
+                    continue
+                if general.support_count != specific.support_count:
+                    continue
+                assert not is_generalized_isomorphic(
+                    general.graph, specific.graph, working
+                ), (general.code, specific.code)
+
+
+class TestCompleteness:
+    """Lemma 9 via Lemma 6: every frequent exact pattern is represented.
+
+    Any pattern found by plain gSpan on the original database is a
+    frequent taxonomy pattern too; it must appear in Taxogram's output or
+    be over-generalized by some member with the same support (which, by
+    minimality + completeness, must be in the output).
+    """
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=100_000))
+    def test_exact_patterns_covered(self, seed):
+        _rng, taxonomy, database = _instance(seed)
+        working, _mg = repair_taxonomy(taxonomy)
+        sigma = 0.5
+        matcher = GeneralizedMatcher(working)
+        exact = GSpanMiner(database, min_support=sigma, max_edges=2).mine()
+        result = mine(database, taxonomy, min_support=sigma, max_edges=2)
+        result_map = result.pattern_codes()
+        for mined in exact:
+            # Under the taxonomy, the pattern's support is its
+            # *generalized* support set (a superset of the exact one).
+            generalized_support = frozenset(
+                g.graph_id
+                for g in database
+                if find_embedding(mined.graph, g, matcher) is not None
+            )
+            assert generalized_support >= mined.support_set
+            if mined.code in result_map:
+                assert result_map[mined.code] == generalized_support
+                continue
+            # Must be over-generalized by an output pattern: a specialized
+            # pattern with identical (generalized) support set.
+            covered = any(
+                support_set == generalized_support
+                and is_generalized_isomorphic(
+                    mined.graph, _graph_of(result, code), working
+                )
+                for code, support_set in result_map.items()
+            )
+            assert covered, mined.code
+
+
+class TestThresholdMonotonicity:
+    """Raising sigma can only shrink the final pattern set."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=100_000))
+    def test_nested_results(self, seed):
+        _rng, taxonomy, database = _instance(seed)
+        low = mine(database, taxonomy, min_support=0.4, max_edges=2)
+        high = mine(database, taxonomy, min_support=0.9, max_edges=2)
+        assert set(high.pattern_codes()) <= set(low.pattern_codes())
+
+
+class TestRelabelInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=100_000))
+    def test_relabel_preserves_structure_and_originals(self, seed):
+        _rng, taxonomy, database = _instance(seed)
+        relabeled = relabel_database(database, taxonomy)
+        assert len(relabeled.dmg) == len(database)
+        for original, copy in zip(database, relabeled.dmg):
+            assert original.num_nodes == copy.num_nodes
+            assert sorted(original.edges()) == sorted(copy.edges())
+            originals = relabeled.original_labels[original.graph_id]
+            assert originals == original.node_labels()
+            for v in copy.nodes():
+                mg = copy.node_label(v)
+                assert relabeled.taxonomy.is_ancestor_or_self(mg, originals[v])
+                # Most general: no strict ancestor above it.
+                assert not relabeled.taxonomy.parents_of(mg)
+
+
+def _graph_of(result, code) -> Graph:
+    for pattern in result:
+        if pattern.code == code:
+            return pattern.graph
+    raise AssertionError("code not in result")

@@ -1,0 +1,112 @@
+"""Tests for Step 1: relabeling and multi-root taxonomy repair."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.relabel import relabel_database, repair_taxonomy
+from repro.exceptions import TaxonomyError
+from repro.graphs.database import GraphDatabase
+from repro.taxonomy.builders import taxonomy_from_parent_names
+
+
+class TestRepairTaxonomy:
+    def test_single_root_unchanged(self):
+        tax = taxonomy_from_parent_names({"b": "a", "c": "b"})
+        working, mg = repair_taxonomy(tax)
+        assert working is tax
+        root = tax.id_of("a")
+        assert set(mg.values()) == {root}
+
+    def test_disjoint_roots_keep_their_tops(self):
+        tax = taxonomy_from_parent_names({"a1": "r1", "b1": "r2"})
+        working, mg = repair_taxonomy(tax)
+        assert working is tax  # no conflicts, nothing to repair
+        assert mg[tax.id_of("a1")] == tax.id_of("r1")
+        assert mg[tax.id_of("b1")] == tax.id_of("r2")
+
+    def test_conflicting_roots_get_artificial_parent(self):
+        tax = taxonomy_from_parent_names({"x": ["r1", "r2"], "y": "r1"})
+        working, mg = repair_taxonomy(tax)
+        assert len(working.roots()) == 1
+        artificial = working.roots()[0]
+        assert working.name_of(artificial) == "<root>"
+        # Every label in the conflicted component maps to the artificial root.
+        assert mg[tax.id_of("x")] == artificial
+        assert mg[tax.id_of("y")] == artificial
+        assert mg[tax.id_of("r1")] == artificial
+
+    def test_mixed_components(self):
+        # r1/r2 conflict via x; r3 is independent.
+        tax = taxonomy_from_parent_names({"x": ["r1", "r2"], "z": "r3"})
+        working, mg = repair_taxonomy(tax)
+        roots = {working.name_of(r) for r in working.roots()}
+        assert roots == {"<root>", "r3"}
+        assert working.name_of(mg[tax.id_of("x")]) == "<root>"
+        assert working.name_of(mg[tax.id_of("z")]) == "r3"
+
+    def test_two_conflicted_components_get_distinct_roots(self):
+        tax = taxonomy_from_parent_names(
+            {"x": ["r1", "r2"], "y": ["r3", "r4"]}
+        )
+        working, mg = repair_taxonomy(tax)
+        top_x = working.name_of(mg[tax.id_of("x")])
+        top_y = working.name_of(mg[tax.id_of("y")])
+        assert top_x != top_y
+        assert top_x.startswith("<root>")
+        assert top_y.startswith("<root>")
+
+    def test_name_clash_rejected(self):
+        tax = taxonomy_from_parent_names({"x": ["r1", "r2"], "<root>": "r1"})
+        with pytest.raises(TaxonomyError, match="already names"):
+            repair_taxonomy(tax)
+
+    def test_ancestry_never_crosses_components(self):
+        tax = taxonomy_from_parent_names({"x": ["r1", "r2"], "z": "r3"})
+        working, _mg = repair_taxonomy(tax)
+        x, z = working.id_of("x"), working.id_of("z")
+        assert not working.ancestors_or_self(x) & working.ancestors_or_self(z)
+
+
+class TestRelabelDatabase:
+    def test_relabels_to_most_general_and_keeps_originals(self, go_excerpt):
+        db = GraphDatabase(node_labels=go_excerpt.interner)
+        db.new_graph(["protein_carrier", "dna_helicase"], [(0, 1)])
+        relabeled = relabel_database(db, go_excerpt)
+        root = go_excerpt.id_of("molecular_function")
+        graph = relabeled.dmg[0]
+        assert graph.node_labels() == [root, root]
+        assert relabeled.original_labels[0] == [
+            go_excerpt.id_of("protein_carrier"),
+            go_excerpt.id_of("dna_helicase"),
+        ]
+
+    def test_original_database_untouched(self, go_excerpt):
+        db = GraphDatabase(node_labels=go_excerpt.interner)
+        db.new_graph(["carrier"], [])
+        relabel_database(db, go_excerpt)
+        assert db.node_label_name(db[0].node_label(0)) == "carrier"
+
+    def test_structure_preserved(self, go_excerpt):
+        db = GraphDatabase(node_labels=go_excerpt.interner)
+        db.new_graph(["carrier", "helicase", "transporter"],
+                     [(0, 1, "x"), (1, 2, "y")])
+        relabeled = relabel_database(db, go_excerpt)
+        graph = relabeled.dmg[0]
+        assert graph.num_edges == 2
+        assert db.edge_label_name(graph.edge_label(0, 1)) == "x"
+
+    def test_unknown_label_rejected(self, go_excerpt):
+        db = GraphDatabase(node_labels=go_excerpt.interner)
+        db.node_labels.intern("alien")
+        db.new_graph(["alien"], [])
+        with pytest.raises(TaxonomyError, match="not a taxonomy concept"):
+            relabel_database(db, go_excerpt)
+
+    def test_multiroot_database(self):
+        tax = taxonomy_from_parent_names({"x": ["r1", "r2"], "y": "r1"})
+        db = GraphDatabase(node_labels=tax.interner)
+        db.new_graph(["x", "y"], [(0, 1)])
+        relabeled = relabel_database(db, tax)
+        artificial = relabeled.taxonomy.roots()[0]
+        assert relabeled.dmg[0].node_labels() == [artificial, artificial]

@@ -1,0 +1,53 @@
+"""Unit tests for :mod:`repro.util.stats`."""
+
+from __future__ import annotations
+
+from repro.graphs.database import GraphDatabase
+from repro.util.stats import DatabaseStats, describe_database, edge_density
+
+
+class TestEdgeDensity:
+    def test_matches_worlein_definition(self):
+        # 2 * |E| / |V|^2 (Worlein et al., used by the paper's Table 1)
+        assert edge_density(10, 5) == 2 * 5 / 100
+
+    def test_zero_nodes(self):
+        assert edge_density(0, 0) == 0.0
+        assert edge_density(-1, 3) == 0.0
+
+
+class TestDescribeDatabase:
+    def _db(self) -> GraphDatabase:
+        db = GraphDatabase()
+        db.new_graph(["a", "b"], [(0, 1)])
+        db.new_graph(["a", "b", "c"], [(0, 1), (1, 2), (0, 2)])
+        return db
+
+    def test_aggregates(self):
+        stats = describe_database(self._db())
+        assert stats.graph_count == 2
+        assert stats.avg_nodes == 2.5
+        assert stats.avg_edges == 2.0
+        assert stats.distinct_label_count == 3
+        assert stats.max_nodes == 3
+        assert stats.max_edges == 3
+
+    def test_density_is_mean_of_per_graph_density(self):
+        stats = describe_database(self._db())
+        expected = (edge_density(2, 1) + edge_density(3, 3)) / 2
+        assert abs(stats.avg_edge_density - expected) < 1e-12
+
+    def test_empty_database(self):
+        stats = describe_database([])
+        assert stats.graph_count == 0
+        assert stats.avg_nodes == 0.0
+        assert stats.distinct_label_count == 0
+
+    def test_row_rendering(self):
+        stats = self._db().stats()
+        header = DatabaseStats.header()
+        row = stats.as_row("TEST")
+        assert "DB Id" in header
+        assert row.startswith("TEST")
+        # One value column per header column ("DB Id" is two words).
+        assert len(row.split()) == len(header.split()) - 1

@@ -1,0 +1,154 @@
+"""Tests for connected-subgraph enumeration."""
+
+from __future__ import annotations
+
+import random
+from itertools import combinations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.graph import Graph
+from repro.graphs.subgraphs import (
+    connected_edge_subgraphs,
+    connected_subgraph_node_sets,
+    induced_subgraph,
+)
+
+
+def _random_graph(rng: random.Random, max_nodes: int = 6) -> Graph:
+    n = rng.randint(1, max_nodes)
+    g = Graph()
+    for _ in range(n):
+        g.add_node(rng.randrange(3))
+    present = set()
+    for _ in range(rng.randint(0, 2 * n)):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u == v or (min(u, v), max(u, v)) in present:
+            continue
+        present.add((min(u, v), max(u, v)))
+        g.add_edge(u, v, rng.randrange(2))
+    return g
+
+
+def _is_connected_node_set(g: Graph, nodes: frozenset[int]) -> bool:
+    nodes = set(nodes)
+    start = next(iter(nodes))
+    seen = {start}
+    stack = [start]
+    while stack:
+        u = stack.pop()
+        for v in g.neighbors(u):
+            if v in nodes and v not in seen:
+                seen.add(v)
+                stack.append(v)
+    return seen == nodes
+
+
+class TestNodeSets:
+    def test_triangle_exhaustive(self):
+        g = Graph.from_edges([0, 0, 0], [(0, 1), (1, 2), (0, 2)])
+        sets = list(connected_subgraph_node_sets(g, 3))
+        assert len(sets) == len(set(sets)), "duplicates emitted"
+        expected = {
+            frozenset(s)
+            for size in (1, 2, 3)
+            for s in combinations(range(3), size)
+        }
+        assert set(sets) == expected  # triangle: every subset is connected
+
+    def test_path_excludes_disconnected_pair(self):
+        g = Graph.from_edges([0, 0, 0], [(0, 1), (1, 2)])
+        sets = set(connected_subgraph_node_sets(g, 3))
+        assert frozenset((0, 2)) not in sets
+        assert frozenset((0, 1, 2)) in sets
+
+    def test_max_nodes_zero(self):
+        g = Graph.from_edges([0], [])
+        assert list(connected_subgraph_node_sets(g, 0)) == []
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_matches_brute_force(self, seed):
+        rng = random.Random(seed)
+        g = _random_graph(rng)
+        max_nodes = rng.randint(1, g.num_nodes)
+        emitted = list(connected_subgraph_node_sets(g, max_nodes))
+        assert len(emitted) == len(set(emitted)), "duplicates emitted"
+        expected = {
+            frozenset(combo)
+            for size in range(1, max_nodes + 1)
+            for combo in combinations(range(g.num_nodes), size)
+            if _is_connected_node_set(g, frozenset(combo))
+        }
+        assert set(emitted) == expected
+
+
+class TestInducedSubgraph:
+    def test_labels_and_edges_preserved(self):
+        g = Graph.from_edges([5, 6, 7], [(0, 1, 3), (1, 2, 4)])
+        sub = induced_subgraph(g, {1, 2})
+        assert sub.node_labels() == [6, 7]
+        assert list(sub.edges()) == [(0, 1, 4)]
+
+    def test_induced_includes_all_internal_edges(self):
+        g = Graph.from_edges([0, 0, 0], [(0, 1), (1, 2), (0, 2)])
+        sub = induced_subgraph(g, {0, 1, 2})
+        assert sub.num_edges == 3
+
+
+class TestEdgeSubgraphs:
+    def test_triangle_edge_subgraphs(self):
+        g = Graph.from_edges([0, 0, 0], [(0, 1), (1, 2), (0, 2)])
+        subs = list(connected_edge_subgraphs(g, 3))
+        # 3 single edges + 3 two-edge paths + 1 triangle = 7
+        assert len(subs) == 7
+        edge_counts = sorted(sub.num_edges for sub, _nodes in subs)
+        assert edge_counts == [1, 1, 1, 2, 2, 2, 3]
+
+    def test_mapping_points_to_original_nodes(self):
+        g = Graph.from_edges([5, 6, 7], [(0, 1), (1, 2)])
+        for sub, mapping in connected_edge_subgraphs(g, 2):
+            for new_id, old_id in enumerate(mapping):
+                assert sub.node_label(new_id) == g.node_label(old_id)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_unique_and_connected(self, seed):
+        rng = random.Random(seed)
+        g = _random_graph(rng)
+        seen = set()
+        for sub, mapping in connected_edge_subgraphs(g, 3):
+            assert sub.is_connected()
+            assert 1 <= sub.num_edges <= 3
+            key = frozenset(
+                (mapping[u], mapping[v], e) for u, v, e in sub.edges()
+            )
+            assert key not in seen, "edge set emitted twice"
+            seen.add(key)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_count_matches_naive(self, seed):
+        rng = random.Random(seed)
+        g = _random_graph(rng, max_nodes=5)
+        edges = list(g.edges())
+        naive = 0
+        for size in range(1, 4):
+            for combo in combinations(range(len(edges)), size):
+                nodes = set()
+                sub = Graph()
+                remap = {}
+                ok = True
+                for idx in combo:
+                    u, v, e = edges[idx]
+                    nodes.update((u, v))
+                for node in sorted(nodes):
+                    remap[node] = sub.add_node(g.node_label(node))
+                for idx in combo:
+                    u, v, e = edges[idx]
+                    sub.add_edge(remap[u], remap[v], e)
+                if sub.is_connected() and sub.num_nodes > 0:
+                    naive += 1
+        emitted = sum(1 for _ in connected_edge_subgraphs(g, 3))
+        assert emitted == naive

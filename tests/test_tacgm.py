@@ -1,0 +1,91 @@
+"""Tests for the TAcGM bottom-up comparator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.tacgm import TAcGM, TAcGMOptions
+from repro.core.taxogram import mine
+from repro.exceptions import MemoryBudgetExceeded
+from repro.graphs.database import GraphDatabase
+from repro.taxonomy.builders import taxonomy_from_parent_names
+
+
+def _fixture():
+    tax = taxonomy_from_parent_names(
+        {"root": [], "a": "root", "b": "root", "a1": "a", "b1": "b"}
+    )
+    db = GraphDatabase(node_labels=tax.interner)
+    db.new_graph(["a1", "b1"], [(0, 1, "x")])
+    db.new_graph(["a", "b"], [(0, 1, "x")])
+    db.new_graph(["a1", "b", "b1"], [(0, 1, "x"), (1, 2, "x")])
+    return db, tax
+
+
+class TestMining:
+    def test_matches_taxogram(self):
+        db, tax = _fixture()
+        for sigma in (0.34, 0.67, 1.0):
+            expected = mine(db, tax, min_support=sigma, max_edges=2)
+            got = TAcGM(TAcGMOptions(min_support=sigma, max_edges=2)).mine(db, tax)
+            assert got.pattern_codes() == expected.pattern_codes(), sigma
+
+    def test_algorithm_label_and_counters(self):
+        db, tax = _fixture()
+        result = TAcGM(TAcGMOptions(min_support=1.0, max_edges=2)).mine(db, tax)
+        assert result.algorithm == "tacgm"
+        # The bottom-up approach performs per-(pattern, graph) tests.
+        assert result.counters.isomorphism_tests > 0
+        assert result.counters.memory_cells_peak > 0
+        assert "total" in result.stage_seconds
+
+    def test_no_elimination_keeps_overgeneralized(self):
+        db, tax = _fixture()
+        strict = TAcGM(
+            TAcGMOptions(min_support=1.0, max_edges=1)
+        ).mine(db, tax)
+        loose = TAcGM(
+            TAcGMOptions(
+                min_support=1.0, max_edges=1, eliminate_overgeneralized=False
+            )
+        ).mine(db, tax)
+        assert len(loose.patterns) > len(strict.patterns)
+        assert {p.code for p in strict.patterns} <= {
+            p.code for p in loose.patterns
+        }
+
+    def test_isomorphism_test_count_scales_with_patterns(self):
+        # The paper's Example 1.2 point: bottom-up counts shared
+        # occurrences once per pattern, so its test count dwarfs the
+        # pattern count.
+        db, tax = _fixture()
+        result = TAcGM(TAcGMOptions(min_support=0.34, max_edges=2)).mine(db, tax)
+        assert result.counters.isomorphism_tests >= len(result.patterns)
+
+
+class TestMemoryBudget:
+    def test_budget_exceeded_raises(self):
+        db, tax = _fixture()
+        with pytest.raises(MemoryBudgetExceeded) as excinfo:
+            TAcGM(
+                TAcGMOptions(min_support=0.34, max_edges=3, memory_budget=10)
+            ).mine(db, tax)
+        assert excinfo.value.budget == 10
+        assert excinfo.value.used > 10
+
+    def test_generous_budget_completes(self):
+        db, tax = _fixture()
+        result = TAcGM(
+            TAcGMOptions(min_support=1.0, max_edges=2, memory_budget=10_000_000)
+        ).mine(db, tax)
+        assert result.patterns
+
+    def test_budget_is_deterministic(self):
+        db, tax = _fixture()
+        peaks = set()
+        for _ in range(3):
+            result = TAcGM(
+                TAcGMOptions(min_support=0.67, max_edges=2)
+            ).mine(db, tax)
+            peaks.add(result.counters.memory_cells_peak)
+        assert len(peaks) == 1

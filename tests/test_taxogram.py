@@ -1,0 +1,155 @@
+"""End-to-end tests for the Taxogram miner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.results import format_pattern
+from repro.core.taxogram import Taxogram, TaxogramOptions, mine, mine_baseline
+from repro.graphs.database import GraphDatabase
+from repro.taxonomy.builders import taxonomy_from_parent_names
+
+
+class TestMotivatingExample:
+    """The paper's Figure 1.1-1.3 scenario (see conftest fixtures)."""
+
+    def test_implied_pattern_found(self, go_excerpt, pathway_db):
+        result = mine(pathway_db, go_excerpt, min_support=1.0)
+        names = {
+            tuple(
+                sorted(
+                    go_excerpt.name_of(p.graph.node_label(v))
+                    for v in p.graph.nodes()
+                )
+            )
+            for p in result
+            if p.num_edges == 1
+        }
+        # The transporter-helicase association is implied by the taxonomy.
+        assert ("helicase", "transporter") in names
+
+    def test_all_patterns_fully_supported(self, go_excerpt, pathway_db):
+        result = mine(pathway_db, go_excerpt, min_support=1.0)
+        assert result.patterns
+        for pattern in result:
+            assert pattern.support == 1.0
+            assert pattern.support_set == frozenset({0, 1})
+
+    def test_result_metadata(self, go_excerpt, pathway_db):
+        result = mine(pathway_db, go_excerpt, min_support=1.0)
+        assert result.algorithm == "taxogram"
+        assert result.database_size == 2
+        assert result.min_support == 1.0
+        assert result.counters.pattern_classes >= 1
+        assert set(result.stage_seconds) == {
+            "relabel", "mine_classes", "specialize",
+        }
+        assert result.total_seconds >= 0.0
+        assert "taxogram" in result.summary()
+
+    def test_patterns_sorted_and_iterable(self, go_excerpt, pathway_db):
+        result = mine(pathway_db, go_excerpt, min_support=1.0)
+        sizes = [p.num_edges for p in result]
+        assert sizes == sorted(sizes)
+        assert len(result) == len(result.patterns)
+
+
+class TestOverGeneralization:
+    def test_paper_definition_on_figure_2_2_style_case(self):
+        # GB(h-a) is over-generalized because GD(h-d) has the same support.
+        tax = taxonomy_from_parent_names({"d": "a", "h": []})
+        db = GraphDatabase(node_labels=tax.interner)
+        db.new_graph(["h", "d"], [(0, 1)])
+        db.new_graph(["h", "d"], [(0, 1)])
+        result = mine(db, tax, min_support=1.0)
+        rendered = {format_pattern(p, tax.interner) for p in result}
+        assert rendered == {"[0:d, 1:h | 0-1] sup=1.000"}
+
+    def test_general_pattern_kept_when_strictly_more_frequent(self):
+        tax = taxonomy_from_parent_names({"b": "a", "c": "a"})
+        db = GraphDatabase(node_labels=tax.interner)
+        db.new_graph(["b", "b"], [(0, 1)])
+        db.new_graph(["c", "c"], [(0, 1)])
+        result = mine(db, tax, min_support=1.0)
+        # Only a-a spans both graphs; b-b and c-c have support 1/2 < 1.
+        assert len(result) == 1
+        pattern = result.patterns[0]
+        assert tax.name_of(pattern.graph.node_label(0)) == "a"
+        assert pattern.support == 1.0
+
+    def test_lemma3_non_overgeneralized_ancestor_of_overgeneralized(self):
+        # d1/d2 under m, m under r; occurrences split across m's children:
+        # (m, x) is over-generalized only if one child keeps full support.
+        tax = taxonomy_from_parent_names({"m": "r", "d1": "m", "d2": "m", "x": []})
+        db = GraphDatabase(node_labels=tax.interner)
+        db.new_graph(["d1", "x"], [(0, 1)])
+        db.new_graph(["d2", "x"], [(0, 1)])
+        result = mine(db, tax, min_support=1.0)
+        kept = {
+            tax.name_of(p.graph.node_label(v))
+            for p in result
+            for v in p.graph.nodes()
+        }
+        # m survives: neither d1-x nor d2-x keeps support 1.
+        assert "m" in kept
+        assert "d1" not in kept
+        assert "d2" not in kept
+        # r-x is over-generalized by m-x (same support) and removed.
+        assert "r" not in kept
+
+
+class TestOptions:
+    def test_baseline_has_no_enhancements_label(self, go_excerpt, pathway_db):
+        result = mine_baseline(pathway_db, go_excerpt, min_support=1.0)
+        assert result.algorithm == "baseline"
+
+    def test_baseline_equals_taxogram(self, go_excerpt, pathway_db):
+        fast = mine(pathway_db, go_excerpt, min_support=0.5)
+        slow = mine_baseline(pathway_db, go_excerpt, min_support=0.5)
+        assert fast.pattern_codes() == slow.pattern_codes()
+
+    def test_each_enhancement_alone_preserves_results(
+        self, go_excerpt, pathway_db
+    ):
+        reference = mine(pathway_db, go_excerpt, min_support=0.5)
+        for flag in (
+            "enhancement_descendant_pruning",
+            "enhancement_frequent_label_filter",
+            "enhancement_occurrence_collapse",
+            "enhancement_taxonomy_contraction",
+        ):
+            base = TaxogramOptions.baseline(min_support=0.5)
+            options = base.__class__(**{**base.__dict__, flag: True})
+            result = Taxogram(options).mine(pathway_db, go_excerpt)
+            assert result.pattern_codes() == reference.pattern_codes(), flag
+
+    def test_with_support_helper(self):
+        options = TaxogramOptions(min_support=0.2).with_support(0.7)
+        assert options.min_support == 0.7
+
+    def test_max_edges_respected(self, go_excerpt, pathway_db):
+        result = mine(pathway_db, go_excerpt, min_support=0.5, max_edges=1)
+        assert result.patterns
+        assert all(p.num_edges == 1 for p in result)
+
+    def test_counters_track_work(self, go_excerpt, pathway_db):
+        result = mine(pathway_db, go_excerpt, min_support=0.5)
+        counters = result.counters
+        assert counters.bitset_intersections > 0
+        assert counters.occurrence_index_updates > 0
+        assert counters.candidates_enumerated >= len(result.patterns)
+        assert counters.embedding_extensions > 0
+
+
+class TestPatternClassIds:
+    def test_same_class_shares_id(self, go_excerpt, pathway_db):
+        result = mine(pathway_db, go_excerpt, min_support=0.5)
+        by_class: dict[int, set[tuple]] = {}
+        for pattern in result:
+            key = tuple(sorted(e[:2] for e in pattern.code.edges))
+            by_class.setdefault(pattern.class_id, set()).add(
+                (pattern.num_nodes, pattern.num_edges)
+            )
+        # All members of a class share the structure (node/edge counts).
+        for shapes in by_class.values():
+            assert len(shapes) == 1

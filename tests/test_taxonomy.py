@@ -1,0 +1,199 @@
+"""Unit and property tests for the taxonomy DAG."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import TaxonomyError
+from repro.taxonomy.builders import taxonomy_from_parent_names
+from repro.taxonomy.taxonomy import Taxonomy
+from repro.util.interner import LabelInterner
+from tests.conftest import make_random_taxonomy
+
+
+class TestConstruction:
+    def test_members_include_implicit_parents(self):
+        tax = taxonomy_from_parent_names({"b": "a"})
+        assert len(tax) == 2
+        assert tax.id_of("a") in tax
+
+    def test_cycle_rejected(self):
+        interner = LabelInterner(["a", "b"])
+        with pytest.raises(TaxonomyError, match="cycle"):
+            Taxonomy({0: (1,), 1: (0,)}, interner)
+
+    def test_self_parent_rejected(self):
+        interner = LabelInterner(["a"])
+        with pytest.raises(TaxonomyError, match="own parent"):
+            Taxonomy({0: (0,)}, interner)
+
+    def test_uninterned_label_rejected(self):
+        interner = LabelInterner(["a"])
+        with pytest.raises(TaxonomyError, match="not interned"):
+            Taxonomy({5: ()}, interner)
+
+    def test_duplicate_parents_deduped(self):
+        interner = LabelInterner(["a", "b"])
+        tax = Taxonomy({1: (0, 0), 0: ()}, interner)
+        assert tax.parents_of(1) == (0,)
+        assert tax.relationship_count() == 1
+
+
+class TestStructure:
+    @pytest.fixture
+    def diamond(self) -> Taxonomy:
+        #      root
+        #      /  \
+        #     l    r
+        #      \  /
+        #      leaf
+        return taxonomy_from_parent_names(
+            {"root": [], "l": "root", "r": "root", "leaf": ["l", "r"]}
+        )
+
+    def test_roots_and_leaves(self, diamond):
+        assert [diamond.name_of(r) for r in diamond.roots()] == ["root"]
+        assert [diamond.name_of(l) for l in diamond.leaves()] == ["leaf"]
+
+    def test_children_and_parents(self, diamond):
+        root = diamond.id_of("root")
+        leaf = diamond.id_of("leaf")
+        assert {diamond.name_of(c) for c in diamond.children_of(root)} == {"l", "r"}
+        assert {diamond.name_of(p) for p in diamond.parents_of(leaf)} == {"l", "r"}
+
+    def test_ancestors_through_dag(self, diamond):
+        leaf = diamond.id_of("leaf")
+        names = {diamond.name_of(a) for a in diamond.ancestors_or_self(leaf)}
+        assert names == {"leaf", "l", "r", "root"}
+        assert diamond.strict_ancestors(leaf) == (
+            diamond.ancestors_or_self(leaf) - {leaf}
+        )
+
+    def test_descendants(self, diamond):
+        root = diamond.id_of("root")
+        names = {diamond.name_of(d) for d in diamond.descendants_or_self(root)}
+        assert names == {"root", "l", "r", "leaf"}
+
+    def test_matches_semantics(self, diamond):
+        root, leaf = diamond.id_of("root"), diamond.id_of("leaf")
+        assert diamond.matches(root, leaf)  # ancestor matches descendant
+        assert diamond.matches(leaf, leaf)  # every label matches itself
+        assert not diamond.matches(leaf, root)  # not the other way round
+
+    def test_depth(self, diamond):
+        assert diamond.depth_of(diamond.id_of("root")) == 0
+        assert diamond.depth_of(diamond.id_of("leaf")) == 2
+        assert diamond.max_depth() == 2
+
+    def test_unknown_label_raises(self, diamond):
+        with pytest.raises(TaxonomyError, match="not in the taxonomy"):
+            diamond.parents_of(10_000)
+
+    def test_average_ancestor_count(self, diamond):
+        # root: 0, l: 1, r: 1, leaf: 3 -> 5/4
+        assert diamond.average_ancestor_count() == pytest.approx(1.25)
+
+    def test_topological_labels_order(self, diamond):
+        order = list(diamond.labels())
+        for label in order:
+            for parent in diamond.parents_of(label):
+                assert order.index(parent) < order.index(label)
+
+
+class TestMostGeneralAncestor:
+    def test_unique_root(self):
+        tax = taxonomy_from_parent_names({"b": "a", "c": "b"})
+        assert tax.name_of(tax.most_general_ancestor(tax.id_of("c"))) == "a"
+
+    def test_ambiguous_raises(self):
+        tax = taxonomy_from_parent_names({"x": ["r1", "r2"]})
+        with pytest.raises(TaxonomyError, match="most general"):
+            tax.most_general_ancestor(tax.id_of("x"))
+
+    def test_with_single_root_repairs(self):
+        tax = taxonomy_from_parent_names({"x": ["r1", "r2"]})
+        fixed = tax.with_single_root()
+        assert len(fixed.roots()) == 1
+        x = fixed.id_of("x")
+        assert fixed.most_general_ancestor(x) == fixed.roots()[0]
+
+    def test_with_single_root_noop_when_single(self):
+        tax = taxonomy_from_parent_names({"b": "a"})
+        assert tax.with_single_root() is tax
+
+    def test_with_single_root_name_clash(self):
+        tax = taxonomy_from_parent_names({"x": ["r1", "r2"], "<root>": "r1"})
+        with pytest.raises(TaxonomyError, match="already names"):
+            tax.with_single_root()
+
+
+class TestRestriction:
+    def test_restricted_preserves_reachability(self):
+        tax = taxonomy_from_parent_names({"b": "a", "c": "b", "d": "c"})
+        restricted = tax.restricted_to(
+            [tax.id_of("a"), tax.id_of("c"), tax.id_of("d")]
+        )
+        c = restricted.id_of("c")
+        # b was removed; c's nearest kept ancestor is a.
+        assert {restricted.name_of(p) for p in restricted.parents_of(c)} == {"a"}
+        assert restricted.is_ancestor_or_self(restricted.id_of("a"), c)
+
+    def test_restricted_drops_transitively_implied_parents(self):
+        tax = taxonomy_from_parent_names(
+            {"mid": "top", "leaf": ["mid", "top"]}
+        )
+        restricted = tax.restricted_to(
+            [tax.id_of("top"), tax.id_of("mid"), tax.id_of("leaf")]
+        )
+        leaf = restricted.id_of("leaf")
+        # 'top' is implied through 'mid'; keep only the minimal parent set.
+        assert {restricted.name_of(p) for p in restricted.parents_of(leaf)} == {
+            "mid"
+        }
+
+    def test_contracted_removes_and_splices(self):
+        tax = taxonomy_from_parent_names({"b": "a", "c": "b"})
+        contracted = tax.contracted([tax.id_of("b")])
+        assert "b" not in {contracted.name_of(l) for l in contracted.labels()}
+        c = contracted.id_of("c")
+        assert {contracted.name_of(p) for p in contracted.parents_of(c)} == {"a"}
+
+
+class TestProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_ancestor_transitivity(self, seed):
+        rng = random.Random(seed)
+        tax = make_random_taxonomy(
+            rng, LabelInterner(), rng.randint(3, 12), dag=True
+        )
+        labels = list(tax.labels())
+        for label in labels:
+            for anc in tax.ancestors_or_self(label):
+                assert tax.ancestors_or_self(anc) <= tax.ancestors_or_self(label)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_ancestors_descendants_are_inverse(self, seed):
+        rng = random.Random(seed)
+        tax = make_random_taxonomy(
+            rng, LabelInterner(), rng.randint(3, 12), dag=True
+        )
+        for a in tax.labels():
+            for b in tax.labels():
+                assert (a in tax.ancestors_or_self(b)) == (
+                    b in tax.descendants_or_self(a)
+                )
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_every_label_is_own_ancestor(self, seed):
+        rng = random.Random(seed)
+        tax = make_random_taxonomy(rng, LabelInterner(), rng.randint(2, 10))
+        for label in tax.labels():
+            assert label in tax.ancestors_or_self(label)
+            assert label in tax.descendants_or_self(label)

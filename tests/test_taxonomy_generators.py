@@ -1,0 +1,149 @@
+"""Tests for the synthetic taxonomy generator and the GO/atom presets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import TaxonomyError
+from repro.taxonomy.atoms import PTE_ATOM_GROUPS, PTE_LEAF_ATOMS, pte_atom_taxonomy
+from repro.taxonomy.generators import TaxonomyGeneratorConfig, generate_taxonomy
+from repro.taxonomy.go import go_like_taxonomy
+
+
+class TestGenerator:
+    def test_concept_count_and_single_root(self):
+        tax = generate_taxonomy(TaxonomyGeneratorConfig(concept_count=200, depth=6))
+        assert len(tax) == 200
+        assert len(tax.roots()) == 1
+
+    def test_depth_reached(self):
+        tax = generate_taxonomy(
+            TaxonomyGeneratorConfig(concept_count=100, depth=7, seed=3)
+        )
+        assert tax.max_depth() == 7
+
+    def test_relationship_count_honored(self):
+        config = TaxonomyGeneratorConfig(
+            concept_count=150, depth=5, relationship_count=220, seed=1
+        )
+        tax = generate_taxonomy(config)
+        # Tree minimum is 149; extra edges should get close to the target.
+        assert 149 <= tax.relationship_count() <= 220
+        assert tax.relationship_count() >= 200
+
+    def test_deterministic_by_seed(self):
+        config = TaxonomyGeneratorConfig(concept_count=80, depth=5, seed=42)
+        t1 = generate_taxonomy(config)
+        t2 = generate_taxonomy(config)
+        assert serializeable(t1) == serializeable(t2)
+
+    def test_different_seeds_differ(self):
+        base = TaxonomyGeneratorConfig(concept_count=80, depth=5, seed=1)
+        other = TaxonomyGeneratorConfig(concept_count=80, depth=5, seed=2)
+        assert serializeable(generate_taxonomy(base)) != serializeable(
+            generate_taxonomy(other)
+        )
+
+    def test_single_concept(self):
+        tax = generate_taxonomy(TaxonomyGeneratorConfig(concept_count=1, depth=0))
+        assert len(tax) == 1
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(TaxonomyError):
+            generate_taxonomy(TaxonomyGeneratorConfig(concept_count=0))
+        with pytest.raises(TaxonomyError):
+            generate_taxonomy(
+                TaxonomyGeneratorConfig(concept_count=10, depth=3,
+                                        relationship_count=2)
+            )
+
+    def test_level_profile_shapes_levels(self):
+        config = TaxonomyGeneratorConfig(
+            concept_count=100,
+            depth=4,
+            level_profile=(50.0, 1.0, 1.0, 1.0),
+            relationship_count=99,
+            seed=0,
+        )
+        tax = generate_taxonomy(config)
+        level1 = [l for l in tax.labels() if tax.depth_of(l) == 1]
+        assert len(level1) > 40  # bulk of the mass is at level 1
+
+    def test_dag_extra_parents_stay_in_branch(self):
+        tax = generate_taxonomy(
+            TaxonomyGeneratorConfig(
+                concept_count=300, depth=6, relationship_count=500, seed=5
+            )
+        )
+        root = tax.roots()[0]
+        categories = tax.children_of(root)
+        for label in tax.labels():
+            tops = {
+                c for c in categories if c in tax.ancestors_or_self(label)
+            }
+            # Local multi-parenting: a concept never spans two branches.
+            assert len(tops) <= 1
+
+
+class TestGoLike:
+    def test_shape(self):
+        tax = go_like_taxonomy(concept_count=800, depth=14, seed=1)
+        assert len(tax) == 800
+        assert tax.max_depth() == 14
+        assert len(tax.roots()) == 1
+        root = tax.roots()[0]
+        assert tax.name_of(root) == "molecular_function"
+        # GO-like shallow fan-out survives scaling.
+        assert len(tax.children_of(root)) >= 8
+
+    def test_names_are_go_style(self):
+        tax = go_like_taxonomy(concept_count=50, seed=0)
+        names = {tax.name_of(l) for l in tax.labels()}
+        assert "molecular_function" in names
+        assert any(name.startswith("GO:") for name in names)
+
+    def test_deterministic(self):
+        a = go_like_taxonomy(concept_count=120, seed=9)
+        b = go_like_taxonomy(concept_count=120, seed=9)
+        assert serializeable(a) == serializeable(b)
+
+    def test_dag_surplus(self):
+        tax = go_like_taxonomy(concept_count=600, seed=2)
+        # ~1.3 relationships per concept.
+        assert tax.relationship_count() > len(tax)
+
+
+class TestAtomTaxonomy:
+    def test_all_pte_atoms_present(self):
+        tax = pte_atom_taxonomy()
+        names = {tax.name_of(l) for l in tax.labels()}
+        for atom in PTE_LEAF_ATOMS:
+            assert atom in names
+
+    def test_three_levels(self):
+        tax = pte_atom_taxonomy()
+        assert tax.max_depth() == 2
+        assert tax.name_of(tax.roots()[0]) == "atom"
+
+    def test_groups_are_parents(self):
+        tax = pte_atom_taxonomy()
+        for group, atoms in PTE_ATOM_GROUPS.items():
+            group_id = tax.id_of(group)
+            for atom in atoms:
+                assert group_id in tax.parents_of(tax.id_of(atom))
+
+    def test_aromatic_atoms_lowercase(self):
+        tax = pte_atom_taxonomy()
+        aromatic = tax.id_of("aromatic")
+        for child in tax.children_of(aromatic):
+            assert tax.name_of(child).islower()
+
+
+def serializeable(tax) -> list[tuple[str, tuple[str, ...]]]:
+    return sorted(
+        (
+            tax.name_of(label),
+            tuple(sorted(tax.name_of(p) for p in tax.parents_of(label))),
+        )
+        for label in tax.labels()
+    )

@@ -1,0 +1,81 @@
+"""Tests for taxonomy text serialization."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import FormatError
+from repro.taxonomy.io import (
+    parse_taxonomy,
+    read_taxonomy,
+    serialize_taxonomy,
+    write_taxonomy,
+)
+from repro.util.interner import LabelInterner
+from tests.conftest import make_random_taxonomy
+
+SAMPLE = """
+n molecular_function   # the root
+i transporter molecular_function
+i carrier transporter
+"""
+
+
+class TestParse:
+    def test_parse_sample(self):
+        tax = parse_taxonomy(SAMPLE)
+        assert len(tax) == 3
+        carrier = tax.id_of("carrier")
+        names = {tax.name_of(a) for a in tax.ancestors_or_self(carrier)}
+        assert names == {"carrier", "transporter", "molecular_function"}
+
+    def test_isolated_concept(self):
+        tax = parse_taxonomy("n lonely\n")
+        assert len(tax) == 1
+        assert tax.roots() == (tax.id_of("lonely"),)
+
+    def test_unknown_record_rejected(self):
+        with pytest.raises(FormatError, match="unknown record"):
+            parse_taxonomy("x what\n")
+
+    def test_malformed_records_rejected(self):
+        with pytest.raises(FormatError):
+            parse_taxonomy("n\n")
+        with pytest.raises(FormatError):
+            parse_taxonomy("i child\n")
+
+    def test_comments_and_blanks_ignored(self):
+        tax = parse_taxonomy("\n# full comment\nn a  # trailing\n")
+        assert len(tax) == 1
+
+
+class TestRoundTrip:
+    def test_file_round_trip(self, tmp_path, go_excerpt):
+        path = tmp_path / "tax.txt"
+        write_taxonomy(go_excerpt, path)
+        loaded = read_taxonomy(path)
+        assert serialize_taxonomy(loaded) == serialize_taxonomy(go_excerpt)
+        assert len(loaded) == len(go_excerpt)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_random_round_trip(self, seed):
+        rng = random.Random(seed)
+        tax = make_random_taxonomy(
+            rng, LabelInterner(), rng.randint(2, 12), dag=True,
+            multiroot=seed % 3 == 0,
+        )
+        loaded = parse_taxonomy(serialize_taxonomy(tax))
+        assert len(loaded) == len(tax)
+        for label in tax.labels():
+            name = tax.name_of(label)
+            expected = {tax.name_of(a) for a in tax.ancestors_or_self(label)}
+            got = {
+                loaded.name_of(a)
+                for a in loaded.ancestors_or_self(loaded.id_of(name))
+            }
+            assert got == expected

@@ -1,0 +1,50 @@
+"""Unit tests for :mod:`repro.util.timing`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.timing import Stopwatch
+
+
+class TestStopwatch:
+    def test_context_manager_accumulates(self):
+        sw = Stopwatch()
+        with sw:
+            pass
+        first = sw.elapsed
+        assert first >= 0.0
+        with sw:
+            pass
+        assert sw.elapsed >= first
+
+    def test_double_start_rejected(self):
+        sw = Stopwatch().start()
+        with pytest.raises(RuntimeError):
+            sw.start()
+        sw.stop()
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_running_flag(self):
+        sw = Stopwatch()
+        assert not sw.running
+        sw.start()
+        assert sw.running
+        sw.stop()
+        assert not sw.running
+
+    def test_reset(self):
+        sw = Stopwatch()
+        with sw:
+            pass
+        sw.reset()
+        assert sw.elapsed == 0.0
+        assert not sw.running
+
+    def test_elapsed_ms(self):
+        sw = Stopwatch()
+        sw.elapsed = 0.25
+        assert sw.elapsed_ms == 250.0
