@@ -1,0 +1,97 @@
+"""Parallel runtime: 1- vs multi-worker wall time (Fig 4.2-style data).
+
+The dataset is the D-family analog the Figure 4.2 sweep uses, grown to
+the "medium" size where mining dominates process-pool overhead.  The
+sweep records wall time for ``workers=1`` (the sequential in-process
+path) against a multi-worker run and checks:
+
+* pattern sets and supports are identical (the bit-identity guarantee,
+  exhaustively covered by ``tests/test_parallel_equivalence.py``);
+* multi-worker wall time is strictly below single-worker — asserted
+  only when the machine actually has more than one usable core.  On a
+  single-core host the pool can only interleave, so the run records the
+  measured overhead instead of asserting an impossible speedup.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from benchmarks._common import MAX_EDGES, dataset, print_header, print_row
+from repro.core.taxogram import Taxogram, TaxogramOptions
+
+# Figure 4.2's largest point, grown 5x past the sweep's scale so a
+# sequential run takes seconds, not milliseconds (|D| = 500 graphs at
+# default REPRO_BENCH_SCALE).  Support matches the paper's sigma = 0.2.
+SIGMA = 0.2
+_DATASET = "D5000"
+_GRAPH_SCALE = 0.1
+_TAXONOMY_SCALE = 0.01
+
+_MULTI = min(4, max(2, len(os.sched_getaffinity(0))))
+WORKER_COUNTS = [1, _MULTI]
+
+_results: dict[int, tuple[float, object]] = {}
+
+
+def _available_cores() -> int:
+    return len(os.sched_getaffinity(0))
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_parallel_point(benchmark, workers):
+    database, taxonomy = dataset(_DATASET, _GRAPH_SCALE, _TAXONOMY_SCALE)
+    options = TaxogramOptions(
+        min_support=SIGMA, max_edges=MAX_EDGES, workers=workers
+    )
+
+    def run():
+        return Taxogram(options).mine(database, taxonomy)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    seconds = benchmark.stats["mean"]
+    _results[workers] = (seconds, result)
+    benchmark.extra_info["patterns"] = len(result)
+    benchmark.extra_info["workers"] = workers
+    print_row(
+        f"workers={workers}",
+        f"|D|={len(database)}",
+        f"{seconds * 1000:.0f}ms",
+        f"{len(result)} patterns",
+    )
+    assert all(p.support >= SIGMA for p in result)
+
+
+def test_parallel_speedup_shape():
+    """Cross-point assertions on the collected 1- vs multi-worker pair."""
+    if len(_results) < len(WORKER_COUNTS):
+        pytest.skip("run the full parallel sweep first")
+    single_s, single = _results[1]
+    multi_s, multi = _results[_MULTI]
+
+    print_header(
+        "Parallel mining: wall time vs workers",
+        f"{'workers':>12}  {'wall':>12}  {'speedup':>12}",
+    )
+    print_row(1, f"{single_s * 1000:.0f}ms", "1.00x")
+    print_row(_MULTI, f"{multi_s * 1000:.0f}ms", f"{single_s / multi_s:.2f}x")
+    for phase, seconds in sorted(multi.worker_seconds.items()):
+        print_row(f"[{phase}]", f"{seconds * 1000:.0f}ms", "worker-sum")
+
+    # Bit-identity holds regardless of core count.
+    assert multi.pattern_codes() == single.pattern_codes()
+    assert [p.support for p in multi.patterns] == [
+        p.support for p in single.patterns
+    ]
+
+    cores = _available_cores()
+    if cores < 2:
+        print(f"single-core host ({cores} usable): overhead "
+              f"{multi_s / single_s:.2f}x recorded; speedup assertion "
+              "needs >= 2 cores.")
+        pytest.skip("speedup requires >= 2 usable cores")
+    assert multi_s < single_s, (
+        f"{_MULTI} workers took {multi_s:.2f}s vs {single_s:.2f}s sequential"
+    )

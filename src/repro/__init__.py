@@ -41,6 +41,7 @@ from repro.core.results import (
 )
 from repro.core.tacgm import TAcGM, TAcGMOptions
 from repro.core.taxogram import Taxogram, TaxogramOptions, mine, mine_baseline
+from repro.parallel.runtime import ParallelTaxogram
 from repro.exceptions import (
     FormatError,
     GraphError,
@@ -72,6 +73,7 @@ __all__ = [
     "mine_baseline",
     "TAcGM",
     "TAcGMOptions",
+    "ParallelTaxogram",
     "mine_with_oracle",
     "relabel_database",
     # analysis

@@ -30,6 +30,36 @@ from repro.util.stats import DatabaseStats
 __all__ = ["main", "build_parser"]
 
 
+def _support_type(token: str) -> float:
+    """argparse type for ``--support``: a fraction in (0, 1]."""
+    try:
+        value = float(token)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"support must be a number, got {token!r}"
+        ) from None
+    if not 0.0 < value <= 1.0:
+        raise argparse.ArgumentTypeError(
+            f"support must be in (0, 1], got {value}"
+        )
+    return value
+
+
+def _workers_type(token: str) -> int:
+    """argparse type for ``--workers``: an integer >= 1."""
+    try:
+        value = int(token)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"workers must be an integer, got {token!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"workers must be at least 1, got {value}"
+        )
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="taxogram",
@@ -45,8 +75,16 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("taxogram", "baseline", "tacgm"),
         default="taxogram",
     )
-    mine.add_argument("--support", type=float, default=0.2, metavar="SIGMA")
+    mine.add_argument("--support", type=_support_type, default=0.2, metavar="SIGMA")
     mine.add_argument("--max-edges", type=int, default=None)
+    mine.add_argument(
+        "--workers",
+        type=_workers_type,
+        default=1,
+        metavar="N",
+        help="mine with N worker processes (taxogram/baseline only; "
+        "results are identical to a sequential run)",
+    )
     mine.add_argument(
         "--memory-budget",
         type=int,
@@ -87,8 +125,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     compare.add_argument("database", type=Path)
     compare.add_argument("taxonomy", type=Path)
-    compare.add_argument("--support", type=float, default=0.2, metavar="SIGMA")
+    compare.add_argument("--support", type=_support_type, default=0.2, metavar="SIGMA")
     compare.add_argument("--max-edges", type=int, default=None)
+    compare.add_argument(
+        "--workers",
+        type=_workers_type,
+        default=1,
+        metavar="N",
+        help="also run parallel taxogram with N worker processes",
+    )
     compare.add_argument(
         "--memory-budget",
         type=int,
@@ -119,6 +164,13 @@ def main(argv: list[str] | None = None) -> int:
 
 
 def _cmd_mine(args: argparse.Namespace) -> int:
+    if args.workers > 1 and (args.algorithm == "tacgm" or args.directed):
+        print(
+            "error: --workers applies only to the undirected "
+            "taxogram/baseline algorithms",
+            file=sys.stderr,
+        )
+        return 2
     taxonomy = read_taxonomy(args.taxonomy)
     if args.directed:
         return _cmd_mine_directed(args, taxonomy)
@@ -132,6 +184,8 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             )
         ).mine(database, taxonomy)
     else:
+        from dataclasses import replace
+
         if args.algorithm == "baseline":
             options = TaxogramOptions.baseline(args.support, args.max_edges)
         else:
@@ -139,9 +193,9 @@ def _cmd_mine(args: argparse.Namespace) -> int:
                 min_support=args.support, max_edges=args.max_edges
             )
         if args.disk_index:
-            from dataclasses import replace
-
             options = replace(options, occurrence_index_backend="disk")
+        if args.workers > 1:
+            options = replace(options, workers=args.workers)
         result = Taxogram(options).mine(database, taxonomy)
 
     print(result.summary())
@@ -241,6 +295,14 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             )
         ).mine(database, taxonomy),
     }
+    if args.workers > 1:
+        runs["parallel"] = lambda: Taxogram(
+            TaxogramOptions(
+                min_support=args.support,
+                max_edges=args.max_edges,
+                workers=args.workers,
+            )
+        ).mine(database, taxonomy)
 
     print(
         f"{'algorithm':<10} {'time':>10} {'patterns':>9} {'iso tests':>10} "

@@ -63,6 +63,12 @@ class DiskOccurrenceIndex:
             " bits BLOB NOT NULL,"
             " PRIMARY KEY (position, label))"
         )
+        # An index instance always represents a single pattern class; a
+        # reused directory (explicit ``disk_index_directory`` across
+        # classes or runs) must not OR stale rows from a previous class
+        # into this one's occurrence sets.
+        self._connection.execute("DELETE FROM entries")
+        self._connection.commit()
         self._max_resident = max(1, max_resident_entries)
         # Write-back staging area: (position, label) -> int bits.
         self._resident: dict[tuple[int, int], int] = {}

@@ -83,6 +83,10 @@ class TaxogramResult:
     algorithm: str = "taxogram"
     counters: MiningCounters = field(default_factory=MiningCounters)
     stage_seconds: dict[str, float] = field(default_factory=dict)
+    # Aggregated per-phase CPU seconds across worker processes (parallel
+    # runs only; empty for sequential runs).  Kept apart from
+    # ``stage_seconds`` so ``total_seconds`` stays a wall-clock sum.
+    worker_seconds: dict[str, float] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         self.patterns.sort(key=TaxonomyPattern.sort_key)

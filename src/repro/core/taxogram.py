@@ -65,6 +65,13 @@ class TaxogramOptions:
     occurrence_index_backend: str = "memory"
     disk_index_directory: str | None = None
     disk_max_resident_entries: int = 4096
+    # Parallelism knob: mine with this many worker processes.  ``1``
+    # (the default) runs fully in-process; ``N > 1`` routes through
+    # :class:`repro.parallel.runtime.ParallelTaxogram`, which shards the
+    # database, mines shards at a relaxed local threshold, merges the
+    # per-shard occurrence state and produces results identical to the
+    # sequential pipeline (see docs/API.md, "Parallel mining").
+    workers: int = 1
 
     @classmethod
     def baseline(
@@ -93,6 +100,14 @@ class Taxogram:
     def mine(self, database: GraphDatabase, taxonomy: Taxonomy) -> TaxogramResult:
         """Mine the complete, minimal frequent pattern set of ``database``."""
         options = self.options
+        if options.workers < 1:
+            raise MiningError(
+                f"workers must be at least 1, got {options.workers}"
+            )
+        if options.workers > 1:
+            from repro.parallel.runtime import ParallelTaxogram
+
+            return ParallelTaxogram(options).mine(database, taxonomy)
         counters = MiningCounters()
         stage_seconds: dict[str, float] = {}
 
@@ -200,9 +215,12 @@ def mine(
     taxonomy: Taxonomy,
     min_support: float = 0.2,
     max_edges: int | None = None,
+    workers: int = 1,
 ) -> TaxogramResult:
     """One-call Taxogram mining with default enhancements."""
-    options = TaxogramOptions(min_support=min_support, max_edges=max_edges)
+    options = TaxogramOptions(
+        min_support=min_support, max_edges=max_edges, workers=workers
+    )
     return Taxogram(options).mine(database, taxonomy)
 
 

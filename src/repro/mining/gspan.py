@@ -93,6 +93,12 @@ class GSpanMiner:
     keep_embeddings:
         Whether reported patterns retain their embedding lists.  The
         Taxogram class miner needs them; plain mining usually does not.
+    min_count:
+        Optional absolute support threshold (distinct graphs) that
+        overrides ``min_support``.  The parallel runtime mines shards at
+        a relaxed absolute threshold derived from the global one, which a
+        fraction cannot always express exactly.  May exceed the database
+        size, in which case nothing is frequent.
     """
 
     def __init__(
@@ -101,6 +107,7 @@ class GSpanMiner:
         min_support: float = 0.1,
         max_edges: int | None = None,
         keep_embeddings: bool = False,
+        min_count: int | None = None,
     ) -> None:
         if len(database) == 0:
             raise MiningError("cannot mine an empty database")
@@ -108,7 +115,12 @@ class GSpanMiner:
             raise MiningError("max_edges must be at least 1")
         self.database = database
         self.min_support = min_support
-        self.min_count = min_support_count(min_support, len(database))
+        if min_count is not None:
+            if min_count < 1:
+                raise MiningError(f"min_count must be at least 1, got {min_count}")
+            self.min_count = min_count
+        else:
+            self.min_count = min_support_count(min_support, len(database))
         self.max_edges = max_edges
         self.keep_embeddings = keep_embeddings
 

@@ -1,0 +1,39 @@
+"""Parallel Taxogram: multi-process mining with sequential-identical results.
+
+Public surface:
+
+* :class:`~repro.parallel.runtime.ParallelTaxogram` — the driver; usually
+  reached via ``TaxogramOptions(workers=N)``.
+* :mod:`~repro.parallel.sharding` — contiguous database shards and the
+  relaxed local support threshold.
+* :mod:`~repro.parallel.merge` — re-basing per-shard occurrence state
+  onto the global id space.
+"""
+
+from repro.parallel.merge import (
+    ClassFragment,
+    MergedClass,
+    merge_class_fragments,
+    merge_label_supports,
+    union_candidate_codes,
+)
+from repro.parallel.runtime import ParallelTaxogram
+from repro.parallel.sharding import (
+    Shard,
+    ShardManifest,
+    local_min_count,
+    shard_database,
+)
+
+__all__ = [
+    "ParallelTaxogram",
+    "Shard",
+    "ShardManifest",
+    "shard_database",
+    "local_min_count",
+    "ClassFragment",
+    "MergedClass",
+    "merge_label_supports",
+    "union_candidate_codes",
+    "merge_class_fragments",
+]

@@ -1,0 +1,145 @@
+"""Deterministic database sharding for the parallel mining runtime.
+
+The database is split into contiguous graph-id ranges, one per worker:
+shard ``s`` of ``k`` over ``n`` graphs holds graphs
+``[start_s, start_s + count_s)`` with the counts differing by at most
+one.  Contiguity matters: occurrence ids of a pattern class are assigned
+in ascending graph order, so per-shard occurrence indices concatenate —
+shard-local id ``o`` becomes global id ``o + offset`` — without any
+renumbering (see :mod:`repro.parallel.merge`).
+
+Each shard travels to workers as the existing text serialization
+(:mod:`repro.graphs.io`); label ids stay aligned because workers parse
+against interners pre-seeded with the driver's label tables.  The
+:class:`ShardManifest` additionally records per-shard graph counts and
+node-label universes, from which the driver derives the global observed
+label set (taxonomy contraction, enhancement (d)) without touching the
+graphs again.
+
+The relaxed local threshold
+---------------------------
+
+Support is a count over database graphs, so a pattern with global
+support count ``c`` spread over ``k`` shards has, by pigeonhole, at
+least ``ceil(c / k)`` supporting graphs in some shard.  Mining every
+shard at the *relaxed* absolute threshold ``t = ceil(c / k)`` therefore
+guarantees that every globally frequent pattern class is reported by at
+least one shard — including borderline classes frequent in no single
+shard under the global threshold.  (Anti-monotonicity makes every prefix
+of such a class at least as frequent in the same shard, so the shard's
+gSpan actually reaches it.)  The union of shard candidates is a superset
+of the globally frequent classes; the merge layer recomputes exact
+global supports and discards the rest.  :func:`local_min_count`
+implements the bound.
+
+The bound degenerates as ``k`` approaches ``c``: at ``k >= c`` the
+local threshold is 1 and a shard would have to enumerate *every*
+subgraph it contains.  The runtime therefore caps the shard count at
+``c - 1`` (falling back to sequential mining when that leaves fewer
+than two shards).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import MiningError
+from repro.graphs.database import GraphDatabase
+from repro.graphs.io import serialize_graph_database
+
+__all__ = ["Shard", "ShardManifest", "shard_database", "local_min_count"]
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One contiguous slice of the database, ready to ship to a worker."""
+
+    shard_id: int
+    start: int  # global graph id of the shard's first graph
+    graph_count: int
+    text: str  # the slice in the graphs/io text format
+    label_universe: frozenset[int]  # node label ids used by some graph
+
+    @property
+    def stop(self) -> int:
+        return self.start + self.graph_count
+
+
+@dataclass(frozen=True)
+class ShardManifest:
+    """The full partition plus the aggregates the driver needs up front."""
+
+    shards: tuple[Shard, ...]
+    database_size: int
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+    @property
+    def label_universe(self) -> frozenset[int]:
+        """Global observed node labels (union over shards)."""
+        out: set[int] = set()
+        for shard in self.shards:
+            out |= shard.label_universe
+        return frozenset(out)
+
+    @property
+    def graph_counts(self) -> tuple[int, ...]:
+        return tuple(shard.graph_count for shard in self.shards)
+
+
+def shard_database(database: GraphDatabase, num_shards: int) -> ShardManifest:
+    """Partition ``database`` into ``num_shards`` contiguous shards.
+
+    Shard sizes are balanced to within one graph; every shard is
+    non-empty, so ``num_shards`` must not exceed the database size.
+    """
+    n = len(database)
+    if num_shards < 1:
+        raise MiningError(f"num_shards must be at least 1, got {num_shards}")
+    if num_shards > n:
+        raise MiningError(
+            f"cannot split {n} graphs into {num_shards} non-empty shards"
+        )
+    base, extra = divmod(n, num_shards)
+    shards: list[Shard] = []
+    start = 0
+    for shard_id in range(num_shards):
+        count = base + (1 if shard_id < extra else 0)
+        shards.append(_make_shard(database, shard_id, start, count))
+        start += count
+    return ShardManifest(shards=tuple(shards), database_size=n)
+
+
+def local_min_count(global_min_count: int, num_shards: int) -> int:
+    """The relaxed per-shard absolute threshold (see module docstring).
+
+    ``ceil(global_min_count / num_shards)`` — the smallest threshold at
+    which the pigeonhole argument still catches every globally frequent
+    pattern in at least one shard.
+    """
+    if global_min_count < 1:
+        raise MiningError(
+            f"global_min_count must be at least 1, got {global_min_count}"
+        )
+    if num_shards < 1:
+        raise MiningError(f"num_shards must be at least 1, got {num_shards}")
+    return math.ceil(global_min_count / num_shards)
+
+
+def _make_shard(
+    database: GraphDatabase, shard_id: int, start: int, count: int
+) -> Shard:
+    part = GraphDatabase(database.node_labels, database.edge_labels)
+    universe: set[int] = set()
+    for graph in database.graphs[start : start + count]:
+        part.add_graph(graph.copy())
+        universe.update(graph.node_labels())
+    return Shard(
+        shard_id=shard_id,
+        start=start,
+        graph_count=count,
+        text=serialize_graph_database(part),
+        label_universe=frozenset(universe),
+    )

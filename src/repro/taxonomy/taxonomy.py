@@ -104,6 +104,17 @@ class Taxonomy:
         """Number of direct is-a edges."""
         return sum(len(p) for p in self._parents.values())
 
+    def parent_map(self) -> dict[int, tuple[int, ...]]:
+        """``label -> parents`` mapping in internal insertion order (a copy).
+
+        Rebuilding a :class:`Taxonomy` from this mapping (with the same
+        interner contents) reproduces the original exactly — including
+        children ordering and topological order — which the parallel
+        runtime relies on to give worker processes a bit-identical
+        taxonomy.
+        """
+        return dict(self._parents)
+
     def name_of(self, label: int) -> str:
         return self.interner.name_of(label)
 

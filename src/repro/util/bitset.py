@@ -95,6 +95,10 @@ class BitSet:
         if i >= 0:
             self._bits &= ~(1 << i)
 
+    def union_update(self, other: "BitSet") -> None:
+        """In-place union: add every member of ``other`` to this set."""
+        self._bits |= other._bits
+
     # -- set algebra -----------------------------------------------------------
 
     def __and__(self, other: "BitSet") -> "BitSet":
@@ -126,6 +130,16 @@ class BitSet:
 
     def issuperset(self, other: "BitSet") -> bool:
         return other.issubset(self)
+
+    def offset(self, k: int) -> "BitSet":
+        """A new set with every member shifted up by ``k``.
+
+        Re-bases a shard-local occurrence-id set onto a global id space
+        (the parallel merge layer ORs offset shard sets together).
+        """
+        if k < 0:
+            raise ValueError(f"offset must be non-negative, got {k}")
+        return BitSet.from_bits(self._bits << k)
 
     def copy(self) -> "BitSet":
         return BitSet.from_bits(self._bits)

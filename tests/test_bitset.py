@@ -68,6 +68,21 @@ class TestMembershipAndMutation:
         with pytest.raises(ValueError):
             BitSet().add(-2)
 
+    def test_union_update(self):
+        bs = BitSet([1, 2])
+        bs.union_update(BitSet([2, 5]))
+        assert bs.to_set() == {1, 2, 5}
+
+    def test_union_update_leaves_other_unchanged(self):
+        other = BitSet([3])
+        BitSet([1]).union_update(other)
+        assert other.to_set() == {3}
+
+    def test_union_update_with_empty_is_noop(self):
+        bs = BitSet([4])
+        bs.union_update(BitSet())
+        assert bs.to_set() == {4}
+
 
 class TestAlgebra:
     def test_and(self):
@@ -106,6 +121,20 @@ class TestAlgebra:
     def test_repr_lists_members(self):
         assert repr(BitSet([2, 0])) == "BitSet({0, 2})"
 
+    def test_offset(self):
+        assert BitSet([0, 2]).offset(3).to_set() == {3, 5}
+
+    def test_offset_zero_is_copy(self):
+        original = BitSet([1, 4])
+        shifted = original.offset(0)
+        assert shifted == original
+        shifted.add(9)
+        assert original.to_set() == {1, 4}
+
+    def test_offset_negative_rejected(self):
+        with pytest.raises(ValueError):
+            BitSet([1]).offset(-1)
+
 
 class TestHypothesis:
     @given(id_sets, id_sets)
@@ -133,3 +162,20 @@ class TestHypothesis:
     @given(id_sets)
     def test_iteration_sorted_ascending(self, a):
         assert list(BitSet(a)) == sorted(a)
+
+    @given(id_sets, id_sets)
+    def test_union_update_matches_set_union(self, a, b):
+        bs = BitSet(a)
+        bs.union_update(BitSet(b))
+        assert bs.to_set() == a | b
+
+    @given(id_sets, st.integers(min_value=0, max_value=64))
+    def test_offset_shifts_every_member(self, a, k):
+        assert BitSet(a).offset(k).to_set() == {i + k for i in a}
+
+    @given(id_sets, id_sets, st.integers(min_value=0, max_value=64))
+    def test_offset_distributes_over_union(self, a, b, k):
+        # The merge layer relies on shift-then-OR == OR-then-shift.
+        left = BitSet(a).offset(k) | BitSet(b).offset(k)
+        right = (BitSet(a) | BitSet(b)).offset(k)
+        assert left == right

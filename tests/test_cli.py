@@ -34,6 +34,27 @@ class TestParser:
         args = build_parser().parse_args(["mine", "db", "tax"])
         assert args.algorithm == "taxogram"
         assert args.support == 0.2
+        assert args.workers == 1
+
+    @pytest.mark.parametrize("bad", ["0", "0.0", "1.5", "-0.2", "nan", "abc"])
+    def test_support_outside_unit_interval_rejected(self, bad, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            build_parser().parse_args(["mine", "db", "tax", "--support", bad])
+        assert exc_info.value.code == 2
+        assert "support must be" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("bad", ["0", "-1", "1.5", "two"])
+    def test_workers_below_one_rejected(self, bad, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            build_parser().parse_args(["mine", "db", "tax", "--workers", bad])
+        assert exc_info.value.code == 2
+        assert "workers must be" in capsys.readouterr().err
+
+    def test_compare_validates_support_and_workers(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "db", "tax", "--support", "2"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "db", "tax", "--workers", "0"])
 
 
 class TestMine:
@@ -74,6 +95,49 @@ class TestMine:
         )
         out = capsys.readouterr().out
         assert "more (use --limit 0" in out
+
+    def test_workers_smoke(self, files, capsys):
+        db_path, tax_path = files
+        code = main(
+            ["mine", str(db_path), str(tax_path), "--support", "1.0",
+             "--workers", "2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "taxogram:" in out
+        assert "sup=1.000" in out
+
+    def test_workers_match_sequential_output(self, files, capsys):
+        db_path, tax_path = files
+        assert main(
+            ["mine", str(db_path), str(tax_path), "--support", "0.5"]
+        ) == 0
+        sequential_out = capsys.readouterr().out
+        assert main(
+            ["mine", str(db_path), str(tax_path), "--support", "0.5",
+             "--workers", "2"]
+        ) == 0
+        parallel_out = capsys.readouterr().out
+        # Identical pattern lines; only the timing summary line differs.
+        assert sequential_out.splitlines()[1:] == parallel_out.splitlines()[1:]
+
+    def test_workers_rejected_for_tacgm(self, files, capsys):
+        db_path, tax_path = files
+        code = main(
+            ["mine", str(db_path), str(tax_path), "--algorithm", "tacgm",
+             "--workers", "2"]
+        )
+        assert code == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_workers_rejected_for_directed(self, files, capsys):
+        db_path, tax_path = files
+        code = main(
+            ["mine", str(db_path), str(tax_path), "--directed",
+             "--workers", "2"]
+        )
+        assert code == 2
+        assert "--workers" in capsys.readouterr().err
 
     def test_tacgm_memory_budget_error_reported(self, files, capsys):
         db_path, tax_path = files

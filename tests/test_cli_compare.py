@@ -50,6 +50,17 @@ class TestCompare:
         assert "OOM" in out
         assert "pattern sets agree: True" in out
 
+    def test_workers_adds_parallel_run(self, files, capsys):
+        db_path, tax_path = files
+        code = main(
+            ["compare", str(db_path), str(tax_path), "--support", "0.67",
+             "--max-edges", "2", "--workers", "2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "parallel" in out
+        assert "pattern sets agree: True" in out
+
     def test_unlimited_budget_flag(self, files, capsys):
         db_path, tax_path = files
         code = main(

@@ -1,0 +1,102 @@
+"""Tests for :mod:`repro.mining.projection` (targeted embedding replay).
+
+The parallel runtime's correctness rests on :func:`project_code`
+reproducing *exactly* the embedding list gSpan carries for a code —
+same embeddings, same order — so most tests here compare against
+``GSpanMiner(keep_embeddings=True)``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exceptions import MiningError
+from repro.graphs.database import GraphDatabase
+from repro.mining.gspan import GSpanMiner
+from repro.mining.projection import project_code
+from repro.util.interner import LabelInterner
+from tests.conftest import make_random_database, make_random_taxonomy
+
+
+def _two_graph_db() -> GraphDatabase:
+    db = GraphDatabase()
+    db.new_graph(["a", "b", "a"], [(0, 1, "x"), (1, 2, "x")])
+    db.new_graph(["a", "b"], [(0, 1, "x")])
+    return db
+
+
+class TestProjectCode:
+    def test_matches_miner_embeddings_exactly(self):
+        db = _two_graph_db()
+        miner = GSpanMiner(db, min_support=0.5, keep_embeddings=True)
+        for pattern in miner.mine():
+            replayed = project_code(db, pattern.code)
+            assert replayed == pattern.embeddings
+
+    def test_matches_miner_on_random_databases(self):
+        total = 0
+        for seed in range(8):
+            rng = random.Random(seed)
+            interner = LabelInterner()
+            taxonomy = make_random_taxonomy(rng, interner, rng.randint(3, 6))
+            db = make_random_database(rng, taxonomy, rng.randint(2, 5))
+            miner = GSpanMiner(
+                db, min_support=0.4, max_edges=3, keep_embeddings=True
+            )
+            for pattern in miner.mine():
+                total += 1
+                assert project_code(db, pattern.code) == pattern.embeddings
+        assert total > 0, "no seed produced patterns; test exercised nothing"
+
+    def test_infrequent_code_still_projects(self):
+        # A code frequent in one "shard" but absent elsewhere must replay
+        # to whatever embeddings exist — including none.
+        db = _two_graph_db()
+        code = ((0, 1, db.node_labels.id_of("a"), db.edge_labels.id_of("x"),
+                 db.node_labels.id_of("b")),)
+        embeddings = project_code(db, code)
+        assert {e.graph_id for e in embeddings} == {0, 1}
+        missing = (
+            (0, 1, db.node_labels.id_of("b"), db.edge_labels.id_of("x"),
+             db.node_labels.id_of("b")),
+        )
+        assert project_code(db, missing) == []
+
+    def test_prefix_dead_end_short_circuits(self):
+        db = _two_graph_db()
+        a = db.node_labels.id_of("a")
+        b = db.node_labels.id_of("b")
+        x = db.edge_labels.id_of("x")
+        # First edge never embeds, so the longer code projects to [].
+        code = ((0, 1, b, x, b), (1, 2, b, x, a))
+        assert project_code(db, code) == []
+
+    def test_empty_code_rejected(self):
+        with pytest.raises(MiningError, match="empty"):
+            project_code(_two_graph_db(), ())
+
+    def test_non_initial_first_edge_rejected(self):
+        with pytest.raises(MiningError, match=r"\(0, 1\)"):
+            project_code(_two_graph_db(), ((1, 2, 0, 0, 1),))
+
+    def test_invalid_backward_extension_rejected(self):
+        db = _two_graph_db()
+        a = db.node_labels.id_of("a")
+        b = db.node_labels.id_of("b")
+        x = db.edge_labels.id_of("x")
+        # Backward edge must leave the rightmost vertex; vertex 0 is not it.
+        code = ((0, 1, a, x, b), (1, 2, b, x, a), (1, 0, b, x, a))
+        with pytest.raises(MiningError, match="backward"):
+            project_code(db, code)
+
+    def test_invalid_forward_extension_rejected(self):
+        db = _two_graph_db()
+        a = db.node_labels.id_of("a")
+        b = db.node_labels.id_of("b")
+        x = db.edge_labels.id_of("x")
+        # Forward edge must discover vertex len(vlabels), not skip ahead.
+        code = ((0, 1, a, x, b), (1, 3, b, x, a))
+        with pytest.raises(MiningError, match="forward"):
+            project_code(db, code)

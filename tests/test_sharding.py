@@ -1,0 +1,110 @@
+"""Tests for :mod:`repro.parallel.sharding`."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.exceptions import MiningError
+from repro.graphs.io import parse_graph_database
+from repro.parallel.sharding import local_min_count, shard_database
+from repro.util.interner import LabelInterner
+from tests.conftest import make_random_database, make_random_taxonomy
+
+
+def _random_db(seed: int, n_graphs: int):
+    rng = random.Random(seed)
+    interner = LabelInterner()
+    taxonomy = make_random_taxonomy(rng, interner, 5)
+    return make_random_database(rng, taxonomy, n_graphs)
+
+
+class TestShardDatabase:
+    @pytest.mark.parametrize("num_shards", [1, 2, 3, 4])
+    def test_contiguous_balanced_partition(self, num_shards):
+        db = _random_db(1, 7)
+        manifest = shard_database(db, num_shards)
+        assert len(manifest) == num_shards
+        assert manifest.database_size == 7
+        assert sum(manifest.graph_counts) == 7
+        # Balanced to within one graph, contiguous, in order.
+        assert max(manifest.graph_counts) - min(manifest.graph_counts) <= 1
+        position = 0
+        for shard in manifest.shards:
+            assert shard.start == position
+            assert shard.graph_count >= 1
+            position = shard.stop
+        assert position == 7
+
+    def test_round_trip_preserves_graphs_and_labels(self):
+        db = _random_db(2, 6)
+        manifest = shard_database(db, 3)
+        rebuilt = []
+        for shard in manifest.shards:
+            part = parse_graph_database(
+                shard.text,
+                node_labels=LabelInterner(db.node_labels.names()),
+                edge_labels=LabelInterner(db.edge_labels.names()),
+            )
+            assert len(part) == shard.graph_count
+            rebuilt.extend(part.graphs)
+        assert len(rebuilt) == len(db)
+        for original, copy in zip(db.graphs, rebuilt):
+            # Same labels and edge set; ids re-base per shard.
+            assert original.node_labels() == copy.node_labels()
+            assert sorted(original.edges()) == sorted(copy.edges())
+
+    def test_label_universe_aggregates(self):
+        db = _random_db(3, 5)
+        manifest = shard_database(db, 2)
+        assert manifest.label_universe == frozenset(db.distinct_node_labels())
+        for shard in manifest.shards:
+            observed = set()
+            for graph in db.graphs[shard.start : shard.stop]:
+                observed.update(graph.node_labels())
+            assert shard.label_universe == frozenset(observed)
+
+    def test_single_shard_is_whole_database(self):
+        db = _random_db(4, 4)
+        manifest = shard_database(db, 1)
+        assert manifest.graph_counts == (4,)
+        assert manifest.shards[0].start == 0
+
+    def test_more_shards_than_graphs_rejected(self):
+        db = _random_db(5, 3)
+        with pytest.raises(MiningError, match="non-empty"):
+            shard_database(db, 4)
+
+    def test_zero_shards_rejected(self):
+        db = _random_db(6, 3)
+        with pytest.raises(MiningError, match="at least 1"):
+            shard_database(db, 0)
+
+
+class TestLocalMinCount:
+    @pytest.mark.parametrize(
+        "global_count,shards,expected",
+        [(10, 1, 10), (10, 2, 5), (10, 3, 4), (10, 4, 3), (1, 4, 1), (7, 2, 4)],
+    )
+    def test_ceiling_division(self, global_count, shards, expected):
+        assert local_min_count(global_count, shards) == expected
+
+    def test_pigeonhole_bound_is_tight(self):
+        # A count of c over k shards puts >= ceil(c/k) in some shard; any
+        # larger threshold could miss a perfectly even spread.
+        for c in range(1, 30):
+            for k in range(1, 6):
+                t = local_min_count(c, k)
+                assert t == math.ceil(c / k)
+                # Even spread: the fullest shard holds exactly ceil(c/k).
+                spread = [(c + i) // k for i in range(k)]
+                assert sum(spread) == c
+                assert max(spread) == t
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(MiningError):
+            local_min_count(0, 2)
+        with pytest.raises(MiningError):
+            local_min_count(3, 0)
