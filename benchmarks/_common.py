@@ -30,9 +30,11 @@ Conventions
 
 from __future__ import annotations
 
+import json
 import os
 import time
 from functools import lru_cache
+from pathlib import Path
 
 from repro.core.tacgm import TAcGM, TAcGMOptions
 from repro.core.taxogram import Taxogram, TaxogramOptions
@@ -47,11 +49,20 @@ __all__ = [
     "TACGM_MEMORY_BUDGET",
     "dataset",
     "run_algorithm",
+    "record_bench_point",
     "print_header",
     "print_row",
 ]
 
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+# Machine-readable baselines: with REPRO_BENCH_JSON_DIR set, every
+# run_algorithm() call appends one point — wall seconds, pattern count
+# and the full observability counter snapshot — to
+# ``BENCH_<algorithm>.json`` in that directory, giving later PRs a
+# counter-level perf baseline to diff against (see docs/API.md,
+# "Observability").
+BENCH_JSON_DIR = os.environ.get("REPRO_BENCH_JSON_DIR")
 
 # Pattern-size cap for all mining benchmarks (see module docstring).
 MAX_EDGES = 3
@@ -116,7 +127,32 @@ def run_algorithm(
             raise ValueError(f"unknown algorithm {algorithm!r}")
     except MemoryBudgetExceeded:
         return None, time.perf_counter() - start, "OOM"
-    return result, time.perf_counter() - start, ""
+    seconds = time.perf_counter() - start
+    record_bench_point(
+        algorithm,
+        f"{len(database)}g@{min_support:g}",
+        seconds,
+        result,
+    )
+    return result, seconds, ""
+
+
+def record_bench_point(bench: str, label: str, seconds: float, result) -> None:
+    """Append one benchmark point (with counter snapshot) to
+    ``BENCH_<bench>.json`` when ``REPRO_BENCH_JSON_DIR`` is set."""
+    if not BENCH_JSON_DIR:
+        return
+    path = Path(BENCH_JSON_DIR) / f"BENCH_{bench}.json"
+    points = json.loads(path.read_text()) if path.exists() else []
+    points.append(
+        {
+            "label": label,
+            "seconds": seconds,
+            "patterns": len(result),
+            "counters": result.counters.as_metrics(),
+        }
+    )
+    path.write_text(json.dumps(points, indent=2, sort_keys=True) + "\n")
 
 
 def print_header(title: str, columns: str) -> None:

@@ -41,6 +41,7 @@ from repro.core.results import (
 )
 from repro.core.tacgm import TAcGM, TAcGMOptions
 from repro.core.taxogram import Taxogram, TaxogramOptions, mine, mine_baseline
+from repro.observability import MetricsRegistry, RunReport, Tracer
 from repro.parallel.runtime import ParallelTaxogram
 from repro.exceptions import (
     FormatError,
@@ -88,6 +89,10 @@ __all__ = [
     "TaxogramResult",
     "MiningCounters",
     "format_pattern",
+    # observability
+    "Tracer",
+    "RunReport",
+    "MetricsRegistry",
     # substrates
     "Graph",
     "GraphDatabase",

@@ -24,6 +24,7 @@ from repro.core.taxogram import Taxogram, TaxogramOptions
 from repro.datagen.datasets import DATASET_FAMILIES, build_dataset, dataset_spec
 from repro.exceptions import ReproError
 from repro.graphs.io import read_graph_database, write_graph_database
+from repro.observability import RunReport, Tracer
 from repro.taxonomy.io import read_taxonomy, write_taxonomy
 from repro.util.stats import DatabaseStats
 
@@ -105,6 +106,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="parse the database as directed ('a' arc records) and mine "
         "with the directed pipeline",
     )
+    _add_observability_arguments(mine)
 
     generate = sub.add_parser("generate", help="synthesize a dataset to files")
     generate.add_argument("name", help="Table 1 dataset id, e.g. D1000 or PTE")
@@ -140,7 +142,24 @@ def build_parser() -> argparse.ArgumentParser:
         default=2_000_000,
         help="TAcGM deterministic memory budget in cells (0 = unlimited)",
     )
+    _add_observability_arguments(compare)
     return parser
+
+
+def _add_observability_arguments(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--trace",
+        action="store_true",
+        help="record phase spans and print the run report "
+        "(counters, gauges, span tree) after mining",
+    )
+    command.add_argument(
+        "--metrics-out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the run report as JSON to PATH",
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -160,7 +179,36 @@ def main(argv: list[str] | None = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `taxogram mine ... | head`) closed
+        # the pipe; point stdout at devnull so the interpreter's exit
+        # flush stays quiet, and exit like other well-behaved CLIs.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
     raise AssertionError("unreachable: argparse enforces a valid command")
+
+
+def _wants_report(args: argparse.Namespace) -> bool:
+    return bool(args.trace or args.metrics_out)
+
+
+def _result_report(result) -> RunReport:
+    """The result's attached report, or one assembled from its counters
+    (miners predating repro.observability, e.g. TAcGM)."""
+    if getattr(result, "report", None) is not None:
+        return result.report
+    return RunReport.from_run(
+        result.algorithm, result.counters, result.stage_seconds
+    )
+
+
+def _emit_report(args: argparse.Namespace, report: RunReport) -> None:
+    if args.trace:
+        print(report.render())
+    if args.metrics_out:
+        args.metrics_out.write_text(report.to_json() + "\n")
 
 
 def _cmd_mine(args: argparse.Namespace) -> int:
@@ -174,6 +222,7 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     taxonomy = read_taxonomy(args.taxonomy)
     if args.directed:
         return _cmd_mine_directed(args, taxonomy)
+    tracer = Tracer() if _wants_report(args) else None
     database = read_graph_database(args.database, node_labels=taxonomy.interner)
     if args.algorithm == "tacgm":
         result = TAcGM(
@@ -196,7 +245,7 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             options = replace(options, occurrence_index_backend="disk")
         if args.workers > 1:
             options = replace(options, workers=args.workers)
-        result = Taxogram(options).mine(database, taxonomy)
+        result = Taxogram(options).mine(database, taxonomy, tracer)
 
     print(result.summary())
     shown = result.patterns if args.limit == 0 else result.patterns[: args.limit]
@@ -208,6 +257,8 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     hidden = len(result.patterns) - len(shown)
     if hidden > 0:
         print(f"  ... and {hidden} more (use --limit 0 to print all)")
+    if _wants_report(args):
+        _emit_report(args, _result_report(result))
     return 0
 
 
@@ -239,6 +290,8 @@ def _cmd_mine_directed(args: argparse.Namespace, taxonomy) -> int:
     hidden = len(result.patterns) - len(shown)
     if hidden > 0:
         print(f"  ... and {hidden} more (use --limit 0 to print all)")
+    if _wants_report(args):
+        _emit_report(args, _result_report(result))
     return 0
 
 
@@ -279,14 +332,21 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     taxonomy = read_taxonomy(args.taxonomy)
     database = read_graph_database(args.database, node_labels=taxonomy.interner)
     budget = None if args.memory_budget == 0 else args.memory_budget
+    tracers: dict[str, Tracer] = {}
+
+    def _tracer(name: str) -> Tracer | None:
+        if not _wants_report(args):
+            return None
+        tracers[name] = Tracer()
+        return tracers[name]
 
     runs = {
         "taxogram": lambda: Taxogram(
             TaxogramOptions(min_support=args.support, max_edges=args.max_edges)
-        ).mine(database, taxonomy),
+        ).mine(database, taxonomy, _tracer("taxogram")),
         "baseline": lambda: Taxogram(
             TaxogramOptions.baseline(args.support, args.max_edges)
-        ).mine(database, taxonomy),
+        ).mine(database, taxonomy, _tracer("baseline")),
         "tacgm": lambda: TAcGM(
             TAcGMOptions(
                 min_support=args.support,
@@ -302,7 +362,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
                 max_edges=args.max_edges,
                 workers=args.workers,
             )
-        ).mine(database, taxonomy)
+        ).mine(database, taxonomy, _tracer("parallel"))
 
     print(
         f"{'algorithm':<10} {'time':>10} {'patterns':>9} {'iso tests':>10} "
@@ -332,6 +392,35 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         print(f"pattern sets agree: {agree}")
         if not agree:
             return 1
+
+    if _wants_report(args):
+        reports = {
+            name: _result_report(result) for name, result in results.items()
+        }
+        if args.trace:
+            for name in reports:
+                print(reports[name].render())
+            if "taxogram" in reports and "baseline" in reports:
+                print(
+                    RunReport.render_diff(
+                        "taxogram",
+                        "baseline",
+                        reports["taxogram"].diff_counters(
+                            reports["baseline"]
+                        ),
+                    )
+                )
+        if args.metrics_out:
+            import json
+
+            payload = {
+                "runs": {
+                    name: reports[name].to_dict() for name in sorted(reports)
+                }
+            }
+            args.metrics_out.write_text(
+                json.dumps(payload, indent=2, sort_keys=True) + "\n"
+            )
     return 0
 
 

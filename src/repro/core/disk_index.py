@@ -151,6 +151,10 @@ class DiskOccurrenceIndex:
         entry = self._covered[position]
         return [c for c in taxonomy.children_of(label) if c in entry]
 
+    def covered_entry_count(self) -> int:
+        """Distinct (position, label) entries materialized so far."""
+        return sum(len(labels) for labels in self._covered)
+
     # -- lifecycle ------------------------------------------------------------------
 
     def close(self) -> None:
@@ -205,6 +209,7 @@ def build_disk_occurrence_index(
                 updates += 1
     if counters is not None:
         counters.occurrence_index_updates += updates
+        counters.oie_entries += index.covered_entry_count()
     return store, index.finish()
 
 

@@ -163,6 +163,7 @@ def build_occurrence_index(
                 updates += 1
     if counters is not None:
         counters.occurrence_index_updates += updates
+        counters.oie_entries += sum(len(entry) for entry in entries)
     return store, OccurrenceIndex(entries)
 
 

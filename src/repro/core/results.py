@@ -3,10 +3,14 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.graphs.graph import Graph
 from repro.mining.dfs_code import DFSCode
 from repro.util.interner import LabelInterner
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.observability.report import RunReport
 
 __all__ = ["TaxonomyPattern", "MiningCounters", "TaxogramResult", "format_pattern"]
 
@@ -50,7 +54,15 @@ class MiningCounters:
     (the DFS analogue of isomorphism work); ``bitset_intersections``
     counts Step-3 support computations that replaced isomorphism tests;
     ``occurrence_index_updates`` counts occurrence-set insertions during
-    index construction (Lemma 5's cost term).
+    index construction (Lemma 5's cost term); ``oie_entries`` counts the
+    distinct (position, label) occurrence-index entries materialized.
+
+    The ``gspan_candidates_*`` trio splits gSpan's candidate stream into
+    generated / pruned-as-infrequent / pruned-as-non-minimal, and
+    ``candidates_pruned`` counts Step-3 label choices whose occurrence
+    intersection fell below the threshold — together they make pruning
+    regressions visible as counter deltas (see
+    :mod:`repro.observability`).
     """
 
     isomorphism_tests: int = 0
@@ -59,8 +71,13 @@ class MiningCounters:
     occurrence_index_updates: int = 0
     pattern_classes: int = 0
     candidates_enumerated: int = 0
+    candidates_pruned: int = 0
     overgeneralized_eliminated: int = 0
     memory_cells_peak: int = 0
+    gspan_candidates_generated: int = 0
+    gspan_candidates_pruned_infrequent: int = 0
+    gspan_candidates_pruned_nonminimal: int = 0
+    oie_entries: int = 0
 
     def merge(self, other: "MiningCounters") -> None:
         self.isomorphism_tests += other.isomorphism_tests
@@ -69,8 +86,42 @@ class MiningCounters:
         self.occurrence_index_updates += other.occurrence_index_updates
         self.pattern_classes += other.pattern_classes
         self.candidates_enumerated += other.candidates_enumerated
+        self.candidates_pruned += other.candidates_pruned
         self.overgeneralized_eliminated += other.overgeneralized_eliminated
         self.memory_cells_peak = max(self.memory_cells_peak, other.memory_cells_peak)
+        self.gspan_candidates_generated += other.gspan_candidates_generated
+        self.gspan_candidates_pruned_infrequent += (
+            other.gspan_candidates_pruned_infrequent
+        )
+        self.gspan_candidates_pruned_nonminimal += (
+            other.gspan_candidates_pruned_nonminimal
+        )
+        self.oie_entries += other.oie_entries
+
+    def as_metrics(self) -> dict[str, int]:
+        """Namespaced counter view consumed by
+        :class:`repro.observability.report.RunReport`."""
+        return {
+            "gspan.candidates_generated": self.gspan_candidates_generated,
+            "gspan.candidates_pruned_infrequent": (
+                self.gspan_candidates_pruned_infrequent
+            ),
+            "gspan.candidates_pruned_nonminimal": (
+                self.gspan_candidates_pruned_nonminimal
+            ),
+            "index.oie_entries": self.oie_entries,
+            "index.updates": self.occurrence_index_updates,
+            "iso.tests": self.isomorphism_tests,
+            "memory.cells_peak": self.memory_cells_peak,
+            "mine.embedding_extensions": self.embedding_extensions,
+            "mine.pattern_classes": self.pattern_classes,
+            "specialize.bitset_intersections": self.bitset_intersections,
+            "specialize.candidates_enumerated": self.candidates_enumerated,
+            "specialize.candidates_pruned": self.candidates_pruned,
+            "specialize.overgeneralized_eliminated": (
+                self.overgeneralized_eliminated
+            ),
+        }
 
 
 @dataclass
@@ -87,6 +138,11 @@ class TaxogramResult:
     # runs only; empty for sequential runs).  Kept apart from
     # ``stage_seconds`` so ``total_seconds`` stays a wall-clock sum.
     worker_seconds: dict[str, float] = field(default_factory=dict)
+    # The run's observability report (counters, gauges, stage times and
+    # — when the run was traced — the span tree).  Populated by the
+    # Taxogram pipelines; miners predating repro.observability leave it
+    # None and callers fall back to RunReport.from_run(...).
+    report: "RunReport | None" = None
 
     def __post_init__(self) -> None:
         self.patterns.sort(key=TaxonomyPattern.sort_key)

@@ -163,6 +163,8 @@ def _position_options(
         frequent = store.support_count(label_bits) >= min_count
         if frequent:
             out.append((label, label_bits))
+        else:
+            counters.candidates_pruned += 1
         if frequent or not descendant_pruning:
             # Enhancement (a): an infrequent label's descendants cannot be
             # frequent (their occurrence sets are subsets), so with

@@ -34,6 +34,8 @@ from repro.core.results import MiningCounters, TaxogramResult, TaxonomyPattern
 from repro.core.specializer import SpecializerOptions, specialize_class
 from repro.graphs.database import GraphDatabase
 from repro.mining.gspan import GSpanMiner, MinedPattern, min_support_count
+from repro.observability.report import RunReport
+from repro.observability.trace import NOOP_TRACER, Tracer
 from repro.taxonomy.taxonomy import ARTIFICIAL_ROOT_NAME, Taxonomy
 from repro.util.timing import Stopwatch
 
@@ -97,8 +99,18 @@ class Taxogram:
     def __init__(self, options: TaxogramOptions | None = None) -> None:
         self.options = options if options is not None else TaxogramOptions()
 
-    def mine(self, database: GraphDatabase, taxonomy: Taxonomy) -> TaxogramResult:
-        """Mine the complete, minimal frequent pattern set of ``database``."""
+    def mine(
+        self,
+        database: GraphDatabase,
+        taxonomy: Taxonomy,
+        tracer: Tracer | None = None,
+    ) -> TaxogramResult:
+        """Mine the complete, minimal frequent pattern set of ``database``.
+
+        ``tracer`` opts into phase spans (see :mod:`repro.observability`);
+        ``None`` mines with the zero-overhead disabled tracer.  Either
+        way the result carries a :class:`RunReport` of the work counters.
+        """
         options = self.options
         if options.workers < 1:
             raise MiningError(
@@ -107,12 +119,14 @@ class Taxogram:
         if options.workers > 1:
             from repro.parallel.runtime import ParallelTaxogram
 
-            return ParallelTaxogram(options).mine(database, taxonomy)
+            return ParallelTaxogram(options).mine(database, taxonomy, tracer)
+        if tracer is None:
+            tracer = NOOP_TRACER
         counters = MiningCounters()
         stage_seconds: dict[str, float] = {}
 
         prepare = Stopwatch()
-        with prepare:
+        with prepare, tracer.span("relabel"):
             if options.enhancement_taxonomy_contraction:
                 taxonomy = _contract_taxonomy(
                     taxonomy, database.distinct_node_labels()
@@ -145,7 +159,7 @@ class Taxogram:
             )
 
         def on_class(mined: MinedPattern) -> None:
-            with specialize:
+            with specialize, tracer.span("specialize.class"):
                 counters.pattern_classes += 1
                 counters.embedding_extensions += len(mined.embeddings)
                 if options.occurrence_index_backend == "disk":
@@ -188,12 +202,13 @@ class Taxogram:
                         close()
 
         total = Stopwatch()
-        with total:
+        with total, tracer.span("gspan.extend"):
             miner = GSpanMiner(
                 relabeled.dmg,
                 min_support=options.min_support,
                 max_edges=options.max_edges,
                 keep_embeddings=False,
+                counters=counters,
             )
             miner.mine(report=on_class)
         stage_seconds["mine_classes"] = max(0.0, total.elapsed - specialize.elapsed)
@@ -207,7 +222,32 @@ class Taxogram:
             algorithm=algorithm,
             counters=counters,
             stage_seconds=stage_seconds,
+            report=_build_report(
+                algorithm, counters, stage_seconds, tracer, database
+            ),
         )
+
+
+def _build_report(
+    algorithm: str,
+    counters: MiningCounters,
+    stage_seconds: dict[str, float],
+    tracer: Tracer,
+    database: GraphDatabase,
+    metrics=None,
+) -> RunReport:
+    """Assemble the run's :class:`RunReport`.
+
+    Dataset-shape gauges require a full database scan, so they are
+    recorded only on traced runs; the counter block is always attached
+    (it already exists, the report is just a namespaced view of it).
+    """
+    report = RunReport.from_run(
+        algorithm, counters, stage_seconds, tracer=tracer, metrics=metrics
+    )
+    if tracer.enabled:
+        report.gauges.update(database.stats().as_gauges())
+    return report
 
 
 def mine(
@@ -216,12 +256,13 @@ def mine(
     min_support: float = 0.2,
     max_edges: int | None = None,
     workers: int = 1,
+    tracer: Tracer | None = None,
 ) -> TaxogramResult:
     """One-call Taxogram mining with default enhancements."""
     options = TaxogramOptions(
         min_support=min_support, max_edges=max_edges, workers=workers
     )
-    return Taxogram(options).mine(database, taxonomy)
+    return Taxogram(options).mine(database, taxonomy, tracer)
 
 
 def mine_baseline(

@@ -19,12 +19,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Iterable
+from typing import TYPE_CHECKING, Callable, Iterable
 
 from repro.exceptions import MiningError
 from repro.graphs.database import GraphDatabase
 from repro.graphs.graph import Graph
 from repro.mining.dfs_code import DFSCode, DFSEdge, dfs_edge_lt, is_min_code
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.results import MiningCounters
 
 __all__ = ["Embedding", "MinedPattern", "GSpanMiner", "min_support_count"]
 
@@ -99,6 +102,11 @@ class GSpanMiner:
         a relaxed absolute threshold derived from the global one, which a
         fraction cannot always express exactly.  May exceed the database
         size, in which case nothing is frequent.
+    counters:
+        Optional :class:`repro.core.results.MiningCounters` receiving the
+        candidate stream statistics (``gspan_candidates_generated`` /
+        ``..._pruned_infrequent`` / ``..._pruned_nonminimal``).  ``None``
+        (the default) skips all counting.
     """
 
     def __init__(
@@ -108,6 +116,7 @@ class GSpanMiner:
         max_edges: int | None = None,
         keep_embeddings: bool = False,
         min_count: int | None = None,
+        counters: "MiningCounters | None" = None,
     ) -> None:
         if len(database) == 0:
             raise MiningError("cannot mine an empty database")
@@ -123,6 +132,7 @@ class GSpanMiner:
             self.min_count = min_support_count(min_support, len(database))
         self.max_edges = max_edges
         self.keep_embeddings = keep_embeddings
+        self.counters = counters
 
     # -- public API -------------------------------------------------------------
 
@@ -184,6 +194,12 @@ class GSpanMiner:
             for edge, embeddings in projections.items()
             if self._support_count(embeddings) >= self.min_count
         ]
+        counters = self.counters
+        if counters is not None:
+            counters.gspan_candidates_generated += len(projections)
+            counters.gspan_candidates_pruned_infrequent += (
+                len(projections) - len(frequent)
+            )
         frequent.sort(key=lambda item: item[0][2:])
         return frequent
 
@@ -207,12 +223,19 @@ class GSpanMiner:
             return
 
         extensions = self._extensions(code, embeddings)
+        counters = self.counters
         for edge in sorted(extensions, key=_DfsEdgeKey):
             child_embeddings = extensions[edge]
+            if counters is not None:
+                counters.gspan_candidates_generated += 1
             if self._support_count(child_embeddings) < self.min_count:
+                if counters is not None:
+                    counters.gspan_candidates_pruned_infrequent += 1
                 continue
             child = code.extended(edge)
             if not is_min_code(child):
+                if counters is not None:
+                    counters.gspan_candidates_pruned_nonminimal += 1
                 continue
             self._grow(child, child_embeddings, deliver)
 

@@ -1,0 +1,72 @@
+"""Named counters and gauges with cross-process merge semantics.
+
+:class:`MetricsRegistry` is the report-side home for metrics that do not
+fit the fixed :class:`repro.core.results.MiningCounters` block — above
+all the parallel runtime's per-shard statistics (``parallel.shard[3].
+patterns``), which exist only on multi-process runs and whose key set
+depends on the shard count.
+
+Counters are additive across merges (worker totals sum); gauges hold
+point-in-time values and merge by maximum, which is the right semantics
+for peaks (RSS, resident entries) and harmless for constants like
+``db.graphs`` that agree on both sides.
+"""
+
+from __future__ import annotations
+
+__all__ = ["MetricsRegistry"]
+
+
+class MetricsRegistry:
+    """A bag of named counters (int, additive) and gauges (float, max)."""
+
+    __slots__ = ("counters", "gauges")
+
+    def __init__(
+        self,
+        counters: dict[str, int] | None = None,
+        gauges: dict[str, float] | None = None,
+    ) -> None:
+        self.counters: dict[str, int] = dict(counters or {})
+        self.gauges: dict[str, float] = dict(gauges or {})
+
+    def add(self, name: str, value: int = 1) -> None:
+        """Increment counter ``name`` by ``value``."""
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = float(value)
+
+    def max_gauge(self, name: str, value: float) -> None:
+        """Raise gauge ``name`` to ``value`` if larger (peak semantics)."""
+        current = self.gauges.get(name)
+        if current is None or value > current:
+            self.gauges[name] = float(value)
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold ``other`` in: counters sum, gauges keep the maximum."""
+        for name, value in other.counters.items():
+            self.add(name, value)
+        for name, value in other.gauges.items():
+            self.max_gauge(name, value)
+
+    def as_dict(self) -> dict:
+        return {
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "gauges": {k: self.gauges[k] for k in sorted(self.gauges)},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MetricsRegistry":
+        return cls(data.get("counters"), data.get("gauges"))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MetricsRegistry):
+            return NotImplemented
+        return self.counters == other.counters and self.gauges == other.gauges
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MetricsRegistry(counters={len(self.counters)}, "
+            f"gauges={len(self.gauges)})"
+        )

@@ -65,6 +65,8 @@ from repro.graphs.io import parse_graph_database
 from repro.mining.dfs_code import DFSCode, DFSEdge
 from repro.mining.gspan import GSpanMiner, min_support_count
 from repro.mining.projection import project_code
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.trace import NOOP_TRACER, PhaseClock, Tracer
 from repro.parallel.merge import (
     ClassFragment,
     MergedClass,
@@ -83,6 +85,16 @@ __all__ = ["ParallelTaxogram"]
 _CHUNKS_PER_WORKER = 4
 
 _Code = tuple[DFSEdge, ...]
+
+
+@dataclass(frozen=True)
+class _PhaseStats:
+    """Worker-measured phase cost, shipped back for span attribution."""
+
+    wall_seconds: float
+    cpu_seconds: float
+    peak_rss_kb: int
+    counters: MiningCounters | None = None
 
 
 # ---------------------------------------------------------------------------
@@ -206,7 +218,7 @@ def _build_fragment(
 def _phase_mine(
     shard_id: int,
     allowed: frozenset[int] | None,
-) -> tuple[int, tuple[ClassFragment, ...], float]:
+) -> tuple[int, tuple[ClassFragment, ...], _PhaseStats]:
     """Phase 3: shard-local gSpan + fragments for locally frequent codes.
 
     The miner already carries each frequent code's embedding list, so
@@ -214,14 +226,16 @@ def _phase_mine(
     projection work; fragment order is the miner's DFS preorder.
     """
     runtime = _runtime()
-    watch = Stopwatch()
-    with watch:
+    clock = PhaseClock()
+    counters = MiningCounters()
+    with clock:
         data = runtime.shard_data(shard_id)
         miner = GSpanMiner(
             data.dmg,
             max_edges=runtime.config.max_edges,
             keep_embeddings=True,
             min_count=runtime.config.local_min_count,
+            counters=counters,
         )
         fragments = tuple(
             _build_fragment(
@@ -230,14 +244,17 @@ def _phase_mine(
             )
             for pattern in miner.mine()
         )
-    return shard_id, fragments, watch.elapsed
+    stats = _PhaseStats(
+        clock.wall_seconds, clock.cpu_seconds, clock.peak_rss_kb, counters
+    )
+    return shard_id, fragments, stats
 
 
 def _phase_project(
     shard_id: int,
     missing: Sequence[_Code],
     allowed: frozenset[int] | None,
-) -> tuple[int, list[ClassFragment], float]:
+) -> tuple[int, list[ClassFragment], _PhaseStats]:
     """Phase 4: replay candidates this shard did not find locally.
 
     ``missing`` holds only candidates frequent in some *other* shard,
@@ -245,9 +262,9 @@ def _phase_project(
     (empty whenever the shards agree on the frequent set).
     """
     runtime = _runtime()
-    watch = Stopwatch()
+    clock = PhaseClock()
     fragments: list[ClassFragment] = []
-    with watch:
+    with clock:
         data = runtime.shard_data(shard_id)
         for code in missing:
             embeddings = project_code(data.dmg, code)
@@ -256,19 +273,22 @@ def _phase_project(
                     runtime, data, shard_id, code, embeddings, allowed
                 )
             )
-    return shard_id, fragments, watch.elapsed
+    stats = _PhaseStats(
+        clock.wall_seconds, clock.cpu_seconds, clock.peak_rss_kb
+    )
+    return shard_id, fragments, stats
 
 
 def _phase_specialize(
     tasks: Sequence[tuple[int, _Code, tuple, tuple]],
-) -> tuple[list[TaxonomyPattern], MiningCounters, float]:
+) -> tuple[list[TaxonomyPattern], MiningCounters, _PhaseStats]:
     """Phase 6: run the sequential Step-3 specializer on merged classes."""
     runtime = _runtime()
     config = runtime.config
-    watch = Stopwatch()
+    clock = PhaseClock()
     counters = MiningCounters()
     patterns: list[TaxonomyPattern] = []
-    with watch:
+    with clock:
         for class_id, code, occurrences, entries in tasks:
             structure = DFSCode(code).to_graph()
             store = OccurrenceStore()
@@ -294,7 +314,10 @@ def _phase_specialize(
                         counters=counters,
                     )
                 )
-    return patterns, counters, watch.elapsed
+    stats = _PhaseStats(
+        clock.wall_seconds, clock.cpu_seconds, clock.peak_rss_kb
+    )
+    return patterns, counters, stats
 
 
 def _specialize_on_disk(
@@ -358,10 +381,17 @@ class ParallelTaxogram:
 
         self.options = options if options is not None else TaxogramOptions()
 
-    def mine(self, database: GraphDatabase, taxonomy: Taxonomy) -> TaxogramResult:
+    def mine(
+        self,
+        database: GraphDatabase,
+        taxonomy: Taxonomy,
+        tracer: Tracer | None = None,
+    ) -> TaxogramResult:
         from repro.core.taxogram import _contract_taxonomy
 
         options = self.options
+        if tracer is None:
+            tracer = NOOP_TRACER
         if options.workers < 1:
             raise MiningError(
                 f"workers must be at least 1, got {options.workers}"
@@ -372,14 +402,14 @@ class ParallelTaxogram:
                 f"{options.occurrence_index_backend!r}"
             )
         if min(options.workers, len(database)) <= 1:
-            return self._sequential(database, taxonomy)
+            return self._sequential(database, taxonomy, tracer)
 
         counters = MiningCounters()
         stage_seconds: dict[str, float] = {}
         worker_seconds: dict[str, float] = {}
 
         prepare = Stopwatch()
-        with prepare:
+        with prepare, tracer.span("relabel"):
             working = taxonomy
             if options.enhancement_taxonomy_contraction:
                 working = _contract_taxonomy(
@@ -399,7 +429,7 @@ class ParallelTaxogram:
             options.workers, len(database), max(1, min_count - 1)
         )
         if num_shards <= 1:
-            return self._sequential(database, taxonomy)
+            return self._sequential(database, taxonomy, tracer)
 
         shard_watch = Stopwatch()
         with shard_watch:
@@ -439,7 +469,7 @@ class ParallelTaxogram:
                 RuntimeWarning,
                 stacklevel=2,
             )
-            return self._sequential(database, taxonomy)
+            return self._sequential(database, taxonomy, tracer)
 
         try:
             with pool:
@@ -453,6 +483,7 @@ class ParallelTaxogram:
                     counters,
                     stage_seconds,
                     worker_seconds,
+                    tracer,
                 )
         except BrokenProcessPool as exc:
             warnings.warn(
@@ -460,15 +491,20 @@ class ParallelTaxogram:
                 RuntimeWarning,
                 stacklevel=2,
             )
-            return self._sequential(database, taxonomy)
+            return self._sequential(database, taxonomy, tracer)
 
     # -- internals --------------------------------------------------------------
 
-    def _sequential(self, database: GraphDatabase, taxonomy: Taxonomy):
+    def _sequential(
+        self,
+        database: GraphDatabase,
+        taxonomy: Taxonomy,
+        tracer: Tracer | None = None,
+    ):
         from repro.core.taxogram import Taxogram
 
         return Taxogram(replace(self.options, workers=1)).mine(
-            database, taxonomy
+            database, taxonomy, tracer
         )
 
     def _run_phases(
@@ -482,11 +518,14 @@ class ParallelTaxogram:
         counters: MiningCounters,
         stage_seconds: dict[str, float],
         worker_seconds: dict[str, float],
+        tracer: Tracer,
     ) -> TaxogramResult:
         options = self.options
+        metrics = MetricsRegistry()
+        metrics.add("parallel.shards", num_shards)
 
         mine_watch = Stopwatch()
-        with mine_watch:
+        with mine_watch, tracer.span("gspan.extend"):
             # The label filter depends only on the (whole) original
             # database, not on mining — computing it up front lets the
             # mine phase build filtered fragments in a single pass.
@@ -503,7 +542,25 @@ class ParallelTaxogram:
             shard_results = list(
                 pool.map(_phase_mine, range(num_shards), repeat(allowed))
             )
-            worker_seconds["mine"] = sum(r[2] for r in shard_results)
+            worker_seconds["mine"] = sum(
+                stats.wall_seconds for _s, _f, stats in shard_results
+            )
+            for shard_id, fragments, stats in shard_results:
+                tracer.record_span(
+                    f"parallel.shard[{shard_id}]",
+                    stats.wall_seconds,
+                    stats.cpu_seconds,
+                    stats.peak_rss_kb,
+                )
+                metrics.set_gauge(
+                    f"parallel.shard[{shard_id}].patterns", len(fragments)
+                )
+                metrics.add("parallel.shard_patterns_total", len(fragments))
+                # Shard-local gSpan work (candidate stream at the relaxed
+                # local threshold) folds into the run's gspan.* counters;
+                # the merged totals are upper bounds on the sequential
+                # counts, never identities.
+                counters.merge(stats.counters)
             fragment_maps: list[dict[_Code, ClassFragment]] = [
                 {fragment.code: fragment for fragment in r[1]}
                 for r in shard_results
@@ -515,21 +572,30 @@ class ParallelTaxogram:
                 [c for c in candidates if c not in fragment_maps[s]]
                 for s in range(num_shards)
             ]
+            metrics.add(
+                "parallel.projected_replays", sum(len(m) for m in missing)
+            )
             worker_seconds["project"] = 0.0
             jobs = [s for s in range(num_shards) if missing[s]]
-            for shard_id, fragments, elapsed in pool.map(
+            for shard_id, fragments, stats in pool.map(
                 _phase_project,
                 jobs,
                 (missing[s] for s in jobs),
                 repeat(allowed),
             ):
-                worker_seconds["project"] += elapsed
+                worker_seconds["project"] += stats.wall_seconds
+                tracer.record_span(
+                    f"parallel.shard[{shard_id}]",
+                    stats.wall_seconds,
+                    stats.cpu_seconds,
+                    stats.peak_rss_kb,
+                )
                 for fragment in fragments:
                     fragment_maps[shard_id][fragment.code] = fragment
         stage_seconds["mine_classes"] = mine_watch.elapsed
 
         merge_watch = Stopwatch()
-        with merge_watch:
+        with merge_watch, tracer.span("merge"):
             starts = [shard.start for shard in manifest.shards]
             kept: list[MergedClass] = []
             for code in candidates:
@@ -543,35 +609,55 @@ class ParallelTaxogram:
             for merged in kept:
                 counters.embedding_extensions += merged.embedding_count
                 counters.occurrence_index_updates += merged.index_updates
+                counters.oie_entries += sum(
+                    len(entry) for entry in merged.entries
+                )
+            metrics.add("parallel.candidates_union", len(candidates))
+            metrics.add("parallel.classes_kept", len(kept))
         stage_seconds["merge"] = merge_watch.elapsed
 
         specialize_watch = Stopwatch()
         patterns: list[TaxonomyPattern] = []
-        with specialize_watch:
+        with specialize_watch, tracer.span("specialize.class"):
             tasks = [
                 (class_id, merged.code, merged.occurrences, merged.entries)
                 for class_id, merged in enumerate(kept)
             ]
             worker_seconds["specialize"] = 0.0
-            for chunk_patterns, chunk_counters, elapsed in pool.map(
+            for chunk_patterns, chunk_counters, stats in pool.map(
                 _phase_specialize,
                 _chunk(tasks, num_shards * _CHUNKS_PER_WORKER),
             ):
                 patterns.extend(chunk_patterns)
                 counters.merge(chunk_counters)
-                worker_seconds["specialize"] += elapsed
+                worker_seconds["specialize"] += stats.wall_seconds
+                tracer.record_span(
+                    "parallel.specialize.chunk",
+                    stats.wall_seconds,
+                    stats.cpu_seconds,
+                    stats.peak_rss_kb,
+                )
         stage_seconds["specialize"] = specialize_watch.elapsed
 
-        from repro.core.taxogram import _any_enhancement
+        from repro.core.taxogram import _any_enhancement, _build_report
 
+        algorithm = "taxogram" if _any_enhancement(options) else "baseline"
         return TaxogramResult(
             patterns=patterns,
             database_size=len(database),
             min_support=options.min_support,
-            algorithm="taxogram" if _any_enhancement(options) else "baseline",
+            algorithm=algorithm,
             counters=counters,
             stage_seconds=stage_seconds,
             worker_seconds=worker_seconds,
+            report=_build_report(
+                algorithm,
+                counters,
+                stage_seconds,
+                tracer,
+                database,
+                metrics=metrics,
+            ),
         )
 
 

@@ -50,6 +50,17 @@ class DatabaseStats:
             f"{'Labels':>12} {'Density':>10}"
         )
 
+    def as_gauges(self, prefix: str = "db.") -> dict[str, float]:
+        """The ``db.*`` gauge view used by
+        :class:`repro.observability.RunReport` on traced runs."""
+        return {
+            f"{prefix}graphs": float(self.graph_count),
+            f"{prefix}avg_nodes": self.avg_nodes,
+            f"{prefix}avg_edges": self.avg_edges,
+            f"{prefix}distinct_labels": float(self.distinct_label_count),
+            f"{prefix}avg_edge_density": self.avg_edge_density,
+        }
+
 
 def describe_database(graphs: Iterable["Graph"]) -> DatabaseStats:
     """Compute Table 1-style statistics for an iterable of graphs."""

@@ -1,4 +1,12 @@
-"""Small timing helpers used by benchmarks and the CLI."""
+"""Small timing helpers used by benchmarks, the CLI and observability.
+
+:class:`Stopwatch` is the wall-clock accumulation primitive that
+:mod:`repro.observability.trace` builds spans on.  It is *reentrant*:
+nested ``with``/``start()`` on the same instance no longer clobbers the
+running start time — only the outermost start/stop pair accounts
+elapsed time, so recursive phases (a specializer re-entering its own
+timer through a callback) measure their true extent exactly once.
+"""
 
 from __future__ import annotations
 
@@ -8,41 +16,47 @@ __all__ = ["Stopwatch"]
 
 
 class Stopwatch:
-    """Accumulating wall-clock stopwatch usable as a context manager.
+    """Accumulating, reentrant wall-clock stopwatch / context manager.
 
     >>> sw = Stopwatch()
     >>> with sw:
-    ...     pass
+    ...     with sw:  # nested use is safe: counted once, never reset
+    ...         pass
     >>> sw.elapsed >= 0.0
     True
     """
 
-    __slots__ = ("_start", "elapsed")
+    __slots__ = ("_start", "_depth", "elapsed")
 
     def __init__(self) -> None:
         self._start: float | None = None
+        self._depth = 0
         self.elapsed = 0.0
 
     def start(self) -> "Stopwatch":
-        if self._start is not None:
-            raise RuntimeError("stopwatch already running")
-        self._start = time.perf_counter()
+        self._depth += 1
+        if self._depth == 1:
+            self._start = time.perf_counter()
         return self
 
     def stop(self) -> float:
-        if self._start is None:
+        if self._depth == 0:
             raise RuntimeError("stopwatch not running")
-        self.elapsed += time.perf_counter() - self._start
-        self._start = None
+        self._depth -= 1
+        if self._depth == 0:
+            assert self._start is not None
+            self.elapsed += time.perf_counter() - self._start
+            self._start = None
         return self.elapsed
 
     def reset(self) -> None:
         self._start = None
+        self._depth = 0
         self.elapsed = 0.0
 
     @property
     def running(self) -> bool:
-        return self._start is not None
+        return self._depth > 0
 
     @property
     def elapsed_ms(self) -> float:

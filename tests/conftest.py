@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
@@ -10,6 +11,20 @@ from repro.graphs.database import GraphDatabase
 from repro.taxonomy.builders import taxonomy_from_parent_names
 from repro.taxonomy.taxonomy import Taxonomy
 from repro.util.interner import LabelInterner
+
+
+def pytest_collection_modifyitems(config, items):
+    """Skip ``slow``-marked tests unless ``RUN_SLOW=1`` is set.
+
+    The default (tier-1) run keeps the differential matrix small; the
+    wide matrix rides behind the environment gate.
+    """
+    if os.environ.get("RUN_SLOW"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow test; set RUN_SLOW=1 to run")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
 
 
 @pytest.fixture
@@ -42,6 +57,57 @@ def pathway_db(go_excerpt: Taxonomy) -> GraphDatabase:
         [(0, 1, "i"), (1, 2, "i")],
     )
     return db
+
+
+def make_differential_case(seed: int):
+    """Randomized ``(database, taxonomy, sigma)`` triple for the
+    differential harness.
+
+    Seeds deterministically cover the taxonomy space: odd seeds produce
+    DAGs, seeds divisible by 3 produce multi-root forests.  The sigma
+    palette leans high so that a good fraction of cases clear the
+    parallel runtime's shard-count floor (``min_count >= 3``) and
+    genuinely exercise the multi-process path.
+    """
+    rng = random.Random(seed)
+    interner = LabelInterner()
+    taxonomy = make_random_taxonomy(
+        rng,
+        interner,
+        rng.randint(4, 8),
+        dag=seed % 2 == 1,
+        multiroot=seed % 3 == 0,
+    )
+    database = make_random_database(rng, taxonomy, rng.randint(3, 5))
+    sigma = rng.choice([0.5, 0.67, 0.8, 1.0])
+    return database, taxonomy, sigma
+
+
+@pytest.fixture
+def differential_runner():
+    """Run oracle, sequential Taxogram, and workers=2 on one seed.
+
+    Returns a callable ``run(seed, max_edges=2) -> (oracle, sequential,
+    parallel)`` over the triple from :func:`make_differential_case`; all
+    three see identical inputs and the same pattern-size cap.
+    """
+    from repro.core.oracle import mine_with_oracle
+    from repro.core.taxogram import Taxogram, TaxogramOptions
+
+    def run(seed: int, max_edges: int = 2):
+        database, taxonomy, sigma = make_differential_case(seed)
+        oracle = mine_with_oracle(
+            database, taxonomy, sigma, max_edges=max_edges
+        )
+        sequential = Taxogram(
+            TaxogramOptions(min_support=sigma, max_edges=max_edges)
+        ).mine(database, taxonomy)
+        parallel = Taxogram(
+            TaxogramOptions(min_support=sigma, max_edges=max_edges, workers=2)
+        ).mine(database, taxonomy)
+        return oracle, sequential, parallel
+
+    return run
 
 
 def make_random_taxonomy(

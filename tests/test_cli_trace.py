@@ -1,0 +1,187 @@
+"""Golden-file tests for the CLI observability surface.
+
+``--trace`` renders and ``--metrics-out`` serializes run reports whose
+shape must stay stable: counters and span structure are deterministic
+for a fixed dataset, while durations and RSS are volatile.  The render
+contract (every duration suffixed ``ms``, every RSS figure suffixed
+``KB``) and the JSON schema (volatile values live under known keys) let
+these tests normalize the volatile parts away and pin everything else
+against goldens in ``tests/golden/``.
+
+Regenerate the goldens after an intentional format change with::
+
+    REGEN_GOLDENS=1 PYTHONPATH=src python -m pytest tests/test_cli_trace.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.graphs.database import GraphDatabase
+from repro.graphs.io import write_graph_database
+from repro.observability import RunReport
+from repro.taxonomy.builders import taxonomy_from_parent_names
+from repro.taxonomy.io import write_taxonomy
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+REGEN = bool(os.environ.get("REGEN_GOLDENS"))
+
+# Volatile tokens in rendered reports: durations and RSS figures.  The
+# renderer guarantees the suffixes (see RunReport.render).
+_VOLATILE_TOKEN = re.compile(r"\d+(?:\.\d+)?(ms|KB)")
+# Volatile values in serialized reports live under these keys.
+_VOLATILE_KEYS = {"wall_seconds", "cpu_seconds", "peak_rss_kb"}
+
+
+def _normalize_text(text: str) -> str:
+    return _VOLATILE_TOKEN.sub(lambda m: f"<{m.group(1)}>", text)
+
+
+def _report_section(out: str) -> str:
+    """Everything from the first rendered report onward (the preceding
+    pattern listing / comparison table carries volatile wall times)."""
+    return out[out.index("== run report:"):]
+
+
+def _normalize_json(value):
+    if isinstance(value, dict):
+        out = {}
+        for key, item in value.items():
+            if key in _VOLATILE_KEYS:
+                out[key] = 0
+            elif key == "stage_seconds":
+                out[key] = {name: 0.0 for name in item}
+            else:
+                out[key] = _normalize_json(item)
+        return out
+    if isinstance(value, list):
+        return [_normalize_json(item) for item in value]
+    return value
+
+
+def _check_golden(name: str, actual: str) -> None:
+    path = GOLDEN_DIR / name
+    if REGEN:
+        path.parent.mkdir(exist_ok=True)
+        path.write_text(actual)
+        pytest.skip(f"regenerated {name}")
+    assert path.exists(), (
+        f"missing golden {name}; run with REGEN_GOLDENS=1 to create it"
+    )
+    assert actual == path.read_text()
+
+
+@pytest.fixture
+def files(tmp_path):
+    tax = taxonomy_from_parent_names({"b": "a", "c": "a"})
+    db = GraphDatabase(node_labels=tax.interner)
+    db.new_graph(["b", "c"], [(0, 1, "x")])
+    db.new_graph(["c", "b"], [(0, 1, "x")])
+    db.new_graph(["b", "b"], [(0, 1, "x")])
+    tax_path = tmp_path / "tax.txt"
+    db_path = tmp_path / "db.graphs"
+    write_taxonomy(tax, tax_path)
+    write_graph_database(db, db_path)
+    return db_path, tax_path
+
+
+class TestMineTrace:
+    def test_trace_golden(self, files, capsys):
+        db_path, tax_path = files
+        code = main(
+            ["mine", str(db_path), str(tax_path), "--support", "1.0",
+             "--trace"]
+        )
+        assert code == 0
+        section = _report_section(capsys.readouterr().out)
+        _check_golden("mine_trace.txt", _normalize_text(section))
+
+    def test_metrics_out_golden(self, files, tmp_path, capsys):
+        db_path, tax_path = files
+        out_path = tmp_path / "metrics.json"
+        code = main(
+            ["mine", str(db_path), str(tax_path), "--support", "1.0",
+             "--metrics-out", str(out_path)]
+        )
+        assert code == 0
+        # --metrics-out alone stays quiet on stdout.
+        assert "== run report:" not in capsys.readouterr().out
+        raw = out_path.read_text()
+        report = RunReport.from_json(raw)  # parses back into a report
+        assert report.algorithm == "taxogram"
+        assert report.counter("mine.pattern_classes") > 0
+        normalized = (
+            json.dumps(
+                _normalize_json(json.loads(raw)), indent=2, sort_keys=True
+            )
+            + "\n"
+        )
+        _check_golden("mine_metrics.json", normalized)
+
+    def test_metrics_out_deterministic_across_runs(self, files, tmp_path,
+                                                   capsys):
+        db_path, tax_path = files
+        dumps = []
+        for name in ("a.json", "b.json"):
+            out_path = tmp_path / name
+            assert main(
+                ["mine", str(db_path), str(tax_path), "--support", "1.0",
+                 "--metrics-out", str(out_path)]
+            ) == 0
+            dumps.append(_normalize_json(json.loads(out_path.read_text())))
+        capsys.readouterr()
+        assert dumps[0] == dumps[1]
+
+    def test_workers_trace_shows_shard_spans(self, files, capsys):
+        # Parallel shard timings vary run to run; assert the structure
+        # rather than pinning a golden.
+        db_path, tax_path = files
+        code = main(
+            ["mine", str(db_path), str(tax_path), "--support", "1.0",
+             "--workers", "2", "--trace"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "parallel.shard[0]" in out
+        assert "parallel.shard[1]" in out
+        assert re.search(r"parallel\.shards\s+2", out)
+
+
+class TestCompareTrace:
+    def test_trace_golden(self, files, capsys):
+        db_path, tax_path = files
+        code = main(
+            ["compare", str(db_path), str(tax_path), "--support", "1.0",
+             "--trace"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pattern sets agree: True" in out
+        section = _report_section(out)
+        assert "counter deltas (taxogram vs baseline):" in section
+        _check_golden("compare_trace.txt", _normalize_text(section))
+
+    def test_metrics_out_golden(self, files, tmp_path, capsys):
+        db_path, tax_path = files
+        out_path = tmp_path / "compare.json"
+        code = main(
+            ["compare", str(db_path), str(tax_path), "--support", "1.0",
+             "--metrics-out", str(out_path)]
+        )
+        assert code == 0
+        capsys.readouterr()
+        payload = json.loads(out_path.read_text())
+        assert sorted(payload["runs"]) == ["baseline", "tacgm", "taxogram"]
+        for run in payload["runs"].values():
+            RunReport.from_dict(run)  # every run parses back
+        normalized = (
+            json.dumps(_normalize_json(payload), indent=2, sort_keys=True)
+            + "\n"
+        )
+        _check_golden("compare_metrics.json", normalized)

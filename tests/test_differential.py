@@ -1,0 +1,143 @@
+"""Differential harness: oracle vs Taxogram vs the parallel runtime.
+
+Every seed builds one randomized ``(taxonomy, database, sigma)`` triple
+(odd seeds are DAGs, seeds divisible by 3 are multi-root) and runs the
+brute-force oracle, the sequential Taxogram pipeline, and the
+multi-process runtime (``workers=2``) on identical inputs.  The three
+must agree on the exact pattern set, and the observability counters must
+be mutually consistent:
+
+* sequential and parallel agree exactly on the equivalence counters
+  (pattern classes, bit-set intersections, candidates enumerated, ...);
+* when the run genuinely sharded, the merged per-shard pattern counts
+  are an upper bound on the sequential class count — every globally
+  frequent class is locally frequent on at least one shard (the
+  pigeonhole relaxation), so the shard union can only over-approximate.
+
+The default matrix keeps tier-1 fast; the wide matrix runs under
+``RUN_SLOW=1`` (see ``conftest.pytest_collection_modifyitems``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.taxogram import Taxogram, TaxogramOptions
+from tests.conftest import make_differential_case
+
+DEFAULT_SEEDS = list(range(25))
+WIDE_SEEDS = list(range(25, 75))
+
+
+def _assert_consistent(oracle, sequential, parallel) -> None:
+    # 1. Exact pattern-set agreement, supports included.
+    assert sequential.pattern_codes() == oracle.pattern_codes()
+    assert parallel.pattern_codes() == oracle.pattern_codes()
+    oracle_map = oracle.pattern_codes()
+    for pattern in sequential:
+        assert pattern.support_set == oracle_map[pattern.code]
+
+    # 2. Counter identity on the equivalence fields (parallel merge must
+    #    reconstruct the sequential work profile exactly).
+    seq, par = sequential.counters, parallel.counters
+    assert par.pattern_classes == seq.pattern_classes
+    assert par.embedding_extensions == seq.embedding_extensions
+    assert par.occurrence_index_updates == seq.occurrence_index_updates
+    assert par.bitset_intersections == seq.bitset_intersections
+    assert par.candidates_enumerated == seq.candidates_enumerated
+    assert par.overgeneralized_eliminated == seq.overgeneralized_eliminated
+    assert par.oie_entries == seq.oie_entries
+
+    # 3. Reports ride on every result; counter views agree with the raw
+    #    counter block.
+    assert sequential.report is not None
+    assert parallel.report is not None
+    assert (
+        sequential.report.counter("mine.pattern_classes")
+        == seq.pattern_classes
+    )
+
+    # 4. Pigeonhole: if the run actually fanned out, the merged shard
+    #    pattern counts dominate the sequential class count.
+    shards = parallel.report.counter("parallel.shards")
+    if shards >= 2:
+        assert (
+            parallel.report.counter("parallel.shard_patterns_total")
+            >= seq.pattern_classes
+        )
+        assert parallel.worker_seconds  # the pool genuinely ran
+    else:
+        # Shard floor not met: the runtime fell back to the sequential
+        # path and must say so.
+        assert parallel.worker_seconds == {}
+
+
+class TestDifferentialMatrix:
+    @pytest.mark.parametrize("seed", DEFAULT_SEEDS)
+    def test_triple_agreement(self, differential_runner, seed):
+        oracle, sequential, parallel = differential_runner(seed)
+        _assert_consistent(oracle, sequential, parallel)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("seed", WIDE_SEEDS)
+    def test_triple_agreement_wide(self, differential_runner, seed):
+        oracle, sequential, parallel = differential_runner(seed)
+        _assert_consistent(oracle, sequential, parallel)
+
+    def test_matrix_covers_dag_and_multiroot(self):
+        # The seed -> shape mapping is load-bearing for coverage claims;
+        # pin it so a refactor of make_differential_case can't silently
+        # shrink the matrix to trees only.
+        shapes = set()
+        for seed in DEFAULT_SEEDS:
+            _db, taxonomy, _sigma = make_differential_case(seed)
+            multi_parent = any(
+                len(taxonomy.parents_of(label)) > 1
+                for label in taxonomy.labels()
+            )
+            shapes.add((multi_parent, len(taxonomy.roots()) > 1))
+        assert any(dag for dag, _ in shapes), "no DAG taxonomy in matrix"
+        assert any(multi for _, multi in shapes), "no multi-root taxonomy"
+
+    def test_matrix_exercises_real_sharding(self, differential_runner):
+        # At least a few default seeds must clear the shard floor, or
+        # the pigeonhole assertion above would be vacuous.
+        sharded = 0
+        for seed in DEFAULT_SEEDS[:12]:
+            _oracle, _sequential, parallel = differential_runner(seed)
+            if parallel.report.counter("parallel.shards") >= 2:
+                sharded += 1
+        assert sharded >= 3
+
+
+class TestGuaranteedShard:
+    def test_sigma_one_always_shards(self, go_excerpt, pathway_db):
+        # |D|=2, sigma=1.0 -> min_count=2 -> shards=min(2, 2, 1)=1:
+        # too small.  Duplicate the pathways to |D|=4 so min_count=4 and
+        # the shard floor (min_count - 1 >= 2) is guaranteed.
+        db = pathway_db
+        for gid in list(range(len(db))):
+            graph = db[gid]
+            db.new_graph(
+                [
+                    db.node_labels.name_of(graph.node_label(v))
+                    for v in graph.nodes()
+                ],
+                [
+                    (u, v, db.edge_labels.name_of(label))
+                    for u, v, label in graph.edges()
+                ],
+            )
+        sequential = Taxogram(
+            TaxogramOptions(min_support=1.0, max_edges=3)
+        ).mine(db, go_excerpt)
+        parallel = Taxogram(
+            TaxogramOptions(min_support=1.0, max_edges=3, workers=2)
+        ).mine(db, go_excerpt)
+        assert parallel.report.counter("parallel.shards") == 2
+        assert parallel.pattern_codes() == sequential.pattern_codes()
+        assert (
+            parallel.report.counter("parallel.shard_patterns_total")
+            >= sequential.counters.pattern_classes
+        )
+        assert sequential.counters.pattern_classes > 0

@@ -43,6 +43,21 @@ class TestDescribeDatabase:
         assert stats.avg_nodes == 0.0
         assert stats.distinct_label_count == 0
 
+    def test_as_gauges_view(self):
+        stats = self._db().stats()
+        gauges = stats.as_gauges()
+        assert gauges["db.graphs"] == 2.0
+        assert gauges["db.avg_nodes"] == 2.5
+        assert gauges["db.distinct_labels"] == 3.0
+        assert all(isinstance(v, float) for v in gauges.values())
+        assert set(stats.as_gauges(prefix="x.")) == {
+            f"x.{name}"
+            for name in (
+                "graphs", "avg_nodes", "avg_edges", "distinct_labels",
+                "avg_edge_density",
+            )
+        }
+
     def test_row_rendering(self):
         stats = self._db().stats()
         header = DatabaseStats.header()

@@ -107,3 +107,28 @@ class TestTutorial:
         oracle = mine_with_oracle(db, taxonomy, min_support=1.0, max_edges=3)
         result = mine(db, taxonomy, min_support=1.0, max_edges=3)
         assert oracle.pattern_codes() == result.pattern_codes()
+
+    def test_step11_observability(self):
+        taxonomy, db = _setup()
+        from repro import RunReport, Tracer, mine_baseline
+
+        tracer = Tracer()
+        result = mine(db, taxonomy, min_support=1.0, tracer=tracer)
+        report = result.report
+        assert report is not None
+        assert report.counter("specialize.bitset_intersections") > 0
+        rendered = report.render()
+        assert "== run report: taxogram ==" in rendered
+        assert "spans:" in rendered
+        assert "gspan.extend" in rendered
+
+        fast = mine(db, taxonomy, min_support=1.0).report
+        slow = mine_baseline(db, taxonomy, min_support=1.0).report
+        deltas = fast.diff_counters(slow)
+        # The paper's story in two counters: the enhanced pipeline
+        # intersects bit-sets where the baseline isomorphism-tests.
+        assert "specialize.bitset_intersections" in deltas
+        assert deltas["specialize.bitset_intersections"][0] > 0
+
+        restored = RunReport.from_json(report.to_json())
+        assert restored.to_dict() == report.to_dict()
