@@ -49,10 +49,17 @@ from repro.exceptions import (
     MemoryBudgetExceeded,
     MiningError,
     ReproError,
+    StoreError,
     TaxonomyError,
 )
 from repro.graphs.database import GraphDatabase
 from repro.graphs.graph import Graph
+from repro.incremental import (
+    DatabaseDelta,
+    IncrementalOptions,
+    IncrementalTaxogram,
+    PatternStore,
+)
 from repro.graphs.io import read_graph_database, write_graph_database
 from repro.mining.gspan import GSpanMiner
 from repro.taxonomy.atoms import pte_atom_taxonomy
@@ -77,6 +84,11 @@ __all__ = [
     "ParallelTaxogram",
     "mine_with_oracle",
     "relabel_database",
+    # incremental mining
+    "PatternStore",
+    "DatabaseDelta",
+    "IncrementalTaxogram",
+    "IncrementalOptions",
     # analysis
     "closed_patterns",
     "filter_patterns",
@@ -115,5 +127,6 @@ __all__ = [
     "TaxonomyError",
     "FormatError",
     "MiningError",
+    "StoreError",
     "MemoryBudgetExceeded",
 ]

@@ -8,6 +8,8 @@ Commands:
   to graph/taxonomy files.
 * ``compare`` — run Taxogram, the baseline and TAcGM on the same input
   and report times, work counters and pattern-set agreement.
+* ``update`` — apply a database delta (added graphs and/or removed graph
+  ids) to a pattern store written by ``mine --store-out``.
 * ``stats`` — print Table 1-style statistics for a graph database file.
 * ``datasets`` — list the built-in Table 1 dataset specifications.
 """
@@ -61,6 +63,29 @@ def _workers_type(token: str) -> int:
     return value
 
 
+def _remove_ids_type(token: str) -> tuple[int, ...]:
+    """argparse type for ``--remove``: comma-separated graph ids."""
+    ids: list[int] = []
+    for part in token.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        try:
+            value = int(part)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"remove ids must be integers, got {part!r}"
+            ) from None
+        if value < 0:
+            raise argparse.ArgumentTypeError(
+                f"remove ids must be non-negative, got {value}"
+            )
+        ids.append(value)
+    if not ids:
+        raise argparse.ArgumentTypeError("no graph ids given")
+    return tuple(ids)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="taxogram",
@@ -106,7 +131,71 @@ def build_parser() -> argparse.ArgumentParser:
         help="parse the database as directed ('a' arc records) and mine "
         "with the directed pipeline",
     )
+    mine.add_argument(
+        "--store-out",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="persist the mining result as a pattern store in DIR, "
+        "enabling later `taxogram update` runs (taxogram/baseline only)",
+    )
     _add_observability_arguments(mine)
+
+    update = sub.add_parser(
+        "update",
+        help="apply a database delta to a pattern store written by "
+        "`mine --store-out`",
+    )
+    update.add_argument("store", type=Path, help="pattern store directory")
+    update.add_argument(
+        "--add",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="graph database file whose graphs are added to the store",
+    )
+    update.add_argument(
+        "--remove",
+        type=_remove_ids_type,
+        default=None,
+        metavar="IDS",
+        help="comma-separated pre-delta graph ids to remove, e.g. 0,3,17",
+    )
+    update.add_argument(
+        "--support",
+        type=_support_type,
+        default=None,
+        metavar="SIGMA",
+        help="assert the store was mined at this support "
+        "(mismatch is an error)",
+    )
+    update.add_argument(
+        "--max-edges",
+        type=int,
+        default=None,
+        help="assert the store was mined with this edge cap "
+        "(mismatch is an error)",
+    )
+    update.add_argument(
+        "--taxonomy",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="assert the store's taxonomy fingerprint matches this file "
+        "(mismatch is an error)",
+    )
+    update.add_argument(
+        "--remine-fraction",
+        type=float,
+        default=0.5,
+        metavar="F",
+        help="fall back to a full remine when the delta touches more "
+        "than this fraction of the database (default 0.5)",
+    )
+    update.add_argument(
+        "--limit", type=int, default=50, help="patterns to print (0 = all)"
+    )
+    _add_observability_arguments(update)
 
     generate = sub.add_parser("generate", help="synthesize a dataset to files")
     generate.add_argument("name", help="Table 1 dataset id, e.g. D1000 or PTE")
@@ -176,6 +265,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_datasets()
         if args.command == "compare":
             return _cmd_compare(args)
+        if args.command == "update":
+            return _cmd_update(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -219,6 +310,13 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.store_out is not None and (args.algorithm == "tacgm" or args.directed):
+        print(
+            "error: --store-out applies only to the undirected "
+            "taxogram/baseline algorithms",
+            file=sys.stderr,
+        )
+        return 2
     taxonomy = read_taxonomy(args.taxonomy)
     if args.directed:
         return _cmd_mine_directed(args, taxonomy)
@@ -245,7 +343,11 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             options = replace(options, occurrence_index_backend="disk")
         if args.workers > 1:
             options = replace(options, workers=args.workers)
+        if args.store_out is not None:
+            options = replace(options, store_out=str(args.store_out))
         result = Taxogram(options).mine(database, taxonomy, tracer)
+        if args.store_out is not None:
+            print(f"pattern store written to {args.store_out}")
 
     print(result.summary())
     shown = result.patterns if args.limit == 0 else result.patterns[: args.limit]
@@ -287,6 +389,63 @@ def _cmd_mine_directed(args: argparse.Namespace, taxonomy) -> int:
             for s, t, _l in pattern.graph.arcs()
         )
         print(f"  [{arcs}] sup={pattern.support:.3f}")
+    hidden = len(result.patterns) - len(shown)
+    if hidden > 0:
+        print(f"  ... and {hidden} more (use --limit 0 to print all)")
+    if _wants_report(args):
+        _emit_report(args, _result_report(result))
+    return 0
+
+
+def _cmd_update(args: argparse.Namespace) -> int:
+    from repro.incremental import (
+        DatabaseDelta,
+        IncrementalOptions,
+        IncrementalTaxogram,
+        PatternStore,
+    )
+
+    if args.add is None and args.remove is None:
+        print(
+            "error: nothing to update: pass --add and/or --remove",
+            file=sys.stderr,
+        )
+        return 2
+    store = PatternStore.open(args.store)
+    requested_taxonomy = (
+        read_taxonomy(args.taxonomy) if args.taxonomy is not None else None
+    )
+    mismatch = store.fingerprint_mismatch(
+        min_support=args.support,
+        max_edges=args.max_edges if args.max_edges is not None else "unset",
+        taxonomy=requested_taxonomy,
+    )
+    if mismatch is not None:
+        print(f"error: store fingerprint mismatch: {mismatch}", file=sys.stderr)
+        return 2
+    delta = DatabaseDelta(
+        add_text=args.add.read_text() if args.add is not None else "",
+        remove_ids=args.remove if args.remove is not None else (),
+    )
+    tracer = Tracer() if _wants_report(args) else None
+    updater = IncrementalTaxogram(
+        store, IncrementalOptions(full_remine_fraction=args.remine_fraction)
+    )
+    result = updater.apply(delta, tracer)
+    store = updater.store  # a fallback remine swaps in a fresh store
+    print(
+        f"applied delta (+{delta.added_count} graphs, "
+        f"-{len(delta.remove_ids)} graphs) to {args.store}"
+    )
+    print(result.summary())
+    shown = result.patterns if args.limit == 0 else result.patterns[: args.limit]
+    for pattern in shown:
+        print(
+            " ",
+            format_pattern(
+                pattern, store.taxonomy.interner, store.database.edge_labels
+            ),
+        )
     hidden = len(result.patterns) - len(shown)
     if hidden > 0:
         print(f"  ... and {hidden} more (use --limit 0 to print all)")

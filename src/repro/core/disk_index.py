@@ -47,6 +47,7 @@ class DiskOccurrenceIndex:
         num_positions: int,
         directory: str | Path | None = None,
         max_resident_entries: int = _DEFAULT_RESIDENT,
+        reset: bool = True,
     ) -> None:
         self._num_positions = num_positions
         if directory is None:
@@ -63,16 +64,24 @@ class DiskOccurrenceIndex:
             " bits BLOB NOT NULL,"
             " PRIMARY KEY (position, label))"
         )
-        # An index instance always represents a single pattern class; a
-        # reused directory (explicit ``disk_index_directory`` across
-        # classes or runs) must not OR stale rows from a previous class
-        # into this one's occurrence sets.
-        self._connection.execute("DELETE FROM entries")
-        self._connection.commit()
+        self._covered: list[set[int]] = [set() for _ in range(num_positions)]
+        if reset:
+            # An index instance always represents a single pattern class; a
+            # reused directory (explicit ``disk_index_directory`` across
+            # classes or runs) must not OR stale rows from a previous class
+            # into this one's occurrence sets.
+            self._connection.execute("DELETE FROM entries")
+            self._connection.commit()
+        else:
+            # Reopen a persisted index (repro.incremental's pattern
+            # store): the coverage map is rebuilt from the stored rows.
+            for position, label in self._connection.execute(
+                "SELECT position, label FROM entries"
+            ):
+                self._covered[position].add(label)
         self._max_resident = max(1, max_resident_entries)
         # Write-back staging area: (position, label) -> int bits.
         self._resident: dict[tuple[int, int], int] = {}
-        self._covered: list[set[int]] = [set() for _ in range(num_positions)]
         self._lru: OrderedDict[tuple[int, int], int] = OrderedDict()
         self._closed = False
 
@@ -110,6 +119,90 @@ class DiskOccurrenceIndex:
         """Flush all staged entries; the index becomes read-mostly."""
         self._flush()
         return self
+
+    # -- incremental maintenance -------------------------------------------------
+
+    def clear_bits(self, mask: int) -> int:
+        """AND-NOT ``mask`` out of every entry; drop rows that become empty.
+
+        Returns the number of rows deleted.  Deleting emptied rows (rather
+        than leaving zero-bit tombstones) keeps ``is_covered`` and
+        ``covered_children`` exact after graph removals — a stale row
+        would otherwise re-enter specialization with an empty occurrence
+        set.
+        """
+        if mask <= 0:
+            return 0
+        self._flush()
+        cursor = self._connection.cursor()
+        dead: list[tuple[int, int]] = []
+        updates: list[tuple[bytes, int, int]] = []
+        for position, label, blob in cursor.execute(
+            "SELECT position, label, bits FROM entries"
+        ).fetchall():
+            bits = int.from_bytes(blob, "little")
+            cleared = bits & ~mask
+            if cleared == bits:
+                continue
+            if cleared == 0:
+                dead.append((position, label))
+            else:
+                updates.append((_encode(cleared), position, label))
+        if updates:
+            cursor.executemany(
+                "UPDATE entries SET bits = ? WHERE position = ? AND label = ?",
+                updates,
+            )
+        if dead:
+            cursor.executemany(
+                "DELETE FROM entries WHERE position = ? AND label = ?", dead
+            )
+            for position, label in dead:
+                self._covered[position].discard(label)
+        self._connection.commit()
+        self._lru.clear()
+        return len(dead)
+
+    def remap_bits(self, id_map: dict[int, int]) -> None:
+        """Rewrite every entry's bit-set through ``id_map`` (compaction).
+
+        Occurrence ids absent from ``id_map`` are dropped; rows left empty
+        are deleted like in :meth:`clear_bits`.
+        """
+        from repro.util.bitset import BitSet
+
+        self._flush()
+        cursor = self._connection.cursor()
+        dead: list[tuple[int, int]] = []
+        updates: list[tuple[bytes, int, int]] = []
+        for position, label, blob in cursor.execute(
+            "SELECT position, label, bits FROM entries"
+        ).fetchall():
+            bits = BitSet.from_bits(int.from_bytes(blob, "little"))
+            remapped = bits.compact(id_map).bits
+            if remapped == 0:
+                dead.append((position, label))
+            else:
+                updates.append((_encode(remapped), position, label))
+        if updates:
+            cursor.executemany(
+                "UPDATE entries SET bits = ? WHERE position = ? AND label = ?",
+                updates,
+            )
+        if dead:
+            cursor.executemany(
+                "DELETE FROM entries WHERE position = ? AND label = ?", dead
+            )
+            for position, label in dead:
+                self._covered[position].discard(label)
+        self._connection.commit()
+        self._lru.clear()
+
+    def row_count(self) -> int:
+        """Number of persisted (position, label) rows."""
+        self._flush()
+        row = self._connection.execute("SELECT COUNT(*) FROM entries").fetchone()
+        return int(row[0])
 
     # -- OccurrenceIndex interface ----------------------------------------------
 

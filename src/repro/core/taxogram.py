@@ -74,6 +74,12 @@ class TaxogramOptions:
     # per-shard occurrence state and produces results identical to the
     # sequential pipeline (see docs/API.md, "Parallel mining").
     workers: int = 1
+    # Persist the complete mining result (classes, occurrence state,
+    # negative border) into this directory as a
+    # :class:`repro.incremental.store.PatternStore`, enabling later
+    # incremental maintenance under database deltas (see docs/API.md,
+    # "Incremental mining").  ``None`` (the default) skips persistence.
+    store_out: str | None = None
 
     @classmethod
     def baseline(
@@ -116,6 +122,10 @@ class Taxogram:
             raise MiningError(
                 f"workers must be at least 1, got {options.workers}"
             )
+        if options.store_out is not None:
+            from repro.incremental.pipeline import mine_to_store
+
+            return mine_to_store(database, taxonomy, options, tracer)[0]
         if options.workers > 1:
             from repro.parallel.runtime import ParallelTaxogram
 

@@ -28,6 +28,15 @@ class MiningError(ReproError):
     """Invalid mining configuration (bad support threshold, empty DB...)."""
 
 
+class StoreError(ReproError):
+    """A persistent pattern store is missing, corrupt, or incompatible.
+
+    Raised by :mod:`repro.incremental` when opening a store whose format
+    version is unknown, whose files fail their integrity checksums, or
+    whose options/taxonomy fingerprint does not match the requested run.
+    """
+
+
 class MemoryBudgetExceeded(ReproError):
     """A mining run exceeded its configured memory budget.
 

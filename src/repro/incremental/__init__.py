@@ -1,0 +1,41 @@
+"""Persistent pattern stores and incremental maintenance under deltas.
+
+``repro.incremental`` turns a mining run into a durable artifact and
+keeps it current as the database changes:
+
+* :mod:`repro.incremental.store` — :class:`PatternStore`, a versioned
+  on-disk serialization of a complete mining result (pattern classes,
+  per-class occurrence indices, negative border, options fingerprint).
+* :mod:`repro.incremental.delta` — :class:`DatabaseDelta` (batched graph
+  additions/removals) and :class:`OccurrenceColumns`, the maintained
+  occurrence-id space of one class.
+* :mod:`repro.incremental.pipeline` — :func:`mine_to_store`, mining into
+  a fresh store (``TaxogramOptions(store_out=...)`` routes here).
+* :mod:`repro.incremental.updater` — :class:`IncrementalTaxogram`, which
+  applies deltas with results always equivalent to fresh mining.
+
+See docs/API.md ("Incremental mining") for the store format and the
+fallback policy.
+"""
+
+from repro.incremental.delta import DatabaseDelta, OccurrenceColumns
+from repro.incremental.pipeline import mine_to_store
+from repro.incremental.store import (
+    FORMAT_VERSION,
+    PatternStore,
+    StoredClass,
+    taxonomy_fingerprint,
+)
+from repro.incremental.updater import IncrementalOptions, IncrementalTaxogram
+
+__all__ = [
+    "DatabaseDelta",
+    "OccurrenceColumns",
+    "mine_to_store",
+    "PatternStore",
+    "StoredClass",
+    "FORMAT_VERSION",
+    "taxonomy_fingerprint",
+    "IncrementalOptions",
+    "IncrementalTaxogram",
+]

@@ -107,6 +107,14 @@ class GSpanMiner:
         candidate stream statistics (``gspan_candidates_generated`` /
         ``..._pruned_infrequent`` / ``..._pruned_nonminimal``).  ``None``
         (the default) skips all counting.
+    prune_report:
+        Optional callback ``(code_edges, support_set)`` invoked for every
+        *minimal* candidate pruned as infrequent — the search's negative
+        border.  :mod:`repro.incremental` persists this fringe so a later
+        database delta can re-seed growth from exactly the codes a fresh
+        run would prune.  Only minimal codes are reported (non-minimal
+        duplicates re-appear under their canonical parent), and only
+        candidates with at least one embedding exist to be generated.
     """
 
     def __init__(
@@ -117,6 +125,7 @@ class GSpanMiner:
         keep_embeddings: bool = False,
         min_count: int | None = None,
         counters: "MiningCounters | None" = None,
+        prune_report: "Callable[[tuple[DFSEdge, ...], frozenset[int]], None] | None" = None,
     ) -> None:
         if len(database) == 0:
             raise MiningError("cannot mine an empty database")
@@ -133,6 +142,7 @@ class GSpanMiner:
         self.max_edges = max_edges
         self.keep_embeddings = keep_embeddings
         self.counters = counters
+        self.prune_report = prune_report
 
     # -- public API -------------------------------------------------------------
 
@@ -194,6 +204,14 @@ class GSpanMiner:
             for edge, embeddings in projections.items()
             if self._support_count(embeddings) >= self.min_count
         ]
+        if self.prune_report is not None:
+            for edge, embeddings in projections.items():
+                # Minimal orientation only (la <= lb); the mirrored
+                # orientation is the same non-minimal one-edge code.
+                if edge[2] <= edge[4] and self._support_count(embeddings) < self.min_count:
+                    self.prune_report(
+                        (edge,), frozenset(e.graph_id for e in embeddings)
+                    )
         counters = self.counters
         if counters is not None:
             counters.gspan_candidates_generated += len(projections)
@@ -231,6 +249,13 @@ class GSpanMiner:
             if self._support_count(child_embeddings) < self.min_count:
                 if counters is not None:
                     counters.gspan_candidates_pruned_infrequent += 1
+                if self.prune_report is not None:
+                    fringe = code.extended(edge)
+                    if is_min_code(fringe):
+                        self.prune_report(
+                            fringe.edges,
+                            frozenset(e.graph_id for e in child_embeddings),
+                        )
                 continue
             child = code.extended(edge)
             if not is_min_code(child):

@@ -374,12 +374,21 @@ class ParallelTaxogram:
     effective shard count is also capped by the database size).  Usually
     reached through ``Taxogram`` with ``TaxogramOptions(workers=N)``
     rather than instantiated directly.
+
+    ``class_sink`` (optional) receives the merged class list — the
+    driver-side :class:`~repro.parallel.merge.MergedClass` objects in
+    sequential class order — right after the merge phase.  The
+    incremental store pipeline uses it to persist occurrence state
+    without a second mining pass.  The sink is *not* invoked when the
+    run degrades to the sequential pipeline; callers detect that via
+    ``result.worker_seconds`` being empty.
     """
 
-    def __init__(self, options=None) -> None:
+    def __init__(self, options=None, class_sink=None) -> None:
         from repro.core.taxogram import TaxogramOptions
 
         self.options = options if options is not None else TaxogramOptions()
+        self.class_sink = class_sink
 
     def mine(
         self,
@@ -615,6 +624,9 @@ class ParallelTaxogram:
             metrics.add("parallel.candidates_union", len(candidates))
             metrics.add("parallel.classes_kept", len(kept))
         stage_seconds["merge"] = merge_watch.elapsed
+
+        if self.class_sink is not None:
+            self.class_sink(kept)
 
         specialize_watch = Stopwatch()
         patterns: list[TaxonomyPattern] = []

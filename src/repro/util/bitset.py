@@ -14,7 +14,7 @@ still replaced, as ints are immutable).
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Mapping
 
 __all__ = ["BitSet"]
 
@@ -99,6 +99,21 @@ class BitSet:
         """In-place union: add every member of ``other`` to this set."""
         self._bits |= other._bits
 
+    def clear_bit(self, i: int) -> bool:
+        """Remove ``i`` from the set; return whether it was present.
+
+        The incremental updater uses the return value to count how many
+        occurrence columns a removal actually cleared.
+        """
+        if i < 0 or (self._bits >> i) & 1 == 0:
+            return False
+        self._bits &= ~(1 << i)
+        return True
+
+    def difference_update(self, other: "BitSet") -> None:
+        """In-place difference: remove every member of ``other``."""
+        self._bits &= ~other._bits
+
     # -- set algebra -----------------------------------------------------------
 
     def __and__(self, other: "BitSet") -> "BitSet":
@@ -140,6 +155,23 @@ class BitSet:
         if k < 0:
             raise ValueError(f"offset must be non-negative, got {k}")
         return BitSet.from_bits(self._bits << k)
+
+    def compact(self, id_map: Mapping[int, int]) -> "BitSet":
+        """A new set with every member renumbered through ``id_map``.
+
+        Members absent from ``id_map`` are dropped — this is how
+        compaction discards dead occurrence/graph ids while densifying
+        the survivors.
+        """
+        bits = 0
+        for i in self:
+            j = id_map.get(i)
+            if j is None:
+                continue
+            if j < 0:
+                raise ValueError(f"compact ids must be non-negative, got {j}")
+            bits |= 1 << j
+        return BitSet.from_bits(bits)
 
     def copy(self) -> "BitSet":
         return BitSet.from_bits(self._bits)

@@ -136,6 +136,46 @@ class TestAlgebra:
             BitSet([1]).offset(-1)
 
 
+class TestIncrementalMaintenance:
+    def test_clear_bit_present(self):
+        bs = BitSet([1, 5])
+        assert bs.clear_bit(5) is True
+        assert bs.to_set() == {1}
+
+    def test_clear_bit_absent(self):
+        bs = BitSet([1])
+        assert bs.clear_bit(3) is False
+        assert bs.clear_bit(-2) is False
+        assert bs.to_set() == {1}
+
+    def test_difference_update(self):
+        bs = BitSet([1, 2, 3])
+        bs.difference_update(BitSet([2, 9]))
+        assert bs.to_set() == {1, 3}
+
+    def test_difference_update_leaves_other_unchanged(self):
+        other = BitSet([1, 2])
+        BitSet([2]).difference_update(other)
+        assert other.to_set() == {1, 2}
+
+    def test_compact_renumbers(self):
+        bs = BitSet([0, 2, 5])
+        assert bs.compact({0: 0, 2: 1, 5: 2}).to_set() == {0, 1, 2}
+
+    def test_compact_drops_unmapped(self):
+        assert BitSet([0, 1, 2]).compact({1: 0}).to_set() == {0}
+
+    def test_compact_returns_new_instance(self):
+        original = BitSet([3])
+        compacted = original.compact({3: 0})
+        compacted.add(7)
+        assert original.to_set() == {3}
+
+    def test_compact_negative_target_rejected(self):
+        with pytest.raises(ValueError):
+            BitSet([1]).compact({1: -1})
+
+
 class TestHypothesis:
     @given(id_sets, id_sets)
     def test_and_matches_set_intersection(self, a, b):
@@ -179,3 +219,28 @@ class TestHypothesis:
         left = BitSet(a).offset(k) | BitSet(b).offset(k)
         right = (BitSet(a) | BitSet(b)).offset(k)
         assert left == right
+
+    @given(id_sets, st.integers(min_value=0, max_value=300))
+    def test_clear_bit_matches_set_discard(self, a, i):
+        bs = BitSet(a)
+        assert bs.clear_bit(i) == (i in a)
+        assert bs.to_set() == a - {i}
+
+    @given(id_sets, id_sets)
+    def test_difference_update_matches_set_difference(self, a, b):
+        bs = BitSet(a)
+        bs.difference_update(BitSet(b))
+        assert bs.to_set() == a - b
+
+    @given(id_sets, id_sets)
+    def test_compact_matches_mapped_survivors(self, a, survivors):
+        # A dense renumbering of the survivor set, exactly as the
+        # occurrence-column compaction builds it.
+        id_map = {i: n for n, i in enumerate(sorted(survivors))}
+        expected = {id_map[i] for i in a & survivors}
+        assert BitSet(a).compact(id_map).to_set() == expected
+
+    @given(id_sets)
+    def test_compact_identity_map_roundtrips(self, a):
+        identity = {i: i for i in a}
+        assert BitSet(a).compact(identity).to_set() == a

@@ -152,6 +152,118 @@ class TestMine:
         assert "memory budget" in capsys.readouterr().err
 
 
+class TestStoreOutAndUpdate:
+    @pytest.fixture
+    def store(self, tmp_path, files, capsys):
+        db_path, tax_path = files
+        store_dir = tmp_path / "store"
+        assert main(
+            ["mine", str(db_path), str(tax_path), "--support", "0.5",
+             "--store-out", str(store_dir)]
+        ) == 0
+        assert "pattern store written to" in capsys.readouterr().out
+        return store_dir, db_path, tax_path
+
+    def _write_add_file(self, tmp_path, files):
+        db_path, tax_path = files
+        tax = taxonomy_from_parent_names({"b": "a", "c": "a"})
+        add_db = GraphDatabase(node_labels=tax.interner)
+        add_db.new_graph(["b", "c"], [(0, 1, "x")])
+        add_path = tmp_path / "adds.graphs"
+        write_graph_database(add_db, add_path)
+        return add_path
+
+    def test_store_out_rejected_for_tacgm(self, tmp_path, files, capsys):
+        db_path, tax_path = files
+        code = main(
+            ["mine", str(db_path), str(tax_path), "--algorithm", "tacgm",
+             "--store-out", str(tmp_path / "s")]
+        )
+        assert code == 2
+        assert "--store-out" in capsys.readouterr().err
+
+    def test_store_out_rejected_for_directed(self, tmp_path, files, capsys):
+        db_path, tax_path = files
+        code = main(
+            ["mine", str(db_path), str(tax_path), "--directed",
+             "--store-out", str(tmp_path / "s")]
+        )
+        assert code == 2
+        assert "--store-out" in capsys.readouterr().err
+
+    def test_update_add(self, tmp_path, store, files, capsys):
+        store_dir, _db_path, _tax_path = store
+        add_path = self._write_add_file(tmp_path, files)
+        code = main(["update", str(store_dir), "--add", str(add_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "applied delta (+1 graphs, -0 graphs)" in out
+        assert "sup=" in out
+
+    def test_update_remove(self, store, capsys):
+        store_dir, _db_path, _tax_path = store
+        code = main(["update", str(store_dir), "--remove", "0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "applied delta (+0 graphs, -1 graphs)" in out
+
+    def test_update_nothing_to_do(self, store, capsys):
+        store_dir, _db_path, _tax_path = store
+        code = main(["update", str(store_dir)])
+        assert code == 2
+        assert "nothing to update" in capsys.readouterr().err
+
+    def test_update_support_fingerprint_mismatch(self, store, capsys):
+        store_dir, _db_path, _tax_path = store
+        code = main(
+            ["update", str(store_dir), "--remove", "0", "--support", "0.9"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "store fingerprint mismatch" in err
+        assert "min_support" in err
+
+    def test_update_taxonomy_fingerprint_mismatch(self, tmp_path, store,
+                                                  capsys):
+        store_dir, _db_path, _tax_path = store
+        other = taxonomy_from_parent_names({"q": "p"})
+        other_path = tmp_path / "other.tax"
+        write_taxonomy(other, other_path)
+        code = main(
+            ["update", str(store_dir), "--remove", "0",
+             "--taxonomy", str(other_path)]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "store fingerprint mismatch" in err
+        assert "taxonomy" in err
+
+    def test_update_matching_fingerprint_accepted(self, store, capsys):
+        store_dir, _db_path, tax_path = store
+        code = main(
+            ["update", str(store_dir), "--remove", "0",
+             "--support", "0.5", "--taxonomy", str(tax_path)]
+        )
+        assert code == 0
+        assert "applied delta" in capsys.readouterr().out
+
+    def test_update_bad_remove_ids_rejected(self, store, capsys):
+        store_dir, _db_path, _tax_path = store
+        with pytest.raises(SystemExit) as exc_info:
+            build_parser().parse_args(
+                ["update", str(store_dir), "--remove", "0,x"]
+            )
+        assert exc_info.value.code == 2
+        capsys.readouterr()
+
+    def test_update_on_non_store_fails(self, tmp_path, capsys):
+        bogus = tmp_path / "not-a-store"
+        bogus.mkdir()
+        code = main(["update", str(bogus), "--remove", "0"])
+        assert code == 1
+        assert "not a pattern store" in capsys.readouterr().err
+
+
 class TestGenerateAndStats:
     def test_generate_writes_files(self, tmp_path, capsys):
         graphs_out = tmp_path / "g.graphs"

@@ -153,6 +153,41 @@ class TestMineTrace:
         assert re.search(r"parallel\.shards\s+2", out)
 
 
+class TestUpdateTrace:
+    @pytest.fixture
+    def store(self, tmp_path, files, capsys):
+        db_path, tax_path = files
+        store_dir = tmp_path / "store"
+        assert main(
+            ["mine", str(db_path), str(tax_path), "--support", "0.5",
+             "--store-out", str(store_dir)]
+        ) == 0
+        capsys.readouterr()
+        return store_dir
+
+    def test_trace_golden(self, store, capsys):
+        code = main(["update", str(store), "--remove", "0", "--trace"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "applied delta (+0 graphs, -1 graphs)" in out
+        section = _report_section(out)
+        assert "incremental.maintain" in section
+        _check_golden("update_trace.txt", _normalize_text(section))
+
+    def test_metrics_out_parses_and_counts(self, store, tmp_path, capsys):
+        out_path = tmp_path / "update.json"
+        code = main(
+            ["update", str(store), "--remove", "0",
+             "--metrics-out", str(out_path)]
+        )
+        assert code == 0
+        capsys.readouterr()
+        report = RunReport.from_json(out_path.read_text())
+        assert report.algorithm == "taxogram"
+        assert report.counter("incremental.fallbacks") == 0
+        assert report.gauges["incremental.database_size"] == 2
+
+
 class TestCompareTrace:
     def test_trace_golden(self, files, capsys):
         db_path, tax_path = files

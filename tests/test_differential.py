@@ -20,13 +20,24 @@ The default matrix keeps tier-1 fast; the wide matrix runs under
 
 from __future__ import annotations
 
+import random
+
 import pytest
 
 from repro.core.taxogram import Taxogram, TaxogramOptions
-from tests.conftest import make_differential_case
+from repro.graphs.database import GraphDatabase
+from repro.incremental import DatabaseDelta, IncrementalTaxogram
+from repro.util.interner import LabelInterner
+from tests.conftest import (
+    make_differential_case,
+    make_random_database,
+    make_random_taxonomy,
+)
 
 DEFAULT_SEEDS = list(range(25))
 WIDE_SEEDS = list(range(25, 75))
+STREAM_SEEDS = list(range(6))
+WIDE_STREAM_SEEDS = list(range(6, 18))
 
 
 def _assert_consistent(oracle, sequential, parallel) -> None:
@@ -108,6 +119,112 @@ class TestDifferentialMatrix:
             if parallel.report.counter("parallel.shards") >= 2:
                 sharded += 1
         assert sharded >= 3
+
+
+def _removed_then_added(
+    current: GraphDatabase,
+    add_db: GraphDatabase | None,
+    remove_ids: tuple[int, ...],
+) -> GraphDatabase:
+    """The reference updated database: survivors in order, then adds.
+
+    Adds are re-added *by name*: ``add_db`` has its own edge-label
+    interner, so raw label ids would mean different names in ``out``.
+    """
+    out = GraphDatabase(current.node_labels, current.edge_labels)
+    removed = set(remove_ids)
+    for graph in current:
+        if graph.graph_id not in removed:
+            out.add_graph(graph.copy())
+    if add_db is not None:
+        for graph in add_db:
+            out.new_graph(
+                [
+                    add_db.node_labels.name_of(graph.node_label(v))
+                    for v in graph.nodes()
+                ],
+                [
+                    (u, v, add_db.edge_labels.name_of(label))
+                    for u, v, label in graph.edges()
+                ],
+            )
+    return out
+
+
+def _run_stream(tmp_path, seed: int, mode: str, steps: int = 3) -> None:
+    """Mine to a store, stream deltas through it, and require the update
+    result to be bit-identical to fresh mining after every step."""
+    rng = random.Random(1000 + seed)
+    interner = LabelInterner()
+    taxonomy = make_random_taxonomy(
+        rng,
+        interner,
+        rng.randint(4, 8),
+        dag=seed % 2 == 1,
+        multiroot=seed % 3 == 0,
+    )
+    current = make_random_database(rng, taxonomy, rng.randint(10, 14))
+    sigma = rng.choice([0.3, 0.4, 0.5])
+    store_dir = tmp_path / "store"
+    Taxogram(
+        TaxogramOptions(min_support=sigma, max_edges=2, store_out=str(store_dir))
+    ).mine(current, taxonomy)
+    updater = IncrementalTaxogram(store_dir)
+    for _step in range(steps):
+        add_db = None
+        remove_ids: tuple[int, ...] = ()
+        if mode in ("add", "mixed"):
+            add_db = make_random_database(rng, taxonomy, 1)
+        if mode in ("remove", "mixed") and len(current) > 4:
+            remove_ids = tuple(
+                sorted(rng.sample(range(len(current)), rng.randint(1, 2)))
+            )
+        delta = DatabaseDelta(
+            add_text=(
+                DatabaseDelta.adding(add_db).add_text
+                if add_db is not None
+                else ""
+            ),
+            remove_ids=remove_ids,
+        )
+        result = updater.apply(delta)
+        current = _removed_then_added(current, add_db, remove_ids)
+        fresh = Taxogram(
+            TaxogramOptions(min_support=sigma, max_edges=2)
+        ).mine(current, taxonomy)
+        assert result.pattern_codes() == fresh.pattern_codes()
+        assert [
+            (p.class_id, p.code, p.support_count) for p in result.patterns
+        ] == [(p.class_id, p.code, p.support_count) for p in fresh.patterns]
+        assert result.database_size == len(current)
+
+
+class TestIncrementalStreams:
+    """Randomized delta streams vs fresh mining (DAG + multi-root seeds)."""
+
+    @pytest.mark.parametrize("seed", STREAM_SEEDS)
+    def test_add_only_stream(self, tmp_path, seed):
+        _run_stream(tmp_path, seed, "add")
+
+    @pytest.mark.parametrize("seed", STREAM_SEEDS)
+    def test_remove_only_stream(self, tmp_path, seed):
+        _run_stream(tmp_path, seed, "remove")
+
+    @pytest.mark.parametrize("seed", STREAM_SEEDS)
+    def test_mixed_stream(self, tmp_path, seed):
+        _run_stream(tmp_path, seed, "mixed")
+
+    def test_stream_matrix_covers_dag_and_multiroot(self):
+        # Same coverage pin as the main matrix: the seed -> shape mapping
+        # must keep exercising DAG and multi-root taxonomies.
+        assert any(seed % 2 == 1 for seed in STREAM_SEEDS)
+        assert any(seed % 3 == 0 for seed in STREAM_SEEDS)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("seed", WIDE_STREAM_SEEDS)
+    @pytest.mark.parametrize("mode", ["add", "remove", "mixed"])
+    def test_long_stream_wide(self, tmp_path, seed, mode):
+        _run_stream(tmp_path, seed, mode, steps=8)
 
 
 class TestGuaranteedShard:

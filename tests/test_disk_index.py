@@ -107,6 +107,77 @@ class TestDiskIndex:
         index.close()
 
 
+class TestIncrementalMaintenance:
+    def test_reopen_without_reset_preserves_rows(self, tmp_path):
+        with DiskOccurrenceIndex(2, directory=tmp_path) as index:
+            index.insert(0, 7, 0b101)
+            index.insert(1, 9, 0b010)
+            index.finish()
+        with DiskOccurrenceIndex(2, directory=tmp_path, reset=False) as index:
+            assert index.bits(0, 7) == 0b101
+            assert index.bits(1, 9) == 0b010
+            assert index.is_covered(0, 7)
+            assert index.row_count() == 2
+
+    def test_clear_bits_masks_entries(self, tmp_path):
+        with DiskOccurrenceIndex(1, directory=tmp_path) as index:
+            index.insert(0, 3, 0b111)
+            index.insert(0, 4, 0b100)
+            index.finish()
+            assert index.clear_bits(0b100) == 1  # label 4 emptied
+            assert index.bits(0, 3) == 0b011
+            assert index.bits(0, 4) == 0
+
+    def test_clear_bits_deletes_emptied_rows(self, tmp_path):
+        # Regression: an emptied entry must disappear entirely — a stale
+        # zero-bit tombstone would re-enter specialization through
+        # is_covered / covered_children with an empty occurrence set.
+        tax = taxonomy_from_parent_names({"b": "a"})
+        with DiskOccurrenceIndex(1, directory=tmp_path) as index:
+            index.insert(0, tax.id_of("b"), 0b1)
+            index.finish()
+            index.clear_bits(0b1)
+            assert not index.is_covered(0, tax.id_of("b"))
+            assert index.covered(0) == {}
+            assert index.covered_children(0, tax.id_of("a"), tax) == []
+            assert index.row_count() == 0
+
+    def test_clear_bits_empty_mask_is_noop(self, tmp_path):
+        with DiskOccurrenceIndex(1, directory=tmp_path) as index:
+            index.insert(0, 1, 0b1)
+            index.finish()
+            assert index.clear_bits(0) == 0
+            assert index.bits(0, 1) == 0b1
+
+    def test_remap_bits_compacts_occurrence_ids(self, tmp_path):
+        with DiskOccurrenceIndex(1, directory=tmp_path) as index:
+            index.insert(0, 1, 0b1010)  # occurrences 1 and 3
+            index.insert(0, 2, 0b0010)  # occurrence 1 only
+            index.finish()
+            index.remap_bits({1: 0, 3: 1})  # occurrence 1 -> 0, 3 -> 1
+            assert index.bits(0, 1) == 0b11
+            assert index.bits(0, 2) == 0b01
+
+    def test_remap_bits_deletes_emptied_rows(self, tmp_path):
+        with DiskOccurrenceIndex(1, directory=tmp_path) as index:
+            index.insert(0, 1, 0b100)
+            index.insert(0, 2, 0b011)
+            index.finish()
+            index.remap_bits({0: 0, 1: 1})  # occurrence 2 dropped
+            assert not index.is_covered(0, 1)
+            assert index.row_count() == 1
+            assert index.bits(0, 2) == 0b011
+
+    def test_clear_then_reopen_roundtrip(self, tmp_path):
+        with DiskOccurrenceIndex(1, directory=tmp_path) as index:
+            index.insert(0, 5, 0b110)
+            index.finish()
+            index.clear_bits(0b010)
+        with DiskOccurrenceIndex(1, directory=tmp_path, reset=False) as index:
+            assert index.bits(0, 5) == 0b100
+            assert index.is_covered(0, 5)
+
+
 class TestTaxogramDiskBackend:
     def test_identical_results_randomized(self):
         from hypothesis import given, settings

@@ -132,3 +132,40 @@ class TestTutorial:
 
         restored = RunReport.from_json(report.to_json())
         assert restored.to_dict() == report.to_dict()
+
+    def test_step12_incremental_mining(self, tmp_path):
+        taxonomy, db = _setup()
+        from repro import DatabaseDelta, IncrementalTaxogram
+
+        store_dir = tmp_path / "pathways.store"
+        options = TaxogramOptions(min_support=0.5, store_out=str(store_dir))
+        Taxogram(options).mine(db, taxonomy)  # also writes the store
+
+        # later — a new pathway arrives...
+        adds = GraphDatabase(node_labels=taxonomy.interner)
+        adds.new_graph(["carrier", "dna_helicase"], [(0, 1, "interacts")])
+
+        updater = IncrementalTaxogram(str(store_dir))
+        updated = updater.apply(DatabaseDelta.adding(adds))
+        assert updated.report.counter("incremental.fallbacks") == 0
+
+        # ...and graph 1 is retracted
+        updated = updater.apply(DatabaseDelta.removing([1]))
+
+        # every apply is equivalent to fresh mining of the updated database
+        expected = GraphDatabase(node_labels=taxonomy.interner)
+        expected.new_graph(
+            ["carrier", "dna_helicase", "cation_transporter"],
+            [(0, 1, "interacts"), (1, 2, "interacts")],
+        )
+        expected.new_graph(["carrier", "helicase"], [(0, 1, "interacts")])
+        expected.new_graph(["carrier", "dna_helicase"], [(0, 1, "interacts")])
+        fresh = mine(expected, taxonomy, min_support=0.5)
+        assert updated.pattern_codes() == fresh.pattern_codes()
+        assert [p.class_id for p in updated.patterns] == [
+            p.class_id for p in fresh.patterns
+        ]
+
+        # the store survives restarts: reopening continues from disk
+        reopened = IncrementalTaxogram(str(store_dir))
+        assert len(reopened.store.database) == 3
