@@ -1,0 +1,129 @@
+"""Store query latency vs re-mining (beyond-paper experiment).
+
+Setup: the Figure 4.2 D5000 analog at ~500 graphs, sigma = 0.2, mined
+once into a pattern store.  A support query is then answered three ways:
+
+* **cold** — a fresh :class:`StoreReader` (pays manifest verification,
+  taxonomy rebuild and the first occurrence-row load);
+* **warm** — the same reader again (versioned cache hit);
+* **remine** — mining the whole database from scratch, the only way to
+  get the answer without a store.
+
+Observations to reproduce in shape: the warm path must beat the remine
+by at least 10x (it is typically several orders of magnitude faster),
+and the whole serving session must perform **zero** isomorphism tests —
+the queries run on the persisted bit-sets alone.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks._common import (
+    MAX_EDGES,
+    dataset,
+    print_header,
+    print_row,
+    record_bench_point,
+)
+from repro.core.taxogram import Taxogram, TaxogramOptions
+from repro.serving import StoreReader
+
+SIGMA = 0.2
+_GRAPH_SCALE = 0.1  # D5000 -> ~500 graphs at default scale
+_TAXONOMY_SCALE = 0.01
+
+
+class _ServingPoint:
+    """record_bench_point shim: query count + serving counter snapshot."""
+
+    class _Counters:
+        def __init__(self, metrics):
+            self._metrics = metrics
+
+        def as_metrics(self):
+            return dict(self._metrics)
+
+    def __init__(self, queries: int, reader: StoreReader) -> None:
+        self._queries = queries
+        self.counters = self._Counters(
+            reader.metrics.as_dict()["counters"]
+        )
+
+    def __len__(self) -> int:
+        return self._queries
+
+
+@pytest.fixture(scope="module")
+def served_store(tmp_path_factory):
+    database, taxonomy = dataset("D5000", _GRAPH_SCALE, _TAXONOMY_SCALE)
+    store_dir = tmp_path_factory.mktemp("serving_bench") / "store"
+    result = Taxogram(
+        TaxogramOptions(
+            min_support=SIGMA, max_edges=MAX_EDGES, store_out=str(store_dir)
+        )
+    ).mine(database, taxonomy)
+    assert len(result) > 0
+    return store_dir, database, taxonomy, result
+
+
+def test_query_latency_cold_warm_remine(benchmark, served_store):
+    store_dir, database, taxonomy, result = served_store
+    # The most frequent edge pattern: a representative hot query.
+    query = max(
+        (p for p in result.patterns if p.num_edges >= 1),
+        key=lambda p: p.support_count,
+    ).graph
+
+    start = time.perf_counter()
+    reader = StoreReader(store_dir)
+    expected = reader.support(query)
+    cold_seconds = time.perf_counter() - start
+    assert expected == reader.support(query)
+
+    def warm():
+        return reader.support(query)
+
+    benchmark.pedantic(warm, rounds=1, iterations=100)
+    warm_seconds = benchmark.stats.stats.mean
+
+    start = time.perf_counter()
+    fresh = Taxogram(
+        TaxogramOptions(min_support=SIGMA, max_edges=MAX_EDGES)
+    ).mine(database, taxonomy)
+    remine_seconds = time.perf_counter() - start
+    assert len(fresh) == len(result)
+
+    counters = reader.metrics.as_dict()["counters"]
+    label = f"{len(database)}g@{SIGMA:g}"
+    point = _ServingPoint(counters["serving.queries"], reader)
+    record_bench_point("serving_cold", label, cold_seconds, point)
+    record_bench_point("serving_warm", label, warm_seconds, point)
+    record_bench_point("serving_remine", label, remine_seconds, point)
+    benchmark.extra_info["cold_seconds"] = cold_seconds
+    benchmark.extra_info["remine_seconds"] = remine_seconds
+
+    print_header(
+        "Store query latency vs remine",
+        f"{'point':>12}  {'cold':>12}  {'warm':>12}  {'remine':>12}  "
+        f"{'speedup':>12}",
+    )
+    print_row(
+        label,
+        f"{cold_seconds * 1000:.1f}ms",
+        f"{warm_seconds * 1e6:.0f}us",
+        f"{remine_seconds * 1000:.0f}ms",
+        f"{remine_seconds / warm_seconds:.0f}x warm",
+    )
+
+    # Acceptance: a warm-cache support() beats re-mining by >= 10x, and
+    # the serving session never ran an isomorphism test.
+    assert warm_seconds * 10 <= remine_seconds, (
+        f"warm query {warm_seconds:.6f}s vs remine {remine_seconds:.3f}s "
+        "(< 10x speedup)"
+    )
+    assert counters.get("serving.vf2_tests", 0) == 0
+    assert counters.get("serving.vf2_fallbacks", 0) == 0
+    assert counters["serving.cache_hits"] >= 1

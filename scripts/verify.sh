@@ -1,0 +1,37 @@
+#!/usr/bin/env sh
+# Tier-1 verification for the repo, plus an optional coverage gate.
+#
+#   scripts/verify.sh            # tier-1: the full fast test suite
+#   scripts/verify.sh --slow     # tier-1 plus the RUN_SLOW=1 matrices
+#   scripts/verify.sh --cov      # tier-1 under coverage, gated at 85%
+#
+# The coverage gate needs pytest-cov (`pip install -e .[cov]`); when it
+# is not importable the script exits 3 with a message instead of
+# silently running without the gate.
+set -eu
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+mode="${1:-}"
+case "$mode" in
+    --cov)
+        shift
+        if ! python -c "import pytest_cov" 2>/dev/null; then
+            echo "error: the coverage gate needs pytest-cov" >&2
+            echo "       install it with: pip install -e .[cov]" >&2
+            exit 3
+        fi
+        exec python -m pytest --cov=repro --cov-fail-under=85 "$@"
+        ;;
+    --slow)
+        shift
+        RUN_SLOW=1 exec python -m pytest "$@"
+        ;;
+    "")
+        exec python -m pytest
+        ;;
+    *)
+        exec python -m pytest "$@"
+        ;;
+esac

@@ -60,6 +60,12 @@ from repro.incremental import (
     IncrementalTaxogram,
     PatternStore,
 )
+from repro.serving import (
+    BatchExecutor,
+    Query,
+    ServingAnswer,
+    StoreReader,
+)
 from repro.graphs.io import read_graph_database, write_graph_database
 from repro.mining.gspan import GSpanMiner
 from repro.taxonomy.atoms import pte_atom_taxonomy
@@ -89,6 +95,11 @@ __all__ = [
     "DatabaseDelta",
     "IncrementalTaxogram",
     "IncrementalOptions",
+    # serving
+    "StoreReader",
+    "ServingAnswer",
+    "BatchExecutor",
+    "Query",
     # analysis
     "closed_patterns",
     "filter_patterns",

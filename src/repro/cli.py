@@ -10,6 +10,9 @@ Commands:
   and report times, work counters and pattern-set agreement.
 * ``update`` — apply a database delta (added graphs and/or removed graph
   ids) to a pattern store written by ``mine --store-out``.
+* ``query`` — answer support/containment/specialization queries against
+  a pattern store without re-mining (see :mod:`repro.serving`).
+* ``serve`` — expose a pattern store over a JSON/HTTP endpoint.
 * ``stats`` — print Table 1-style statistics for a graph database file.
 * ``datasets`` — list the built-in Table 1 dataset specifications.
 """
@@ -197,6 +200,70 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_observability_arguments(update)
 
+    query = sub.add_parser(
+        "query",
+        help="answer queries against a pattern store without re-mining",
+    )
+    query.add_argument("store", type=Path, help="pattern store directory")
+    query.add_argument(
+        "--pattern",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="graph-db file holding exactly one query pattern",
+    )
+    query.add_argument(
+        "--top-k",
+        type=int,
+        default=None,
+        metavar="K",
+        help="print the K highest-support mined patterns instead of "
+        "answering a pattern query",
+    )
+    query.add_argument(
+        "--op",
+        choices=("support", "contains", "graphs", "specializations"),
+        default="support",
+        help="what to compute for --pattern (default: support)",
+    )
+    query.add_argument(
+        "--min-support",
+        type=_support_type,
+        default=None,
+        metavar="SIGMA",
+        help="specialization threshold (specializations op only; "
+        "defaults to the store's sigma)",
+    )
+    query.add_argument(
+        "--label",
+        default=None,
+        metavar="NAME",
+        help="with --top-k, keep only patterns mentioning NAME or one "
+        "of its specializations",
+    )
+    _add_observability_arguments(query)
+
+    serve = sub.add_parser(
+        "serve",
+        help="expose a pattern store over a JSON/HTTP endpoint",
+    )
+    serve.add_argument("store", type=Path, help="pattern store directory")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="TCP port to bind (0 = pick a free port)",
+    )
+    serve.add_argument(
+        "--max-requests",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit after handling N requests (testing aid; default: "
+        "serve until interrupted)",
+    )
+
     generate = sub.add_parser("generate", help="synthesize a dataset to files")
     generate.add_argument("name", help="Table 1 dataset id, e.g. D1000 or PTE")
     generate.add_argument("--graphs-out", type=Path, required=True)
@@ -267,6 +334,10 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_compare(args)
         if args.command == "update":
             return _cmd_update(args)
+        if args.command == "query":
+            return _cmd_query(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -451,6 +522,103 @@ def _cmd_update(args: argparse.Namespace) -> int:
         print(f"  ... and {hidden} more (use --limit 0 to print all)")
     if _wants_report(args):
         _emit_report(args, _result_report(result))
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.serving import StoreReader
+
+    if (args.pattern is None) == (args.top_k is None):
+        print(
+            "error: pass exactly one of --pattern or --top-k",
+            file=sys.stderr,
+        )
+        return 2
+    tracer = Tracer() if _wants_report(args) else None
+    reader = StoreReader(args.store, tracer=tracer)
+    database_size = reader.database_size
+    if args.top_k is not None:
+        answer = reader.query("top_k", k=args.top_k, label_filter=args.label)
+        patterns = answer.value
+        print(
+            f"top {len(patterns)} patterns "
+            f"(store version {answer.store_version})"
+        )
+        for pattern in patterns:
+            print(" ", reader.render(pattern))
+    else:
+        pattern = reader.parse_pattern(args.pattern.read_text())
+        answer = reader.query(
+            args.op, pattern, min_support=args.min_support
+        )
+        if args.op == "support":
+            count = answer.value
+            fraction = count / database_size if database_size else 0.0
+            print(
+                f"support = {count}/{database_size} ({fraction:.3f}) "
+                f"[store version {answer.store_version}]"
+            )
+        elif args.op == "contains":
+            print(
+                f"contains = {answer.value} "
+                f"[store version {answer.store_version}]"
+            )
+        elif args.op == "graphs":
+            match = answer.value
+            gids = ", ".join(str(g) for g in sorted(match.graph_ids))
+            print(
+                f"support = {match.support_count}/{database_size} "
+                f"via {match.path} [store version {answer.store_version}]"
+            )
+            print(f"  graphs: {gids if gids else '(none)'}")
+            if match.occurrences is not None:
+                print(f"  occurrences: {len(match.occurrences)}")
+        else:  # specializations
+            patterns = answer.value
+            print(
+                f"{len(patterns)} specializations "
+                f"[store version {answer.store_version}]"
+            )
+            for spec in patterns:
+                print(" ", reader.render(spec))
+    if _wants_report(args):
+        report = RunReport(
+            algorithm="serving",
+            counters=dict(reader.metrics.counters),
+            gauges=dict(reader.metrics.gauges),
+        )
+        if tracer is not None and tracer.enabled:
+            report.spans = tracer.root
+        _emit_report(args, report)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serving import serve
+
+    server = serve(args.store, host=args.host, port=args.port)
+    reader = server.reader
+    host, port = server.server_address[:2]
+    print(
+        f"serving {args.store} at http://{host}:{port} "
+        f"(store version {reader.version}, {reader.num_classes} classes, "
+        f"{reader.database_size} graphs)"
+    )
+    sys.stdout.flush()
+    try:
+        if args.max_requests is not None:
+            # Handler threads must outlive handle_request() so the
+            # final response is written before server_close() below.
+            server.daemon_threads = False
+            for _ in range(args.max_requests):
+                server.handle_request()
+            print(f"handled {args.max_requests} requests, exiting")
+        else:  # pragma: no cover - interactive mode
+            server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive mode
+        pass
+    finally:
+        server.server_close()
     return 0
 
 

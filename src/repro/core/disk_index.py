@@ -18,18 +18,30 @@ The class is interface-compatible with
 :class:`~repro.core.occurrence_index.OccurrenceIndex`, and
 :class:`~repro.core.taxogram.Taxogram` selects it through
 ``TaxogramOptions(occurrence_index_backend="disk")``.
+
+Threading: construction and mutation (``insert`` / ``clear_bits`` /
+``remap_bits`` / ``finish``) belong to the thread that created the
+index — attempting them from elsewhere raises.  Reads (``bits``,
+``covered``, ``dump_rows``...) are safe from any thread: each
+non-owner thread lazily opens its own read-only SQLite connection (one
+connection must never be shared across threads mid-statement), and the
+shared LRU/staging/coverage state is guarded by a lock.  The serving
+layer additionally opens whole indices with ``read_only=True`` so a
+query path cannot mutate a store it only reads.
 """
 
 from __future__ import annotations
 
 import sqlite3
 import tempfile
+import threading
 from collections import OrderedDict
 from pathlib import Path
 from typing import Iterable
 
 from repro.core.occurrence_index import OccurrenceStore
 from repro.core.results import MiningCounters
+from repro.exceptions import MiningError
 from repro.mining.gspan import Embedding
 from repro.taxonomy.taxonomy import Taxonomy
 
@@ -48,22 +60,33 @@ class DiskOccurrenceIndex:
         directory: str | Path | None = None,
         max_resident_entries: int = _DEFAULT_RESIDENT,
         reset: bool = True,
+        read_only: bool = False,
     ) -> None:
         self._num_positions = num_positions
+        if read_only and reset:
+            raise MiningError(
+                "a read-only occurrence index cannot reset its rows"
+            )
         if directory is None:
             self._tempdir = tempfile.TemporaryDirectory(prefix="taxogram-oi-")
             directory = self._tempdir.name
         else:
             self._tempdir = None
         self._path = Path(directory) / "occurrence_index.sqlite3"
-        self._connection = sqlite3.connect(self._path)
-        self._connection.execute(
-            "CREATE TABLE IF NOT EXISTS entries ("
-            " position INTEGER NOT NULL,"
-            " label INTEGER NOT NULL,"
-            " bits BLOB NOT NULL,"
-            " PRIMARY KEY (position, label))"
-        )
+        self._read_only = read_only
+        self._owner = threading.get_ident()
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._extra_connections: list[sqlite3.Connection] = []
+        self._connection = self._open_connection()
+        if not read_only:
+            self._connection.execute(
+                "CREATE TABLE IF NOT EXISTS entries ("
+                " position INTEGER NOT NULL,"
+                " label INTEGER NOT NULL,"
+                " bits BLOB NOT NULL,"
+                " PRIMARY KEY (position, label))"
+            )
         self._covered: list[set[int]] = [set() for _ in range(num_positions)]
         if reset:
             # An index instance always represents a single pattern class; a
@@ -85,14 +108,55 @@ class DiskOccurrenceIndex:
         self._lru: OrderedDict[tuple[int, int], int] = OrderedDict()
         self._closed = False
 
+    # -- connections ----------------------------------------------------------
+
+    def _open_connection(self) -> sqlite3.Connection:
+        # check_same_thread=False lets close() tear down connections that
+        # were opened by (now finished) reader threads; every connection
+        # is still *queried* by a single thread only.
+        if self._read_only:
+            return sqlite3.connect(
+                f"file:{self._path}?mode=ro", uri=True, check_same_thread=False
+            )
+        return sqlite3.connect(self._path, check_same_thread=False)
+
+    def _read_connection(self) -> sqlite3.Connection:
+        """This thread's connection: the owner reuses the main one, any
+        other thread gets a lazily opened private read-only connection."""
+        if threading.get_ident() == self._owner:
+            return self._connection
+        connection = getattr(self._local, "connection", None)
+        if connection is None:
+            connection = sqlite3.connect(
+                f"file:{self._path}?mode=ro", uri=True, check_same_thread=False
+            )
+            self._local.connection = connection
+            with self._lock:
+                self._extra_connections.append(connection)
+        return connection
+
+    def _assert_writable(self) -> None:
+        if self._read_only:
+            raise MiningError(
+                f"occurrence index {self._path} is open read-only"
+            )
+        if threading.get_ident() != self._owner:
+            raise MiningError(
+                "occurrence index mutations are restricted to the thread "
+                "that opened the index"
+            )
+
     # -- construction ---------------------------------------------------------
 
     def insert(self, position: int, label: int, occurrence_bit: int) -> None:
         """OR one occurrence bit into the (position, label) entry."""
+        self._assert_writable()
         key = (position, label)
-        self._covered[position].add(label)
-        self._resident[key] = self._resident.get(key, 0) | occurrence_bit
-        if len(self._resident) > self._max_resident:
+        with self._lock:
+            self._covered[position].add(label)
+            self._resident[key] = self._resident.get(key, 0) | occurrence_bit
+            overflow = len(self._resident) > self._max_resident
+        if overflow:
             self._flush()
 
     def _flush(self) -> None:
@@ -112,8 +176,9 @@ class DiskOccurrenceIndex:
                 (position, label, _encode(bits)),
             )
         self._connection.commit()
-        self._resident.clear()
-        self._lru.clear()  # staged values may have changed merged entries
+        with self._lock:
+            self._resident.clear()
+            self._lru.clear()  # staged values may have changed merged entries
 
     def finish(self) -> "DiskOccurrenceIndex":
         """Flush all staged entries; the index becomes read-mostly."""
@@ -133,6 +198,7 @@ class DiskOccurrenceIndex:
         """
         if mask <= 0:
             return 0
+        self._assert_writable()
         self._flush()
         cursor = self._connection.cursor()
         dead: list[tuple[int, int]] = []
@@ -157,10 +223,11 @@ class DiskOccurrenceIndex:
             cursor.executemany(
                 "DELETE FROM entries WHERE position = ? AND label = ?", dead
             )
+        self._connection.commit()
+        with self._lock:
             for position, label in dead:
                 self._covered[position].discard(label)
-        self._connection.commit()
-        self._lru.clear()
+            self._lru.clear()
         return len(dead)
 
     def remap_bits(self, id_map: dict[int, int]) -> None:
@@ -171,6 +238,7 @@ class DiskOccurrenceIndex:
         """
         from repro.util.bitset import BitSet
 
+        self._assert_writable()
         self._flush()
         cursor = self._connection.cursor()
         dead: list[tuple[int, int]] = []
@@ -193,16 +261,41 @@ class DiskOccurrenceIndex:
             cursor.executemany(
                 "DELETE FROM entries WHERE position = ? AND label = ?", dead
             )
+        self._connection.commit()
+        with self._lock:
             for position, label in dead:
                 self._covered[position].discard(label)
-        self._connection.commit()
-        self._lru.clear()
+            self._lru.clear()
 
     def row_count(self) -> int:
         """Number of persisted (position, label) rows."""
         self._flush()
-        row = self._connection.execute("SELECT COUNT(*) FROM entries").fetchone()
+        row = self._read_connection().execute(
+            "SELECT COUNT(*) FROM entries"
+        ).fetchone()
         return int(row[0])
+
+    def dump_rows(self) -> list[tuple[int, int, int]]:
+        """Every ``(position, label, bits)`` row, staged entries merged in.
+
+        One bulk read instead of per-label probes: the serving layer
+        loads a class's whole index under a single version fence and
+        answers all later queries for that class from memory.
+        """
+        merged: dict[tuple[int, int], int] = {
+            (position, label): int.from_bytes(blob, "little")
+            for position, label, blob in self._read_connection().execute(
+                "SELECT position, label, bits FROM entries"
+            )
+        }
+        with self._lock:
+            staged = dict(self._resident)
+        for key, bits in staged.items():
+            merged[key] = merged.get(key, 0) | bits
+        return sorted(
+            (position, label, bits)
+            for (position, label), bits in merged.items()
+        )
 
     # -- OccurrenceIndex interface ----------------------------------------------
 
@@ -212,41 +305,45 @@ class DiskOccurrenceIndex:
 
     def bits(self, position: int, label: int) -> int:
         key = (position, label)
-        staged = self._resident.get(key)
-        if staged is not None:
-            return staged
-        cached = self._lru.get(key)
-        if cached is not None:
-            self._lru.move_to_end(key)
-            return cached
-        row = self._connection.execute(
+        with self._lock:
+            staged = self._resident.get(key)
+            if staged is not None:
+                return staged
+            cached = self._lru.get(key)
+            if cached is not None:
+                self._lru.move_to_end(key)
+                return cached
+        row = self._read_connection().execute(
             "SELECT bits FROM entries WHERE position = ? AND label = ?",
             key,
         ).fetchone()
         value = int.from_bytes(row[0], "little") if row is not None else 0
-        self._lru[key] = value
-        if len(self._lru) > _LRU_SIZE:
-            self._lru.popitem(last=False)
+        with self._lock:
+            self._lru[key] = value
+            if len(self._lru) > _LRU_SIZE:
+                self._lru.popitem(last=False)
         return value
 
     def covered(self, position: int) -> dict[int, int]:
-        return {
-            label: self.bits(position, label)
-            for label in sorted(self._covered[position])
-        }
+        with self._lock:
+            labels = sorted(self._covered[position])
+        return {label: self.bits(position, label) for label in labels}
 
     def is_covered(self, position: int, label: int) -> bool:
-        return label in self._covered[position]
+        with self._lock:
+            return label in self._covered[position]
 
     def covered_children(
         self, position: int, label: int, taxonomy: Taxonomy
     ) -> list[int]:
-        entry = self._covered[position]
+        with self._lock:
+            entry = set(self._covered[position])
         return [c for c in taxonomy.children_of(label) if c in entry]
 
     def covered_entry_count(self) -> int:
         """Distinct (position, label) entries materialized so far."""
-        return sum(len(labels) for labels in self._covered)
+        with self._lock:
+            return sum(len(labels) for labels in self._covered)
 
     # -- lifecycle ------------------------------------------------------------------
 
@@ -254,6 +351,11 @@ class DiskOccurrenceIndex:
         if self._closed:
             return
         self._closed = True
+        with self._lock:
+            extras = list(self._extra_connections)
+            self._extra_connections.clear()
+        for connection in extras:
+            connection.close()
         self._connection.close()
         if self._tempdir is not None:
             self._tempdir.cleanup()

@@ -24,6 +24,7 @@ from repro.incremental.store import (
     FORMAT_VERSION,
     PatternStore,
     StoredClass,
+    fence_state,
     taxonomy_fingerprint,
 )
 from repro.incremental.updater import IncrementalOptions, IncrementalTaxogram
@@ -35,6 +36,7 @@ __all__ = [
     "PatternStore",
     "StoredClass",
     "FORMAT_VERSION",
+    "fence_state",
     "taxonomy_fingerprint",
     "IncrementalOptions",
     "IncrementalTaxogram",

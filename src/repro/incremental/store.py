@@ -23,6 +23,15 @@ fails :meth:`PatternStore.open` with :class:`repro.exceptions.StoreError`
 instead of producing silently wrong supports.  OIE directory names are
 allocated from a monotonic counter, so class reordering across updates
 never renames directories.
+
+Concurrency contract (the serving read path relies on it): every
+:meth:`PatternStore.save` bumps a monotonic ``store_version`` in the
+manifest, and :class:`~repro.incremental.updater.IncrementalTaxogram`
+drops an ``update.inprogress`` marker file before mutating any store
+file in place.  :func:`fence_state` reads ``(version, stable)`` without
+loading the store; a reader that observes the same stable version before
+and after a disk read has read a consistent snapshot (the manifest
+itself is replaced atomically).
 """
 
 from __future__ import annotations
@@ -44,11 +53,18 @@ from repro.taxonomy.taxonomy import Taxonomy
 from repro.util.bitset import BitSet
 from repro.util.interner import LabelInterner
 
-__all__ = ["PatternStore", "StoredClass", "FORMAT_VERSION", "taxonomy_fingerprint"]
+__all__ = [
+    "PatternStore",
+    "StoredClass",
+    "FORMAT_VERSION",
+    "fence_state",
+    "taxonomy_fingerprint",
+]
 
 FORMAT_VERSION = 1
 
 _MANIFEST = "manifest.json"
+_UPDATE_MARKER = "update.inprogress"
 _LABELS = "labels.json"
 _DATABASE = "database.graphs"
 _CLASSES = "classes.json"
@@ -56,6 +72,31 @@ _BORDER = "border.json"
 _OIE_DIR = "oie"
 
 _Code = tuple[DFSEdge, ...]
+
+
+def fence_state(directory: str | Path) -> tuple[int | None, bool]:
+    """``(committed store_version, stable)`` without loading the store.
+
+    ``version`` is ``None`` when the manifest is missing or torn;
+    ``stable`` is False whenever an update marker is present or the
+    manifest is unreadable.  The marker is checked *before* the manifest
+    is read: an update commits by atomically replacing the manifest and
+    only then removing its marker, so a reader that sees no marker and
+    then reads version ``V`` knows any concurrent mutation either had
+    not started yet or already advanced the manifest past ``V``.
+    Bracketing a disk read with two stable, equal-version fences
+    therefore certifies the read as a consistent version-``V`` snapshot.
+    """
+    directory = Path(directory)
+    stable = not (directory / _UPDATE_MARKER).exists()
+    try:
+        manifest = json.loads(
+            (directory / _MANIFEST).read_text(encoding="utf-8")
+        )
+        version = int(manifest.get("store_version", 0))
+    except (OSError, ValueError, TypeError):
+        return None, False
+    return version, stable
 
 
 def taxonomy_fingerprint(taxonomy: Taxonomy) -> str:
@@ -107,6 +148,7 @@ class PatternStore:
         self.artificial_root_name = artificial_root_name
         self.classes: list[StoredClass] = []
         self.border: dict[_Code, BitSet] = {}
+        self.store_version = 0
         self._next_oie_id = 0
         self._taxonomy_sha = taxonomy_fingerprint(taxonomy)
 
@@ -182,9 +224,17 @@ class PatternStore:
         )
 
     def load_index(
-        self, stored: StoredClass, max_resident_entries: int = 4096
+        self,
+        stored: StoredClass,
+        max_resident_entries: int = 4096,
+        read_only: bool = False,
     ) -> DiskOccurrenceIndex:
-        """Reopen a class's persisted OIE without resetting its rows."""
+        """Reopen a class's persisted OIE without resetting its rows.
+
+        With ``read_only=True`` the SQLite file is opened in ``mode=ro``
+        (the serving path), so the reader can never mutate a store it
+        only queries.
+        """
         path = self.oie_path(stored)
         if not (path / "occurrence_index.sqlite3").exists():
             raise StoreError(
@@ -196,7 +246,22 @@ class PatternStore:
             directory=path,
             max_resident_entries=max_resident_entries,
             reset=False,
+            read_only=read_only,
         )
+
+    # -- update fencing ---------------------------------------------------------------
+
+    def mark_update_in_progress(self) -> None:
+        """Drop the marker readers use to detect in-place mutation.
+
+        :meth:`save` removes it again once the update commits, so the
+        marker's lifetime brackets exactly the window in which store
+        files on disk may disagree with the manifest.
+        """
+        (self.directory / _UPDATE_MARKER).touch()
+
+    def update_in_progress(self) -> bool:
+        return (self.directory / _UPDATE_MARKER).exists()
 
     # -- fingerprint ------------------------------------------------------------------
 
@@ -246,7 +311,12 @@ class PatternStore:
     # -- persistence ------------------------------------------------------------------
 
     def save(self) -> None:
-        """Write every store file; the manifest (with checksums) goes last."""
+        """Write every store file; the manifest (with checksums) goes last.
+
+        Each save bumps ``store_version`` and replaces the manifest
+        atomically, then clears any update-in-progress marker — the
+        commit point of the fencing protocol (see :func:`fence_state`).
+        """
         labels_doc = {
             "node_labels": self.taxonomy.interner.names(),
             "edge_labels": self.database.edge_labels.names(),
@@ -289,8 +359,10 @@ class PatternStore:
                 oie_rows[stored.oie_name] = index.row_count()
             finally:
                 index.close()
+        self.store_version += 1
         manifest = {
             "format_version": FORMAT_VERSION,
+            "store_version": self.store_version,
             "min_support": self.min_support,
             "max_edges": self.max_edges,
             "artificial_root": self.artificial_root_name,
@@ -300,9 +372,13 @@ class PatternStore:
             "checksums": checksums,
             "oie_rows": oie_rows,
         }
-        (self.directory / _MANIFEST).write_text(
-            json.dumps(manifest, indent=2), encoding="utf-8"
-        )
+        manifest_path = self.directory / _MANIFEST
+        tmp_path = manifest_path.with_name(_MANIFEST + ".tmp")
+        tmp_path.write_text(json.dumps(manifest, indent=2), encoding="utf-8")
+        tmp_path.replace(manifest_path)
+        marker = self.directory / _UPDATE_MARKER
+        if marker.exists():
+            marker.unlink()
 
     @classmethod
     def open(cls, directory: str | Path) -> "PatternStore":
@@ -368,6 +444,7 @@ class PatternStore:
                 "the manifest"
             )
         store._next_oie_id = int(manifest["next_oie_id"])
+        store.store_version = int(manifest.get("store_version", 0))
 
         oie_rows = manifest.get("oie_rows", {})
         for entry in json.loads(texts[_CLASSES])["classes"]:

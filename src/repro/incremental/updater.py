@@ -203,6 +203,11 @@ class IncrementalTaxogram:
             else None
         )
 
+        # From here on the persisted OIEs are mutated in place; the
+        # marker tells concurrent StoreReaders to treat on-disk state as
+        # unstable until save() commits the new version.
+        store.mark_update_in_progress()
+
         watch = Stopwatch()
         with watch, tracer.span("incremental.maintain"):
             for stored in list(store.classes):
@@ -529,7 +534,14 @@ class IncrementalTaxogram:
             artificial_root_name=store.artificial_root_name,
             store_out=str(tmp),
         )
-        result, _ = mine_to_store(updated_db, store.taxonomy, options, tracer)
+        result, new_store = mine_to_store(
+            updated_db, store.taxonomy, options, tracer
+        )
+        # Readers fence on a monotonic store_version; re-save the fresh
+        # store so its version strictly advances past the old one.
+        new_store.store_version = store.store_version
+        new_store.save()
+        store.mark_update_in_progress()
         shutil.rmtree(base)
         tmp.rename(base)
         self.store = PatternStore.open(base)

@@ -32,6 +32,7 @@ __all__ = [
     "DFSCode",
     "graph_from_code",
     "is_min_code",
+    "min_code_with_embeddings",
     "min_dfs_code",
 ]
 
@@ -361,3 +362,34 @@ def min_dfs_code(graph: Graph) -> DFSCode:
     while builder.step() is not None:
         pass
     return DFSCode(builder.code)
+
+
+def min_code_with_embeddings(
+    graph: Graph,
+) -> tuple[DFSCode, list[tuple[int, ...]]]:
+    """The minimum DFS code of ``graph`` plus every embedding realizing it.
+
+    Each embedding maps code vertex id -> graph node; for a pattern
+    graph these are exactly the isomorphisms from the code's position
+    space onto the graph — one per automorphism.  The serving layer uses
+    them to translate query-node labels into occurrence-index positions
+    without any isomorphism search: the builder already tracked every
+    minimal embedding while canonicalizing.
+    """
+    if graph.num_edges == 0:
+        if graph.num_nodes > 1:
+            raise MiningError("graph is not connected")
+        embeddings = [(0,)] if graph.num_nodes == 1 else []
+        return DFSCode(()), embeddings
+    if not graph.is_connected():
+        raise MiningError("graph is not connected")
+    builder = _min_code_steps(graph)
+    while builder.step() is not None:
+        pass
+    seen: set[tuple[int, ...]] = set()
+    embeddings = []
+    for state in builder.states:
+        if state.nodes not in seen:
+            seen.add(state.nodes)
+            embeddings.append(state.nodes)
+    return DFSCode(builder.code), embeddings

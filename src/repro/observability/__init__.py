@@ -24,7 +24,7 @@ Typical use::
     result_path.write_text(result.report.to_json())
 """
 
-from repro.observability.metrics import MetricsRegistry
+from repro.observability.metrics import LockingMetricsRegistry, MetricsRegistry
 from repro.observability.report import RunReport
 from repro.observability.trace import (
     NOOP_TRACER,
@@ -36,6 +36,7 @@ from repro.observability.trace import (
 )
 
 __all__ = [
+    "LockingMetricsRegistry",
     "MetricsRegistry",
     "RunReport",
     "SpanRecord",

@@ -14,7 +14,9 @@ for peaks (RSS, resident entries) and harmless for constants like
 
 from __future__ import annotations
 
-__all__ = ["MetricsRegistry"]
+import threading
+
+__all__ = ["LockingMetricsRegistry", "MetricsRegistry"]
 
 
 class MetricsRegistry:
@@ -70,3 +72,48 @@ class MetricsRegistry:
             f"MetricsRegistry(counters={len(self.counters)}, "
             f"gauges={len(self.gauges)})"
         )
+
+
+class LockingMetricsRegistry(MetricsRegistry):
+    """A :class:`MetricsRegistry` whose updates are atomic across threads.
+
+    The mining pipeline is single-threaded per process, so the base
+    class skips locking; the serving layer shares one registry between
+    concurrent query threads, where an unlocked read-modify-write
+    ``add`` would drop increments.
+    """
+
+    __slots__ = ("_lock",)
+
+    def __init__(
+        self,
+        counters: dict[str, int] | None = None,
+        gauges: dict[str, float] | None = None,
+    ) -> None:
+        super().__init__(counters, gauges)
+        self._lock = threading.Lock()
+
+    def add(self, name: str, value: int = 1) -> None:
+        with self._lock:
+            super().add(name, value)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            super().set_gauge(name, value)
+
+    def max_gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            super().max_gauge(name, value)
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        with self._lock:
+            super().merge(other)
+
+    def as_dict(self) -> dict:
+        with self._lock:
+            return super().as_dict()
+
+    def counter(self, name: str) -> int:
+        """Point read of one counter (0 when never touched)."""
+        with self._lock:
+            return self.counters.get(name, 0)

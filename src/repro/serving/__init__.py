@@ -1,0 +1,47 @@
+"""Read-optimized concurrent query serving over persisted pattern stores.
+
+Mining (paper §3) pays isomorphism tests once and records its work as
+taxonomy-projected occurrence bit-sets; this package turns a persisted
+:class:`~repro.incremental.store.PatternStore` into a query engine that
+answers from those bit-sets:
+
+* :class:`StoreReader` — a read-only, thread-safe view of a store
+  directory.  ``support(pattern)`` is exact for *any* pattern at or
+  below a mined class — including over-generalized patterns that were
+  never materialized — with zero isomorphism tests; negative-border
+  entries give exact sub-threshold supports; everything else falls back
+  to (counted) VF2.  Readers stay valid while an
+  :class:`~repro.incremental.updater.IncrementalTaxogram` updates the
+  store: version fencing reloads the snapshot at the next query.
+* :class:`VersionedResultCache` — the reader's LRU result cache, keyed
+  by canonical DFS code + store version and invalidated wholesale on a
+  version bump.
+* :class:`BatchExecutor` / :class:`Query` — batch execution grouping
+  queries per pattern class across a thread pool.
+* :func:`serve` / :class:`StoreHTTPServer` — a stdlib JSON/HTTP
+  front-end (``taxogram serve``).
+
+Typical use::
+
+    from repro.serving import StoreReader
+
+    reader = StoreReader("go_store")
+    n = reader.support(pattern)          # exact, no isomorphism tests
+    top = reader.top_k(10, label_filter="binding")
+"""
+
+from repro.serving.batch import BatchExecutor, Query
+from repro.serving.cache import VersionedResultCache
+from repro.serving.reader import MatchResult, ServingAnswer, StoreReader
+from repro.serving.server import StoreHTTPServer, serve
+
+__all__ = [
+    "BatchExecutor",
+    "MatchResult",
+    "Query",
+    "ServingAnswer",
+    "StoreHTTPServer",
+    "StoreReader",
+    "VersionedResultCache",
+    "serve",
+]

@@ -1,0 +1,95 @@
+"""Batch query execution: group by pattern class, fan out over threads.
+
+A :class:`~repro.serving.reader.StoreReader` loads each class's
+occurrence rows at most once per store version, so the expensive part of
+a cold batch is the *first* query touching each class.  The executor
+therefore groups queries by :meth:`StoreReader.class_key` and runs each
+group as one unit on a thread pool: the group's first query pays the row
+load, the rest hit the in-memory rows (or the result cache), and
+distinct classes load in parallel.
+
+Failures are per-query: a query whose pattern has an unknown label (or
+any other :class:`~repro.exceptions.ReproError`) yields that exception
+object in its result slot instead of poisoning the whole batch.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.exceptions import ReproError
+from repro.graphs.graph import Graph
+from repro.serving.reader import ServingAnswer, StoreReader
+
+__all__ = ["BatchExecutor", "Query"]
+
+
+@dataclass(frozen=True)
+class Query:
+    """One declarative query: an op plus its arguments.
+
+    ``op`` is one of ``support``, ``contains``, ``graphs``,
+    ``specializations`` (which take ``pattern``) or ``top_k`` (which
+    takes ``k`` and optionally ``label_filter``).
+    """
+
+    op: str
+    pattern: Graph | None = None
+    min_support: float | None = None
+    k: int | None = None
+    label_filter: str | None = None
+
+
+class BatchExecutor:
+    """Run many queries against one reader, grouped per pattern class."""
+
+    def __init__(self, reader: StoreReader, max_workers: int = 4) -> None:
+        self.reader = reader
+        self.max_workers = max(1, max_workers)
+
+    def run(self, queries: list[Query]) -> list[ServingAnswer | ReproError]:
+        """Answers in input order; failed queries hold their exception."""
+        results: list[ServingAnswer | ReproError | None] = [None] * len(
+            queries
+        )
+        groups: dict[object, list[int]] = {}
+        for index, query in enumerate(queries):
+            try:
+                key = self._group_key(query)
+            except ReproError as exc:
+                results[index] = exc
+                continue
+            groups.setdefault(key, []).append(index)
+
+        def run_group(indices: list[int]) -> None:
+            for index in indices:
+                query = queries[index]
+                try:
+                    results[index] = self.reader.query(
+                        query.op,
+                        query.pattern,
+                        min_support=query.min_support,
+                        k=query.k,
+                        label_filter=query.label_filter,
+                    )
+                except ReproError as exc:
+                    results[index] = exc
+
+        if groups:
+            with ThreadPoolExecutor(
+                max_workers=min(self.max_workers, len(groups))
+            ) as pool:
+                for future in [
+                    pool.submit(run_group, indices)
+                    for indices in groups.values()
+                ]:
+                    future.result()
+        return results  # type: ignore[return-value]
+
+    def _group_key(self, query: Query) -> object:
+        if query.op == "top_k":
+            return ("top_k",)
+        if query.pattern is None:
+            raise ReproError(f"op {query.op!r} requires a pattern")
+        return ("class", self.reader.class_key(query.pattern))

@@ -1,0 +1,60 @@
+"""Versioned LRU result cache for the serving layer.
+
+Entries are keyed by ``(store_version, query key)`` where the query key
+embeds the pattern's canonical DFS code, so automorphic phrasings of the
+same query share one entry.  An incremental update bumps the store
+version; :class:`~repro.serving.reader.StoreReader` then calls
+:meth:`VersionedResultCache.clear` and the whole cache is invalidated
+wholesale — per-entry invalidation is pointless when every stored
+bit-set may have changed.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Hashable
+
+__all__ = ["VersionedResultCache"]
+
+_MISS = object()
+
+
+class VersionedResultCache:
+    """A thread-safe LRU mapping ``(version, key) -> result``."""
+
+    def __init__(self, maxsize: int = 1024) -> None:
+        self._maxsize = max(1, maxsize)
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[tuple[int, Hashable], Any] = OrderedDict()
+
+    def get(self, version: int, key: Hashable) -> Any:
+        """The cached result, or the :data:`MISS` sentinel (see
+        :meth:`is_miss`)."""
+        full_key = (version, key)
+        with self._lock:
+            value = self._entries.get(full_key, _MISS)
+            if value is not _MISS:
+                self._entries.move_to_end(full_key)
+            return value
+
+    def put(self, version: int, key: Hashable, value: Any) -> None:
+        full_key = (version, key)
+        with self._lock:
+            self._entries[full_key] = value
+            self._entries.move_to_end(full_key)
+            while len(self._entries) > self._maxsize:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Wholesale invalidation (a store update bumped the version)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @staticmethod
+    def is_miss(value: Any) -> bool:
+        return value is _MISS

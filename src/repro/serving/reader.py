@@ -1,0 +1,682 @@
+""":class:`StoreReader`: concurrent pattern queries over a pattern store.
+
+The paper's central trade (PAPER.md §3) is to pay isomorphism tests once
+— while mining — and answer every specialization question afterwards by
+bit-set intersection on the taxonomy-projected occurrence index.  A
+:class:`~repro.incremental.store.PatternStore` persists exactly those
+bit-sets, so a reader can answer support queries for *any* pattern at or
+below a mined class with zero isomorphism tests, including patterns that
+were never materialized because they were over-generalized, and exact
+sub-threshold supports for negative-border structures.
+
+Query resolution for a pattern ``P``:
+
+1. Relabel every node of ``P`` to its most-general ancestor and compute
+   the minimum DFS code of the result — the candidate class key — along
+   with every embedding of that code into ``P``
+   (:func:`repro.mining.dfs_code.min_code_with_embeddings`).
+2. If the key is a mined class: for each embedding, AND together the
+   per-position occurrence rows of ``P``'s labels and union the results.
+   gSpan occurrence sets are closed under automorphism, so the union is
+   the exact occurrence set of ``P`` (``serving.bitset_queries``).
+3. If the key is a negative-border entry: the stored graph-id set *is*
+   the exact sub-threshold support when ``P`` is the most-general
+   assignment; otherwise it bounds the candidate set for a VF2 check.
+4. Otherwise fall back to VF2 over the database — the only path that
+   performs isomorphism tests, and it is counted
+   (``serving.vf2_fallbacks`` / ``serving.vf2_tests``).
+
+Concurrency: the reader snapshots one committed store version in memory
+(columns, border, taxonomy) and loads each class's OIE rows at most once
+per version, bracketing every disk read with
+:func:`repro.incremental.store.fence_state` checks.  When an
+:class:`~repro.incremental.updater.IncrementalTaxogram` commits a new
+version, the next query reloads the snapshot and invalidates the result
+cache wholesale; answers are therefore always consistent with exactly
+one committed version — never a torn mix.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+import time
+from dataclasses import dataclass
+from functools import cmp_to_key
+from pathlib import Path
+
+from repro.core.occurrence_index import OccurrenceIndex
+from repro.core.relabel import repair_taxonomy
+from repro.core.results import MiningCounters, TaxonomyPattern, format_pattern
+from repro.core.specializer import SpecializerOptions, specialize_class
+from repro.exceptions import MiningError, StoreError, TaxonomyError
+from repro.graphs.graph import Graph
+from repro.graphs.io import parse_graph_database
+from repro.incremental.store import PatternStore, StoredClass, fence_state
+from repro.isomorphism.vf2 import is_generalized_subgraph_isomorphic
+from repro.mining.dfs_code import (
+    code_lt,
+    graph_from_code,
+    min_code_with_embeddings,
+    min_dfs_code,
+)
+from repro.mining.gspan import min_support_count
+from repro.observability.metrics import LockingMetricsRegistry
+from repro.observability.trace import NOOP_TRACER, Tracer
+from repro.serving.cache import VersionedResultCache
+
+__all__ = ["MatchResult", "ServingAnswer", "StoreReader"]
+
+_CODE_KEY = cmp_to_key(
+    lambda a, b: -1 if code_lt(a, b) else (1 if code_lt(b, a) else 0)
+)
+
+_QUERY_OPS = ("support", "contains", "graphs", "specializations")
+
+
+@dataclass(frozen=True)
+class MatchResult:
+    """Exact match set of one query pattern.
+
+    ``occurrences`` lists ``(graph_id, node_tuple)`` pairs — the
+    occurrence ids of the pattern inside its class — and is ``None``
+    when the answer came from a border entry or a VF2 fallback, where no
+    occurrence index exists.
+    """
+
+    support_count: int
+    graph_ids: frozenset[int]
+    occurrences: tuple[tuple[int, tuple[int, ...]], ...] | None
+    path: str
+
+
+@dataclass(frozen=True)
+class ServingAnswer:
+    """A query result fenced to one committed store version."""
+
+    value: object
+    store_version: int
+    cached: bool
+
+
+class _StaleStore(Exception):
+    """The store committed a new version mid-query; reload and retry."""
+
+
+class _ReaderState:
+    """One committed store version, snapshotted in memory."""
+
+    def __init__(self, store: PatternStore) -> None:
+        self.store = store
+        self.version = store.store_version
+        self.working, self.most_general = repair_taxonomy(
+            store.taxonomy, store.artificial_root_name
+        )
+        self.min_count = min_support_count(
+            store.min_support, len(store.database)
+        )
+        self.classes: dict[tuple, StoredClass] = {
+            stored.code: stored for stored in store.classes
+        }
+        self.border = store.border
+        self.class_ids = {
+            stored.code: class_id
+            for class_id, stored in enumerate(store.classes)
+        }
+        self.rows: dict[str, OccurrenceIndex] = {}
+        self.patterns: tuple[TaxonomyPattern, ...] | None = None
+        self.patterns_lock = threading.Lock()
+        self._row_locks: dict[str, threading.Lock] = {}
+        self._row_locks_guard = threading.Lock()
+
+    def row_lock(self, oie_name: str) -> threading.Lock:
+        with self._row_locks_guard:
+            lock = self._row_locks.get(oie_name)
+            if lock is None:
+                lock = self._row_locks[oie_name] = threading.Lock()
+            return lock
+
+
+class StoreReader:
+    """Read-only, thread-safe query view of a pattern store directory.
+
+    The manifest is verified and the interner/taxonomy rebuilt once per
+    committed store version; per-class occurrence rows are loaded lazily
+    (once per class per version) through read-only SQLite connections
+    and shared across query threads.  All query methods may raise
+    :class:`~repro.exceptions.StoreError` if the store keeps changing
+    faster than the reader can fence a consistent snapshot.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        cache_size: int = 1024,
+        max_retries: int = 100,
+        retry_wait: float = 0.02,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self.directory = Path(directory)
+        self.metrics = LockingMetricsRegistry()
+        self._tracer = tracer if tracer is not None else NOOP_TRACER
+        self._cache = VersionedResultCache(cache_size)
+        self._max_retries = max(1, max_retries)
+        self._retry_wait = retry_wait
+        self._reload_lock = threading.Lock()
+        self._state: _ReaderState | None = None
+        self._ensure_state()
+
+    # -- public query API -----------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """The committed store version the reader currently serves."""
+        return self._state.version
+
+    @property
+    def database_size(self) -> int:
+        return len(self._state.store.database)
+
+    @property
+    def num_classes(self) -> int:
+        return len(self._state.store.classes)
+
+    @property
+    def min_support(self) -> float:
+        return self._state.store.min_support
+
+    def support(self, pattern: Graph) -> int:
+        """Exact number of database graphs containing ``pattern``."""
+        return self.query("support", pattern).value
+
+    def contains(self, pattern: Graph) -> bool:
+        """Is ``pattern`` a member of the mined result set — frequent at
+        the store's sigma and not over-generalized?"""
+        return self.query("contains", pattern).value
+
+    def graphs_matching(self, pattern: Graph) -> MatchResult:
+        """Exact graph ids (and, inside a class, occurrence ids) that
+        contain ``pattern``."""
+        return self.query("graphs", pattern).value
+
+    def specializations(
+        self, pattern: Graph, min_support: float | None = None
+    ) -> list[TaxonomyPattern]:
+        """Frequent, non-over-generalized label specializations of
+        ``pattern`` (same structure, labels at or below ``pattern``'s).
+
+        ``min_support`` defaults to the store's sigma; inside a mined
+        class any threshold is answerable exactly from the stored
+        bit-sets, even below sigma.
+        """
+        return list(
+            self.query("specializations", pattern, min_support=min_support)
+            .value
+        )
+
+    def top_k(
+        self, k: int, label_filter: str | None = None
+    ) -> list[TaxonomyPattern]:
+        """The ``k`` highest-support mined patterns, optionally only
+        those mentioning ``label_filter`` or one of its specializations."""
+        return list(
+            self.query("top_k", k=k, label_filter=label_filter).value
+        )
+
+    def query(
+        self,
+        op: str,
+        pattern: Graph | None = None,
+        *,
+        min_support: float | None = None,
+        k: int | None = None,
+        label_filter: str | None = None,
+    ) -> ServingAnswer:
+        """Generic entry point; returns the value fenced to a version."""
+        start = time.perf_counter()
+        with self._tracer.span(f"serving.{op}"):
+            for _attempt in range(self._max_retries):
+                state = self._ensure_state()
+                try:
+                    value, cached = self._dispatch(
+                        state, op, pattern, min_support, k, label_filter
+                    )
+                    break
+                except _StaleStore:
+                    continue
+            else:
+                raise StoreError(
+                    f"store {self.directory} kept changing while answering "
+                    f"a {op} query"
+                )
+        self.metrics.add("serving.queries", 1)
+        latency_ms = (time.perf_counter() - start) * 1000.0
+        self.metrics.add("serving.latency_us_total", int(latency_ms * 1000))
+        self.metrics.max_gauge("serving.latency_ms_max", latency_ms)
+        return ServingAnswer(
+            value=value, store_version=state.version, cached=cached
+        )
+
+    def class_key(self, pattern: Graph) -> tuple:
+        """Canonical key of the pattern's class structure.
+
+        Two patterns share a key iff they belong to the same pattern
+        class (same structure after relabeling to most-general
+        ancestors); the batch executor groups queries by this key so
+        one occurrence-row load serves the whole group.
+        """
+        state = self._ensure_state()
+        labels = self._validated_labels(state, pattern)
+        if pattern.num_edges == 0:
+            return ("node", state.most_general[labels[0]])
+        code, _isos = self._generalized(state, pattern, labels)
+        return code.edges
+
+    # -- rendering / parsing helpers (CLI and HTTP surface) -------------------
+
+    def render(self, pattern: TaxonomyPattern) -> str:
+        store = self._state.store
+        return format_pattern(
+            pattern, store.taxonomy.interner, store.database.edge_labels
+        )
+
+    def parse_pattern(self, text: str) -> Graph:
+        """One query pattern from graph-db text (``t # 0`` / ``v`` / ``e``)."""
+        store = self._state.store
+        parsed = parse_graph_database(
+            text,
+            node_labels=store.database.node_labels,
+            edge_labels=store.database.edge_labels,
+        )
+        if len(parsed) != 1:
+            raise MiningError(
+                f"a query pattern file must contain exactly one graph, "
+                f"got {len(parsed)}"
+            )
+        return parsed[0]
+
+    # -- state management (version fencing) -----------------------------------
+
+    def _fence(self) -> tuple[int | None, bool]:
+        return fence_state(self.directory)
+
+    def _ensure_state(self) -> _ReaderState:
+        """The current snapshot, reloading when a new version committed."""
+        state = self._state
+        version, stable = self._fence()
+        if state is not None and (
+            not stable or version is None or version == state.version
+        ):
+            return state
+        with self._reload_lock:
+            state = self._state
+            version, stable = self._fence()
+            if state is not None and (
+                not stable or version is None or version == state.version
+            ):
+                return state
+            attempts = self._max_retries if state is not None else 3
+            last_error: StoreError | None = None
+            for _attempt in range(attempts):
+                try:
+                    store = PatternStore.open(self.directory)
+                except StoreError as exc:
+                    last_error = exc
+                    time.sleep(self._retry_wait)
+                    continue
+                version, stable = self._fence()
+                if stable and version == store.store_version:
+                    new_state = _ReaderState(store)
+                    self._state = new_state
+                    self._cache.clear()
+                    self.metrics.add("serving.reloads", 1)
+                    return new_state
+                time.sleep(self._retry_wait)
+            if last_error is not None and state is None:
+                raise last_error
+            raise StoreError(
+                f"store {self.directory} kept changing while the reader "
+                "tried to load a consistent snapshot"
+            )
+
+    def _class_rows(self, state: _ReaderState, stored: StoredClass):
+        """The class's full OIE, loaded once per version under a fence."""
+        rows = state.rows.get(stored.oie_name)
+        if rows is not None:
+            return rows
+        with state.row_lock(stored.oie_name):
+            rows = state.rows.get(stored.oie_name)
+            if rows is not None:
+                return rows
+            for _attempt in range(self._max_retries):
+                version, stable = self._fence()
+                if stable and version is not None and version != state.version:
+                    raise _StaleStore()
+                if not stable or version != state.version:
+                    time.sleep(self._retry_wait)
+                    continue
+                try:
+                    index = state.store.load_index(stored, read_only=True)
+                    try:
+                        raw = index.dump_rows()
+                    finally:
+                        index.close()
+                except (StoreError, sqlite3.Error):
+                    time.sleep(self._retry_wait)
+                    continue
+                version, stable = self._fence()
+                if stable and version is not None and version != state.version:
+                    raise _StaleStore()
+                if not stable or version != state.version:
+                    time.sleep(self._retry_wait)
+                    continue
+                entries: list[dict[int, int]] = [
+                    {} for _ in range(stored.num_positions)
+                ]
+                for position, label, bits in raw:
+                    entries[position][label] = bits
+                rows = OccurrenceIndex(entries)
+                state.rows[stored.oie_name] = rows
+                self.metrics.add("serving.row_loads", 1)
+                return rows
+            raise StoreError(
+                f"store {self.directory} kept changing while loading the "
+                f"occurrence rows of {stored.oie_name}"
+            )
+
+    # -- dispatch and caching -------------------------------------------------
+
+    def _dispatch(self, state, op, pattern, min_support, k, label_filter):
+        if op == "top_k":
+            if k is None or k < 0:
+                raise MiningError("top_k requires a non-negative k")
+            cached = state.patterns is not None
+            patterns = self._materialized_patterns(state)
+            if label_filter is not None:
+                try:
+                    filter_id = state.store.taxonomy.id_of(label_filter)
+                except KeyError:
+                    raise TaxonomyError(
+                        f"label filter {label_filter!r} is not a taxonomy"
+                        " concept"
+                    ) from None
+                patterns = tuple(
+                    p
+                    for p in patterns
+                    if any(
+                        state.working.matches(filter_id, p.graph.node_label(v))
+                        for v in p.graph.nodes()
+                    )
+                )
+            return patterns[:k], cached
+        if op not in _QUERY_OPS:
+            raise MiningError(f"unknown query op {op!r}")
+        if pattern is None:
+            raise MiningError(f"op {op!r} requires a pattern")
+        key = self._query_key(op, pattern, min_support)
+        value = self._cache.get(state.version, key)
+        if not self._cache.is_miss(value):
+            self.metrics.add("serving.cache_hits", 1)
+            return value, True
+        self.metrics.add("serving.cache_misses", 1)
+        if op == "contains":
+            value = self._compute_contains(state, pattern)
+        elif op == "specializations":
+            value = self._compute_specializations(state, pattern, min_support)
+        else:
+            match = self._compute_match(state, pattern)
+            value = match.support_count if op == "support" else match
+        self._cache.put(state.version, key, value)
+        return value, False
+
+    def _query_key(self, op, pattern, min_support):
+        """Cache key: op + the pattern's own canonical DFS code, so
+        automorphic phrasings of one query share an entry."""
+        code = min_dfs_code(pattern)  # validates connectivity too
+        if code.edges:
+            structure_key: tuple = code.edges
+        else:
+            structure_key = ("node", pattern.node_label(0))
+        # support and graphs share the underlying match; keep separate
+        # entries (one is an int, one a MatchResult) for simplicity.
+        if op == "specializations":
+            return (op, structure_key, min_support)
+        return (op, structure_key)
+
+    # -- query computations ---------------------------------------------------
+
+    def _validated_labels(self, state: _ReaderState, pattern: Graph):
+        if pattern.num_nodes == 0:
+            raise MiningError("query pattern has no nodes")
+        labels = [pattern.node_label(v) for v in pattern.nodes()]
+        for label in labels:
+            if label not in state.working:
+                name = state.store.taxonomy.interner.name_of(label)
+                raise TaxonomyError(
+                    f"query pattern label {name!r} is not a taxonomy concept"
+                )
+        return labels
+
+    def _generalized(self, state: _ReaderState, pattern: Graph, labels):
+        generalized = pattern.copy()
+        for v in generalized.nodes():
+            generalized.relabel_node(v, state.most_general[labels[v]])
+        return min_code_with_embeddings(generalized)
+
+    def _compute_match(self, state: _ReaderState, pattern: Graph) -> MatchResult:
+        labels = self._validated_labels(state, pattern)
+        if pattern.num_edges == 0:
+            if pattern.num_nodes != 1:
+                raise MiningError("query pattern is not connected")
+            # Single-node patterns have no pattern class; one pass over
+            # the node labels (still zero isomorphism tests).
+            label = labels[0]
+            working = state.working
+            gids = frozenset(
+                graph.graph_id
+                for graph in state.store.database
+                if any(
+                    working.matches(label, node_label)
+                    for node_label in set(graph.node_labels())
+                )
+            )
+            self.metrics.add("serving.label_scans", 1)
+            return MatchResult(len(gids), gids, None, "label-scan")
+        code, isos = self._generalized(state, pattern, labels)
+        stored = state.classes.get(code.edges)
+        if stored is not None:
+            rows = self._class_rows(state, stored)
+            columns = stored.columns
+            total = 0
+            intersections = 0
+            for iso in isos:
+                bits = columns.all_bits
+                for position in range(stored.num_positions):
+                    bits &= rows.bits(position, labels[iso[position]])
+                    intersections += 1
+                    if not bits:
+                        break
+                total |= bits
+            self.metrics.add("serving.bitset_intersections", intersections)
+            self.metrics.add("serving.bitset_queries", 1)
+            gids = columns.support_set(total)
+            occurrences = tuple(
+                (entry[0], entry[1])
+                for occ_id, entry in enumerate(columns)
+                if entry is not None and (total >> occ_id) & 1
+            )
+            return MatchResult(len(gids), gids, occurrences, "bitset")
+        border_gids = state.border.get(code.edges)
+        if border_gids is not None:
+            generalized_is_query = all(
+                state.most_general[label] == label for label in labels
+            )
+            if generalized_is_query:
+                # The stored border entry *is* the exact (sub-threshold)
+                # support set of this structure's most-general pattern.
+                gids = frozenset(border_gids)
+                self.metrics.add("serving.border_hits", 1)
+                self.metrics.add("serving.bitset_queries", 1)
+                return MatchResult(len(gids), gids, None, "border")
+            gids = self._vf2_scan(state, pattern, sorted(border_gids))
+            return MatchResult(len(gids), gids, None, "vf2-border")
+        gids = self._vf2_scan(
+            state, pattern, range(len(state.store.database))
+        )
+        return MatchResult(len(gids), gids, None, "vf2")
+
+    def _vf2_scan(self, state, pattern, candidates) -> frozenset[int]:
+        database = state.store.database
+        working = state.working
+        gids = set()
+        tests = 0
+        for gid in candidates:
+            tests += 1
+            if is_generalized_subgraph_isomorphic(
+                pattern, database[gid], working
+            ):
+                gids.add(gid)
+        self.metrics.add("serving.vf2_tests", tests)
+        self.metrics.add("serving.vf2_fallbacks", 1)
+        return frozenset(gids)
+
+    def _compute_contains(self, state: _ReaderState, pattern: Graph) -> bool:
+        labels = self._validated_labels(state, pattern)
+        if pattern.num_edges == 0:
+            return False  # mined patterns always contain an edge
+        code, isos = self._generalized(state, pattern, labels)
+        stored = state.classes.get(code.edges)
+        if stored is None:
+            # Frequent patterns within the edge cap always have a mined
+            # class, so anything else is not in the result set.
+            return False
+        rows = self._class_rows(state, stored)
+        columns = stored.columns
+        iso = isos[0]  # support comparisons are automorphism-invariant
+        bits = columns.all_bits
+        intersections = 0
+        for position in range(stored.num_positions):
+            bits &= rows.bits(position, labels[iso[position]])
+            intersections += 1
+            if not bits:
+                break
+        support = columns.support_count(bits)
+        self.metrics.add("serving.bitset_queries", 1)
+        if support < state.min_count:
+            self.metrics.add("serving.bitset_intersections", intersections)
+            return False
+        # Over-generalization check (paper Lemma 2 / specializer's
+        # single-child-step): an equal-support covered child at any
+        # position means a strictly more specific pattern explains the
+        # same occurrences, so this pattern was not emitted.
+        working = state.working
+        overgeneralized = False
+        for position in range(stored.num_positions):
+            label = labels[iso[position]]
+            for child in rows.covered_children(position, label, working):
+                intersections += 1
+                if (
+                    columns.support_count(bits & rows.bits(position, child))
+                    == support
+                ):
+                    overgeneralized = True
+                    break
+            if overgeneralized:
+                break
+        self.metrics.add("serving.bitset_intersections", intersections)
+        return not overgeneralized
+
+    def _compute_specializations(
+        self, state: _ReaderState, pattern: Graph, min_support: float | None
+    ) -> tuple[TaxonomyPattern, ...]:
+        labels = self._validated_labels(state, pattern)
+        database_size = len(state.store.database)
+        min_count = (
+            state.min_count
+            if min_support is None
+            else min_support_count(min_support, database_size)
+        )
+        if pattern.num_edges == 0:
+            raise MiningError(
+                "specializations require a pattern with at least one edge"
+            )
+        code, isos = self._generalized(state, pattern, labels)
+        stored = state.classes.get(code.edges)
+        if stored is None:
+            if (
+                state.store.max_edges is not None
+                and len(code.edges) > state.store.max_edges
+            ):
+                raise MiningError(
+                    f"pattern has {len(code.edges)} edges but the store "
+                    f"was mined with max_edges={state.store.max_edges}"
+                )
+            if min_count >= state.min_count:
+                return ()  # structure is infrequent; so is every member
+            raise MiningError(
+                f"store was mined at min_support={state.store.min_support}; "
+                "sub-threshold specializations exist only inside mined "
+                "classes"
+            )
+        # Rebuild the pattern in the class's position space: position p
+        # takes the query label of the node it maps to.
+        iso = isos[0]
+        structure = graph_from_code(stored.code)
+        for position in range(stored.num_positions):
+            structure.relabel_node(position, labels[iso[position]])
+        rows = self._class_rows(state, stored)
+        counters = MiningCounters()
+        patterns = specialize_class(
+            class_id=state.class_ids[stored.code],
+            structure=structure,
+            store=stored.columns,
+            index=rows,
+            taxonomy=state.working,
+            min_count=min_count,
+            database_size=database_size,
+            options=SpecializerOptions(),
+            counters=counters,
+        )
+        self.metrics.add(
+            "serving.bitset_intersections", counters.bitset_intersections
+        )
+        self.metrics.add("serving.bitset_queries", 1)
+        patterns.sort(
+            key=lambda p: (-p.support_count, _CODE_KEY(p.code.edges))
+        )
+        return tuple(patterns)
+
+    def _materialized_patterns(
+        self, state: _ReaderState
+    ) -> tuple[TaxonomyPattern, ...]:
+        """The store's full mined pattern set, built once per version by
+        re-running Step 3 over the persisted bit-sets (no iso tests)."""
+        with state.patterns_lock:
+            if state.patterns is None:
+                counters = MiningCounters()
+                patterns: list[TaxonomyPattern] = []
+                database_size = len(state.store.database)
+                for class_id, stored in enumerate(state.store.classes):
+                    rows = self._class_rows(state, stored)
+                    patterns.extend(
+                        specialize_class(
+                            class_id=class_id,
+                            structure=graph_from_code(stored.code),
+                            store=stored.columns,
+                            index=rows,
+                            taxonomy=state.working,
+                            min_count=state.min_count,
+                            database_size=database_size,
+                            options=SpecializerOptions(),
+                            counters=counters,
+                        )
+                    )
+                patterns.sort(
+                    key=lambda p: (-p.support_count, _CODE_KEY(p.code.edges))
+                )
+                self.metrics.add(
+                    "serving.bitset_intersections",
+                    counters.bitset_intersections,
+                )
+                state.patterns = tuple(patterns)
+            return state.patterns

@@ -1,0 +1,165 @@
+"""A minimal JSON/HTTP front-end for :class:`StoreReader` (stdlib only).
+
+Endpoints:
+
+* ``GET /health`` — store version, class/database counts, min support;
+* ``GET /metrics`` — the reader's ``serving.*`` counters and gauges;
+* ``GET /top?k=N[&label=NAME]`` — the top-``N`` mined patterns;
+* ``POST /query`` — body ``{"op": ..., "pattern": <graph-db text>,
+  "min_support": <optional float>}`` where ``op`` is ``support``,
+  ``contains``, ``graphs`` or ``specializations``.
+
+Query errors (:class:`~repro.exceptions.ReproError`) become HTTP 400
+with ``{"error": ...}``; unknown paths are 404.  The server is a
+:class:`ThreadingHTTPServer`, so concurrent requests exercise the
+reader's thread-safety for real — every handler thread shares one
+:class:`StoreReader` and its caches.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from urllib.parse import parse_qs, urlparse
+
+from repro.exceptions import ReproError
+from repro.serving.reader import MatchResult, StoreReader
+
+__all__ = ["StoreHTTPServer", "serve"]
+
+
+class StoreHTTPServer(ThreadingHTTPServer):
+    """One reader shared by every request-handler thread."""
+
+    daemon_threads = True
+
+    def __init__(
+        self, address: tuple[str, int], reader: StoreReader
+    ) -> None:
+        super().__init__(address, _Handler)
+        self.reader = reader
+
+
+def serve(
+    store_dir: str | Path, host: str = "127.0.0.1", port: int = 0
+) -> StoreHTTPServer:
+    """Bind a server over ``store_dir`` (``port=0`` picks a free port).
+
+    The caller drives it: ``serve_forever()`` for a real deployment,
+    ``handle_request()`` N times for tests.
+    """
+    reader = StoreReader(store_dir)
+    return StoreHTTPServer((host, port), reader)
+
+
+def _pattern_payload(reader: StoreReader, pattern) -> dict:
+    return {
+        "pattern": reader.render(pattern),
+        "support": pattern.support,
+        "support_count": pattern.support_count,
+    }
+
+
+def _value_payload(reader: StoreReader, op: str, value) -> object:
+    if op == "graphs":
+        assert isinstance(value, MatchResult)
+        return {
+            "support": value.support_count,
+            "graph_ids": sorted(value.graph_ids),
+            "occurrences": (
+                None
+                if value.occurrences is None
+                else [
+                    [graph_id, list(nodes)]
+                    for graph_id, nodes in value.occurrences
+                ]
+            ),
+            "path": value.path,
+        }
+    if op in ("specializations", "top_k"):
+        return [_pattern_payload(reader, p) for p in value]
+    return value
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: StoreHTTPServer
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # keep test and CLI output deterministic
+
+    def _send(self, status: int, payload: object) -> None:
+        body = json.dumps(payload, indent=2).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        reader = self.server.reader
+        parsed = urlparse(self.path)
+        if parsed.path == "/health":
+            self._send(
+                200,
+                {
+                    "status": "ok",
+                    "store_version": reader.version,
+                    "classes": reader.num_classes,
+                    "database_size": reader.database_size,
+                    "min_support": reader.min_support,
+                },
+            )
+            return
+        if parsed.path == "/metrics":
+            self._send(200, reader.metrics.as_dict())
+            return
+        if parsed.path == "/top":
+            params = parse_qs(parsed.query)
+            try:
+                k = int(params.get("k", ["10"])[0])
+                label = params.get("label", [None])[0]
+                answer = reader.query("top_k", k=k, label_filter=label)
+            except (ReproError, ValueError) as exc:
+                self._send(400, {"error": str(exc)})
+                return
+            self._send(
+                200,
+                {
+                    "op": "top_k",
+                    "store_version": answer.store_version,
+                    "cached": answer.cached,
+                    "value": _value_payload(reader, "top_k", answer.value),
+                },
+            )
+            return
+        self._send(404, {"error": f"unknown path {parsed.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        reader = self.server.reader
+        if urlparse(self.path).path != "/query":
+            self._send(404, {"error": f"unknown path {self.path!r}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            doc = json.loads(self.rfile.read(length) or b"{}")
+            op = doc.get("op", "support")
+            pattern = reader.parse_pattern(doc["pattern"])
+            answer = reader.query(
+                op, pattern, min_support=doc.get("min_support")
+            )
+        except ReproError as exc:
+            self._send(400, {"error": str(exc)})
+            return
+        except (KeyError, ValueError, TypeError) as exc:
+            self._send(400, {"error": f"malformed query request: {exc!r}"})
+            return
+        self._send(
+            200,
+            {
+                "op": op,
+                "store_version": answer.store_version,
+                "cached": answer.cached,
+                "value": _value_payload(reader, op, answer.value),
+            },
+        )

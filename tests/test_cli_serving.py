@@ -1,0 +1,188 @@
+"""Golden-file tests for ``taxogram query`` and ``taxogram serve``.
+
+Same conventions as :mod:`tests.test_cli_trace`: goldens live in
+``tests/golden/`` and are regenerated with ``REGEN_GOLDENS=1``.  Query
+answers are deterministic for a fixed store; the volatile parts are
+serving latencies (normalized by counter/gauge name) and the ephemeral
+server port (normalized in the stdout banner).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+import sys
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.graphs.database import GraphDatabase
+from repro.graphs.io import write_graph_database
+from repro.observability import RunReport
+from repro.taxonomy.builders import taxonomy_from_parent_names
+from repro.taxonomy.io import write_taxonomy
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+REGEN = bool(os.environ.get("REGEN_GOLDENS"))
+
+_VOLATILE_TOKEN = re.compile(r"\d+(?:\.\d+)?(ms|KB)")
+# Serving latency metrics are volatile but their names carry no ms/KB
+# suffix in the rendered table; normalize their values by name.
+_LATENCY_METRIC = re.compile(r"(serving\.latency\S*\s+)[0-9][0-9.]*")
+_PORT = re.compile(r"http://([^:]+):\d+")
+
+
+def _normalize_text(text: str) -> str:
+    text = _VOLATILE_TOKEN.sub(lambda m: f"<{m.group(1)}>", text)
+    return _LATENCY_METRIC.sub(r"\1<n>", text)
+
+
+def _check_golden(name: str, actual: str) -> None:
+    path = GOLDEN_DIR / name
+    if REGEN:
+        path.parent.mkdir(exist_ok=True)
+        path.write_text(actual)
+        pytest.skip(f"regenerated {name}")
+    assert path.exists(), (
+        f"missing golden {name}; run with REGEN_GOLDENS=1 to create it"
+    )
+    assert actual == path.read_text()
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory):
+    tmp_path = tmp_path_factory.mktemp("cli_serving")
+    tax = taxonomy_from_parent_names(
+        {
+            "A": [],
+            "B": [],
+            "C": [],
+            "a1": "A",
+            "a2": "A",
+            "b1": "B",
+            "b2": "B",
+            "c1": "C",
+        }
+    )
+    db = GraphDatabase(node_labels=tax.interner)
+    db.new_graph(["a1", "b1", "c1"], [(0, 1), (1, 2), (0, 2)])
+    db.new_graph(["a1", "b1"], [(0, 1)])
+    db.new_graph(["a1", "b2"], [(0, 1)])
+    db.new_graph(["a1", "c1"], [(0, 1)])
+    tax_path = tmp_path / "tax.txt"
+    db_path = tmp_path / "db.graphs"
+    write_taxonomy(tax, tax_path)
+    write_graph_database(db, db_path)
+    store_dir = tmp_path / "store"
+    assert main(
+        ["mine", str(db_path), str(tax_path), "--support", "0.5",
+         "--max-edges", "2", "--store-out", str(store_dir)]
+    ) == 0
+    return store_dir
+
+
+@pytest.fixture
+def pattern_file(tmp_path):
+    path = tmp_path / "pattern.graphs"
+    path.write_text("t # 0\nv 0 A\nv 1 B\ne 0 1 -\n")
+    return path
+
+
+class TestQueryCommand:
+    def test_support_golden(self, store, pattern_file, capsys):
+        code = main(["query", str(store), "--pattern", str(pattern_file)])
+        assert code == 0
+        _check_golden("query_support.txt", capsys.readouterr().out)
+
+    def test_specializations_golden(self, store, pattern_file, capsys):
+        code = main(
+            ["query", str(store), "--pattern", str(pattern_file),
+             "--op", "specializations"]
+        )
+        assert code == 0
+        _check_golden("query_specializations.txt", capsys.readouterr().out)
+
+    def test_top_k_golden(self, store, capsys):
+        code = main(["query", str(store), "--top-k", "5"])
+        assert code == 0
+        _check_golden("query_topk.txt", capsys.readouterr().out)
+
+    def test_graphs_trace_golden(self, store, pattern_file, capsys):
+        code = main(
+            ["query", str(store), "--pattern", str(pattern_file),
+             "--op", "graphs", "--trace"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "via bitset" in out
+        section = out[out.index("== run report:"):]
+        _check_golden("query_trace.txt", _normalize_text(section))
+
+    def test_metrics_out_parses_and_counts(self, store, pattern_file,
+                                           tmp_path, capsys):
+        out_path = tmp_path / "query.json"
+        code = main(
+            ["query", str(store), "--pattern", str(pattern_file),
+             "--metrics-out", str(out_path)]
+        )
+        assert code == 0
+        capsys.readouterr()
+        report = RunReport.from_json(out_path.read_text())
+        assert report.algorithm == "serving"
+        assert report.counter("serving.queries") == 1
+        assert report.counter("serving.vf2_tests") == 0
+
+    def test_requires_exactly_one_mode(self, store, pattern_file, capsys):
+        assert main(["query", str(store)]) == 2
+        assert main(
+            ["query", str(store), "--pattern", str(pattern_file),
+             "--top-k", "3"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "exactly one of --pattern or --top-k" in err
+
+
+class TestServeCommand:
+    def test_one_request_roundtrip(self, store):
+        """Boot the real server on an ephemeral port, make one HTTP
+        request, and let ``--max-requests`` wind it down."""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(
+            Path(__file__).resolve().parents[1] / "src"
+        ) + os.pathsep + env.get("PYTHONPATH", "")
+        process = subprocess.Popen(
+            [sys.executable, "-u", "-m", "repro.cli", "serve", str(store),
+             "--port", "0", "--max-requests", "1"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        try:
+            banner = process.stdout.readline()
+            match = _PORT.search(banner)
+            assert match, f"no address in banner: {banner!r}"
+            port = int(banner.rsplit(":", 1)[1].split()[0].rstrip("/"))
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/health", timeout=10
+            ) as response:
+                payload = json.loads(response.read())
+            out, err = process.communicate(timeout=30)
+        finally:
+            process.kill()
+        assert process.returncode == 0, err
+        assert payload == {
+            "status": "ok",
+            "store_version": 1,
+            "classes": payload["classes"],
+            "database_size": 4,
+            "min_support": 0.5,
+        }
+        assert payload["classes"] >= 2
+        normalized = _PORT.sub(r"http://\1:<port>", banner + out)
+        normalized = normalized.replace(str(store), "<store>")
+        _check_golden("serve_stdout.txt", normalized)

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import random
+import threading
 
 import pytest
 
@@ -237,3 +238,113 @@ class TestTaxogramDiskBackend:
             Taxogram(
                 TaxogramOptions(occurrence_index_backend="cloud")
             ).mine(pathway_db, go_excerpt)
+
+
+class TestThreading:
+    """Connection-sharing semantics: reads from any thread, writes only
+    from the owner thread, read-only views fully immutable."""
+
+    def _run(self, target):
+        result: list[object] = []
+        failure: list[BaseException] = []
+
+        def call():
+            try:
+                result.append(target())
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                failure.append(exc)
+
+        thread = threading.Thread(target=call)
+        thread.start()
+        thread.join()
+        if failure:
+            raise failure[0]
+        return result[0]
+
+    def test_cross_thread_read(self, tmp_path):
+        # Regression: the single SQLite connection used to be created
+        # with thread affinity, so a read from any other thread raised
+        # sqlite3.ProgrammingError.  Readers now get a lazy per-thread
+        # read-only connection.
+        with DiskOccurrenceIndex(
+            1, directory=tmp_path, max_resident_entries=1
+        ) as index:
+            index.insert(0, 3, 0b101)
+            index.insert(0, 4, 0b010)
+            index.finish()  # force SQLite residency
+            assert self._run(lambda: index.bits(0, 3)) == 0b101
+            assert set(self._run(lambda: index.covered(0))) == {3, 4}
+            assert self._run(lambda: index.is_covered(0, 4))
+
+    def test_cross_thread_mutation_rejected(self, tmp_path):
+        with DiskOccurrenceIndex(1, directory=tmp_path) as index:
+            index.insert(0, 3, 0b1)
+            with pytest.raises(MiningError, match="thread that opened"):
+                self._run(lambda: index.insert(0, 4, 0b1))
+            with pytest.raises(MiningError, match="thread that opened"):
+                self._run(lambda: index.clear_bits(0b1))
+
+    def test_read_only_rejects_mutation(self, tmp_path):
+        with DiskOccurrenceIndex(1, directory=tmp_path) as index:
+            index.insert(0, 3, 0b11)
+            index.finish()
+        with DiskOccurrenceIndex(
+            1, directory=tmp_path, reset=False, read_only=True
+        ) as index:
+            assert index.bits(0, 3) == 0b11
+            with pytest.raises(MiningError, match="read-only"):
+                index.insert(0, 4, 0b1)
+            with pytest.raises(MiningError, match="read-only"):
+                index.clear_bits(0b1)
+            with pytest.raises(MiningError, match="read-only"):
+                index.remap_bits({0: 0})
+
+    def test_read_only_requires_existing_rows(self, tmp_path):
+        with pytest.raises(MiningError, match="read-only"):
+            DiskOccurrenceIndex(1, directory=tmp_path, read_only=True)
+
+    def test_dump_rows_merges_staged_and_flushed(self, tmp_path):
+        with DiskOccurrenceIndex(
+            2, directory=tmp_path, max_resident_entries=1
+        ) as index:
+            index.insert(0, 3, 0b1)   # spills
+            index.insert(1, 5, 0b10)  # spills
+            index.insert(1, 5, 0b100)  # staged on top of a flushed row
+            assert index.dump_rows() == [(0, 3, 0b1), (1, 5, 0b110)]
+
+    def test_concurrent_read_hammer(self, tmp_path):
+        rng = random.Random(11)
+        rows = {
+            (position, label): rng.getrandbits(30) | 1
+            for position in range(3)
+            for label in range(8)
+        }
+        with DiskOccurrenceIndex(
+            3, directory=tmp_path, max_resident_entries=2
+        ) as index:
+            for (position, label), bits in rows.items():
+                index.insert(position, label, bits)
+            index.finish()
+
+            failures: list[BaseException] = []
+
+            def reader(seed: int) -> None:
+                local = random.Random(seed)
+                try:
+                    for _ in range(200):
+                        position = local.randrange(3)
+                        label = local.randrange(8)
+                        assert index.bits(position, label) == rows[
+                            (position, label)
+                        ]
+                except BaseException as exc:  # noqa: BLE001 - recorded
+                    failures.append(exc)
+
+            threads = [
+                threading.Thread(target=reader, args=(i,)) for i in range(6)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert not failures, failures[:1]

@@ -38,6 +38,28 @@ class TestPublicAPI:
         }
         assert names == {"transporter", "helicase"}
 
+    def test_serving_exports(self):
+        # The serving surface is re-exported at the top level...
+        import repro.serving
+
+        for name in ("StoreReader", "ServingAnswer", "BatchExecutor", "Query"):
+            assert name in repro.__all__, name
+            assert getattr(repro, name) is getattr(repro.serving, name)
+        # ...and repro.serving.__all__ is complete and resolvable.
+        for name in repro.serving.__all__:
+            assert hasattr(repro.serving, name), name
+        public = {
+            name for name in dir(repro.serving) if not name.startswith("_")
+        }
+        modules = {"batch", "cache", "reader", "server"}
+        assert public - modules == set(repro.serving.__all__)
+
+    def test_incremental_exports_fence_state(self):
+        import repro.incremental
+
+        assert "fence_state" in repro.incremental.__all__
+        assert callable(repro.incremental.fence_state)
+
     def test_python_dash_m_entrypoint(self):
         result = subprocess.run(
             [sys.executable, "-m", "repro", "datasets"],

@@ -169,3 +169,45 @@ class TestTutorial:
         # the store survives restarts: reopening continues from disk
         reopened = IncrementalTaxogram(str(store_dir))
         assert len(reopened.store.database) == 3
+
+    def test_step13_querying_a_store(self, tmp_path):
+        taxonomy, db = _setup()
+        from repro import StoreReader
+
+        store_dir = tmp_path / "pathways.store"
+        options = TaxogramOptions(min_support=0.5, store_out=str(store_dir))
+        Taxogram(options).mine(db, taxonomy)
+
+        reader = StoreReader(store_dir)
+
+        # Exact support for any pattern at or below a mined class — no
+        # isomorphism tests, even for patterns mining never emitted.
+        pattern = reader.parse_pattern(
+            "t # 0\nv 0 transporter\nv 1 helicase\ne 0 1 interacts\n"
+        )
+        assert reader.support(pattern) == 3
+        assert reader.contains(pattern)
+
+        specialized = reader.parse_pattern(
+            "t # 0\nv 0 carrier\nv 1 helicase\ne 0 1 interacts\n"
+        )
+        assert reader.support(specialized) == 2
+
+        # top-k over everything the store mined, most frequent first.
+        top = reader.top_k(3)
+        assert top and top[0].support_count >= top[-1].support_count
+
+        # the whole session ran on bit-sets alone
+        assert reader.metrics.counter("serving.vf2_tests") == 0
+
+        # repeated queries come from the versioned cache...
+        assert reader.query("support", pattern).cached
+
+        # ...which an incremental update invalidates: readers follow the
+        # store to its new version at the next query.
+        from repro import DatabaseDelta, IncrementalTaxogram
+
+        IncrementalTaxogram(str(store_dir)).apply(DatabaseDelta.removing([1]))
+        answer = reader.query("support", pattern)
+        assert answer.store_version == reader.version == 2
+        assert answer.value == 2
