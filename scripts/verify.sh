@@ -8,10 +8,20 @@
 # The coverage gate needs pytest-cov (`pip install -e .[cov]`); when it
 # is not importable the script exits 3 with a message instead of
 # silently running without the gate.
+#
+# When ruff is installed (`pip install -e .[lint]`) every mode starts
+# with `ruff check`; without it the lint step is skipped with a note so
+# the script stays runnable in minimal environments.
 set -eu
 
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+if command -v ruff >/dev/null 2>&1; then
+    ruff check src tests benchmarks scripts
+else
+    echo "note: ruff not installed; skipping lint (pip install -e .[lint])"
+fi
 
 mode="${1:-}"
 case "$mode" in

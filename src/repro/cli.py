@@ -13,8 +13,18 @@ Commands:
 * ``query`` — answer support/containment/specialization queries against
   a pattern store without re-mining (see :mod:`repro.serving`).
 * ``serve`` — expose a pattern store over a JSON/HTTP endpoint.
+* ``ingest`` — drain a write-ahead log of deltas into a pattern store,
+  or run the live ingest service (``--serve``) that journals ``POST
+  /ingest`` deltas durably and applies them in the background (see
+  :mod:`repro.streaming`).
+* ``info`` — print a pattern store's manifest summary (version, counts,
+  WAL lag when a journal is present).
 * ``stats`` — print Table 1-style statistics for a graph database file.
 * ``datasets`` — list the built-in Table 1 dataset specifications.
+
+``serve`` and ``ingest --serve`` exit gracefully on SIGTERM/SIGINT:
+they stop accepting connections, flush the applier (ingest), and
+return exit code 0.
 """
 
 from __future__ import annotations
@@ -264,6 +274,78 @@ def build_parser() -> argparse.ArgumentParser:
         "serve until interrupted)",
     )
 
+    ingest = sub.add_parser(
+        "ingest",
+        help="drain a delta write-ahead log into a pattern store, or "
+        "run the live ingest service with --serve",
+    )
+    ingest.add_argument("store", type=Path, help="pattern store directory")
+    ingest.add_argument(
+        "--wal",
+        type=Path,
+        required=True,
+        metavar="DIR",
+        help="write-ahead log directory (created if missing)",
+    )
+    ingest.add_argument(
+        "--serve",
+        action="store_true",
+        help="expose the store plus POST /ingest, POST /flush and "
+        "GET /lag over HTTP and apply journaled deltas in the "
+        "background (default: apply the journal once and exit)",
+    )
+    ingest.add_argument("--host", default="127.0.0.1")
+    ingest.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="TCP port to bind with --serve (0 = pick a free port)",
+    )
+    ingest.add_argument(
+        "--batch-records",
+        type=int,
+        default=256,
+        metavar="N",
+        help="apply at most N journaled records per micro-batch",
+    )
+    ingest.add_argument(
+        "--batch-latency",
+        type=float,
+        default=0.25,
+        metavar="SECONDS",
+        help="maximum time a journaled record waits before its batch "
+        "is applied (--serve only)",
+    )
+    ingest.add_argument(
+        "--max-lag",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="shed POST /ingest with 429 once N acknowledged records "
+        "await application (--serve only)",
+    )
+    ingest.add_argument(
+        "--max-requests",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --serve, exit after handling N requests (testing "
+        "aid; default: serve until interrupted)",
+    )
+
+    info = sub.add_parser(
+        "info",
+        help="print a pattern store's manifest summary",
+    )
+    info.add_argument("store", type=Path, help="pattern store directory")
+    info.add_argument(
+        "--wal",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="also report this write-ahead log's lag against the store",
+    )
+
     generate = sub.add_parser("generate", help="synthesize a dataset to files")
     generate.add_argument("name", help="Table 1 dataset id, e.g. D1000 or PTE")
     generate.add_argument("--graphs-out", type=Path, required=True)
@@ -338,6 +420,10 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_query(args)
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "ingest":
+            return _cmd_ingest(args)
+        if args.command == "info":
+            return _cmd_info(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -593,11 +679,42 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _install_graceful_shutdown(server):
+    """SIGTERM/SIGINT stop ``serve_forever()`` without killing the
+    process, so the caller can flush and exit 0.
+
+    ``shutdown()`` must not run on the ``serve_forever`` thread (it
+    blocks until the serve loop acknowledges, which would deadlock a
+    signal handler), so the handler hands it to a helper thread.
+    Returns an event that is set once a signal arrived.
+    """
+    import signal
+    import threading
+
+    stopped = threading.Event()
+
+    def _handler(signum: int, frame) -> None:
+        if not stopped.is_set():
+            stopped.set()
+            threading.Thread(target=server.shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _handler)
+    signal.signal(signal.SIGINT, _handler)
+    return stopped
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serving import serve
 
     server = serve(args.store, host=args.host, port=args.port)
     reader = server.reader
+    # Install before the banner: orchestrators treat the banner as
+    # "ready" and may signal immediately after.
+    stopped = (
+        _install_graceful_shutdown(server)
+        if args.max_requests is None
+        else None
+    )
     host, port = server.server_address[:2]
     print(
         f"serving {args.store} at http://{host}:{port} "
@@ -613,12 +730,125 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             for _ in range(args.max_requests):
                 server.handle_request()
             print(f"handled {args.max_requests} requests, exiting")
-        else:  # pragma: no cover - interactive mode
+        else:
             server.serve_forever()
+            if stopped.is_set():
+                print("received shutdown signal, exiting")
     except KeyboardInterrupt:  # pragma: no cover - interactive mode
         pass
     finally:
         server.server_close()
+    return 0
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from repro.observability import MetricsRegistry
+    from repro.streaming import (
+        ApplierOptions,
+        IngestOptions,
+        IngestService,
+        StreamApplier,
+        WriteAheadLog,
+    )
+
+    applier_options = ApplierOptions(
+        max_batch_records=args.batch_records,
+        max_latency_seconds=args.batch_latency,
+    )
+    if not args.serve:
+        metrics = MetricsRegistry()
+        with WriteAheadLog(args.wal, metrics=metrics) as wal:
+            applier = StreamApplier(
+                args.store, wal, applier_options, metrics=metrics
+            )
+            if applier.recovery != "clean":
+                print(f"recovered store after crash ({applier.recovery})")
+            consumed = applier.drain()
+        print(
+            f"applied {consumed} journaled records to {args.store} "
+            f"(applied seq {applier.applied_seq}, lag {applier.lag})"
+        )
+        for seq, reason in applier.rejected:
+            print(f"  rejected record {seq}: {reason}")
+        return 0
+
+    service = IngestService(
+        args.store,
+        args.wal,
+        host=args.host,
+        port=args.port,
+        options=IngestOptions(max_lag_records=args.max_lag),
+        applier_options=applier_options,
+    )
+    stopped = (
+        _install_graceful_shutdown(service.server)
+        if args.max_requests is None
+        else None
+    )
+    host, port = service.address
+    print(
+        f"ingesting into {args.store} at http://{host}:{port} "
+        f"(wal {args.wal}, store version {service.reader.version}, "
+        f"{service.reader.database_size} graphs)"
+    )
+    if service.applier.recovery != "clean":
+        print(f"recovered store after crash ({service.applier.recovery})")
+    sys.stdout.flush()
+    service.start()
+    try:
+        if args.max_requests is not None:
+            service.server.daemon_threads = False
+            for _ in range(args.max_requests):
+                service.server.handle_request()
+            print(f"handled {args.max_requests} requests, exiting")
+        else:
+            service.serve_forever()
+            if stopped.is_set():
+                print("received shutdown signal, flushing applier")
+    except KeyboardInterrupt:  # pragma: no cover - interactive mode
+        pass
+    finally:
+        service.close(drain=True)
+    print(
+        f"applied seq {service.applier.applied_seq}, "
+        f"lag {service.applier.lag}"
+    )
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from repro.incremental.store import FORMAT_VERSION
+    from repro.serving import StoreReader
+    from repro.streaming import WriteAheadLog
+
+    reader = StoreReader(args.store)
+    max_edges = reader.max_edges
+    print(f"store: {args.store}")
+    print(f"format version: {FORMAT_VERSION}")
+    print(f"store version: {reader.version}")
+    print(f"min support: {reader.min_support}")
+    print(
+        f"max edges: {'unlimited' if max_edges is None else max_edges}"
+    )
+    print(f"database: {reader.database_size} graphs")
+    print(f"pattern classes: {reader.num_classes}")
+    print(f"mined patterns: {reader.num_patterns}")
+    print(f"border entries: {reader.num_border_entries}")
+    applied = reader.app_state.get("wal_applied_seq")
+    if applied is not None:
+        print(f"applied wal seq: {applied}")
+    if args.wal is not None:
+        if not args.wal.is_dir():
+            print(f"error: {args.wal} is not a directory", file=sys.stderr)
+            return 2
+        with WriteAheadLog(args.wal, fsync=False) as wal:
+            journaled = wal.last_seq
+        applied_seq = (
+            int(applied) if applied is not None else -1
+        )
+        print(f"wal: {args.wal}")
+        print(f"journaled seq: {journaled}")
+        print(f"wal lag: {max(0, journaled - applied_seq)}")
     return 0
 
 

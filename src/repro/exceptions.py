@@ -37,6 +37,17 @@ class StoreError(ReproError):
     """
 
 
+class WALError(StoreError):
+    """A write-ahead log is corrupt or was asked for truncated history.
+
+    Raised by :mod:`repro.streaming` when a WAL segment fails a record
+    checksum away from the torn tail (a bit flip rather than a crashed
+    append, which is repaired silently), when segment numbering is not
+    contiguous, or when a reader requests records that were already
+    truncated after being applied.
+    """
+
+
 class MemoryBudgetExceeded(ReproError):
     """A mining run exceeded its configured memory budget.
 

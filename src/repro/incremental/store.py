@@ -149,6 +149,11 @@ class PatternStore:
         self.classes: list[StoredClass] = []
         self.border: dict[_Code, BitSet] = {}
         self.store_version = 0
+        # Application state committed atomically with the manifest: the
+        # streaming applier stores its applied WAL offset here so that
+        # "delta applied" and "offset advanced" are one atomic rename
+        # (the crash-recovery protocol of repro.streaming depends on it).
+        self.app_state: dict = {}
         self._next_oie_id = 0
         self._taxonomy_sha = taxonomy_fingerprint(taxonomy)
 
@@ -369,6 +374,7 @@ class PatternStore:
             "taxonomy_sha256": self._taxonomy_sha,
             "database_size": len(self.database),
             "next_oie_id": self._next_oie_id,
+            "app_state": dict(self.app_state),
             "checksums": checksums,
             "oie_rows": oie_rows,
         }
@@ -445,6 +451,7 @@ class PatternStore:
             )
         store._next_oie_id = int(manifest["next_oie_id"])
         store.store_version = int(manifest.get("store_version", 0))
+        store.app_state = dict(manifest.get("app_state", {}))
 
         oie_rows = manifest.get("oie_rows", {})
         for entry in json.loads(texts[_CLASSES])["classes"]:

@@ -538,8 +538,11 @@ class IncrementalTaxogram:
             updated_db, store.taxonomy, options, tracer
         )
         # Readers fence on a monotonic store_version; re-save the fresh
-        # store so its version strictly advances past the old one.
+        # store so its version strictly advances past the old one.  The
+        # app state (e.g. the streaming applier's WAL offset) must ride
+        # along, or a crash after the swap would replay applied deltas.
         new_store.store_version = store.store_version
+        new_store.app_state = dict(store.app_state)
         new_store.save()
         store.mark_update_in_progress()
         shutil.rmtree(base)

@@ -52,6 +52,10 @@ class MetricsRegistry:
         for name, value in other.gauges.items():
             self.max_gauge(name, value)
 
+    def counter(self, name: str) -> int:
+        """Point read of one counter (0 when never touched)."""
+        return self.counters.get(name, 0)
+
     def as_dict(self) -> dict:
         return {
             "counters": {k: self.counters[k] for k in sorted(self.counters)},
@@ -114,6 +118,5 @@ class LockingMetricsRegistry(MetricsRegistry):
             return super().as_dict()
 
     def counter(self, name: str) -> int:
-        """Point read of one counter (0 when never touched)."""
         with self._lock:
-            return self.counters.get(name, 0)
+            return super().counter(name)

@@ -10,7 +10,10 @@ distinct classes load in parallel.
 
 Failures are per-query: a query whose pattern has an unknown label (or
 any other :class:`~repro.exceptions.ReproError`) yields that exception
-object in its result slot instead of poisoning the whole batch.
+object in its result slot instead of poisoning the whole batch; an
+unexpected non-library exception is wrapped in a :class:`ReproError`
+(with ``__cause__`` preserved) rather than allowed to abandon the
+other groups mid-flight.
 """
 
 from __future__ import annotations
@@ -23,6 +26,16 @@ from repro.graphs.graph import Graph
 from repro.serving.reader import ServingAnswer, StoreReader
 
 __all__ = ["BatchExecutor", "Query"]
+
+
+def _as_repro_error(exc: Exception) -> ReproError:
+    """Library errors pass through; anything else is wrapped so callers
+    can keep matching result slots with ``isinstance(..., ReproError)``."""
+    if isinstance(exc, ReproError):
+        return exc
+    wrapped = ReproError(f"query failed: {exc!r}")
+    wrapped.__cause__ = exc
+    return wrapped
 
 
 @dataclass(frozen=True)
@@ -57,12 +70,15 @@ class BatchExecutor:
         for index, query in enumerate(queries):
             try:
                 key = self._group_key(query)
-            except ReproError as exc:
-                results[index] = exc
+            except Exception as exc:
+                results[index] = _as_repro_error(exc)
                 continue
             groups.setdefault(key, []).append(index)
 
         def run_group(indices: list[int]) -> None:
+            # Any exception is recorded per query: letting one escape
+            # would surface through future.result() and abandon every
+            # group still holding None slots.
             for index in indices:
                 query = queries[index]
                 try:
@@ -73,8 +89,8 @@ class BatchExecutor:
                         k=query.k,
                         label_filter=query.label_filter,
                     )
-                except ReproError as exc:
-                    results[index] = exc
+                except Exception as exc:
+                    results[index] = _as_repro_error(exc)
 
         if groups:
             with ThreadPoolExecutor(

@@ -185,6 +185,28 @@ class StoreReader:
     def min_support(self) -> float:
         return self._state.store.min_support
 
+    def refresh(self) -> int:
+        """Re-fence against disk and return the committed store version."""
+        return self._ensure_state().version
+
+    @property
+    def max_edges(self) -> int | None:
+        return self._state.store.max_edges
+
+    @property
+    def num_border_entries(self) -> int:
+        return len(self._state.store.border)
+
+    @property
+    def app_state(self) -> dict:
+        """The store's committed application state (e.g. WAL offset)."""
+        return dict(self._state.store.app_state)
+
+    @property
+    def num_patterns(self) -> int:
+        """Count of mined patterns (materializes them once per version)."""
+        return len(self._materialized_patterns(self._ensure_state()))
+
     def support(self, pattern: Graph) -> int:
         """Exact number of database graphs containing ``pattern``."""
         return self.query("support", pattern).value

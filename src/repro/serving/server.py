@@ -26,18 +26,28 @@ from urllib.parse import parse_qs, urlparse
 from repro.exceptions import ReproError
 from repro.serving.reader import MatchResult, StoreReader
 
-__all__ = ["StoreHTTPServer", "serve"]
+__all__ = ["StoreHTTPServer", "StoreRequestHandler", "serve"]
 
 
 class StoreHTTPServer(ThreadingHTTPServer):
-    """One reader shared by every request-handler thread."""
+    """One reader shared by every request-handler thread.
+
+    ``handler`` is pluggable so extensions (the streaming ingest
+    service) can subclass :class:`StoreRequestHandler` with extra
+    endpoints while reusing the read-side routing unchanged.
+    """
 
     daemon_threads = True
 
     def __init__(
-        self, address: tuple[str, int], reader: StoreReader
+        self,
+        address: tuple[str, int],
+        reader: StoreReader,
+        handler: "type[StoreRequestHandler] | None" = None,
     ) -> None:
-        super().__init__(address, _Handler)
+        super().__init__(
+            address, handler if handler is not None else StoreRequestHandler
+        )
         self.reader = reader
 
 
@@ -82,7 +92,7 @@ def _value_payload(reader: StoreReader, op: str, value) -> object:
     return value
 
 
-class _Handler(BaseHTTPRequestHandler):
+class StoreRequestHandler(BaseHTTPRequestHandler):
     server: StoreHTTPServer
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002

@@ -1,0 +1,258 @@
+"""Live ingest service: the serving HTTP front-end plus a WAL pipeline.
+
+:class:`IngestService` composes the whole streaming stack behind one
+socket: a :class:`~repro.streaming.wal.WriteAheadLog` as the durable
+front door, a background :class:`~repro.streaming.applier.StreamApplier`
+folding journaled deltas into the pattern store, and the PR-4 serving
+endpoints answering queries against whichever store version is
+committed.  Readers never observe a half-applied batch — the applier's
+shadow-swap commit means the store directory always holds a complete,
+checksummed version.
+
+Endpoints added on top of :class:`~repro.serving.server.
+StoreRequestHandler`:
+
+* ``POST /ingest`` — body ``{"add": <graph-db text>, "remove": [ids],
+  "wait": bool}``.  Acknowledged (``202``, with the record's ``seq``)
+  once the record is durably journaled; with ``"wait": true`` the
+  response is delayed until the record's batch commits (``200``,
+  read-your-writes).  When the journaled-but-unapplied backlog exceeds
+  ``max_lag_records`` the request is shed with ``429`` and a
+  ``Retry-After`` hint instead of letting the WAL grow without bound.
+* ``POST /flush`` — apply everything journaled so far; returns the
+  committed offset.
+* ``GET /lag`` — journaled/applied offsets, backlog size, rejected
+  record count, and applier liveness.
+
+A crashed applier turns ``/ingest`` into ``503`` (the journal would
+accept records nobody will ever apply) while leaving query endpoints
+up.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from urllib.parse import urlparse
+
+from repro.exceptions import ReproError
+from repro.incremental.delta import DatabaseDelta
+from repro.observability.metrics import (
+    LockingMetricsRegistry,
+    MetricsRegistry,
+)
+from repro.observability.trace import NOOP_TRACER, Tracer
+from repro.serving.reader import StoreReader
+from repro.serving.server import StoreHTTPServer, StoreRequestHandler
+from repro.streaming.applier import ApplierOptions, StreamApplier
+from repro.streaming.wal import WriteAheadLog
+
+__all__ = ["IngestOptions", "IngestService", "IngestRequestHandler"]
+
+
+@dataclass(frozen=True)
+class IngestOptions:
+    """Admission and wait knobs for :class:`IngestService`.
+
+    ``max_lag_records`` is the backpressure bound: once that many
+    acknowledged records await application, further ingests are shed
+    with 429.  ``wait_timeout_seconds`` caps ``"wait": true`` blocking.
+    """
+
+    max_lag_records: int = 1024
+    wait_timeout_seconds: float = 60.0
+
+
+class IngestRequestHandler(StoreRequestHandler):
+    """The serving endpoints plus ``/ingest``, ``/flush`` and ``/lag``."""
+
+    server: "IngestHTTPServer"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if urlparse(self.path).path == "/lag":
+            self._send(200, self.server.service.lag_snapshot())
+            return
+        super().do_GET()
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        path = urlparse(self.path).path
+        if path == "/ingest":
+            self._handle_ingest()
+            return
+        if path == "/flush":
+            self._handle_flush()
+            return
+        super().do_POST()
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length", "0"))
+        doc = json.loads(self.rfile.read(length) or b"{}")
+        if not isinstance(doc, dict):
+            raise ValueError("request body must be a JSON object")
+        return doc
+
+    def _handle_ingest(self) -> None:
+        service = self.server.service
+        try:
+            doc = self._read_body()
+            delta = DatabaseDelta(
+                add_text=str(doc.get("add", "")),
+                remove_ids=tuple(int(g) for g in doc.get("remove", ())),
+            )
+            wait = bool(doc.get("wait", False))
+        except ReproError as exc:
+            self._send(400, {"error": str(exc)})
+            return
+        except (ValueError, TypeError, KeyError) as exc:
+            self._send(400, {"error": f"malformed ingest request: {exc!r}"})
+            return
+        if delta.is_empty:
+            self._send(400, {"error": "ingest delta is empty"})
+            return
+        status, payload = service.ingest(delta, wait=wait)
+        if status == 429:
+            self.send_response(429)
+            self.send_header("Retry-After", "1")
+            body = json.dumps(payload, indent=2).encode("utf-8")
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+            return
+        self._send(status, payload)
+
+    def _handle_flush(self) -> None:
+        service = self.server.service
+        try:
+            applied = service.flush()
+        except ReproError as exc:
+            self._send(503, {"error": str(exc)})
+            return
+        if not applied:
+            self._send(504, {"error": "flush timed out"})
+            return
+        self._send(200, {"applied_seq": service.applier.applied_seq})
+
+
+class IngestHTTPServer(StoreHTTPServer):
+    """The serving server with a back-reference to its ingest service."""
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        reader: StoreReader,
+        service: "IngestService",
+    ) -> None:
+        super().__init__(address, reader, handler=IngestRequestHandler)
+        self.service = service
+
+
+class IngestService:
+    """WAL + applier + HTTP server over one pattern store directory.
+
+    Construction recovers the store (crash repair), replays any
+    journaled-but-unapplied records' bookkeeping, binds the socket and
+    — once :meth:`start` is called — applies in the background.
+    :meth:`close` drains pending records and releases everything; it is
+    what SIGTERM handling calls for a graceful exit.
+    """
+
+    def __init__(
+        self,
+        store_dir: str | Path,
+        wal_dir: str | Path,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        options: IngestOptions | None = None,
+        applier_options: ApplierOptions | None = None,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self.options = options if options is not None else IngestOptions()
+        self.metrics = (
+            metrics if metrics is not None else LockingMetricsRegistry()
+        )
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
+        self.wal = WriteAheadLog(wal_dir, metrics=self.metrics)
+        self.applier = StreamApplier(
+            store_dir,
+            self.wal,
+            options=applier_options,
+            metrics=self.metrics,
+            tracer=self.tracer,
+        )
+        self.reader = StoreReader(store_dir, tracer=self.tracer)
+        self.server = IngestHTTPServer((host, port), self.reader, self)
+        self._closed = False
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.server.server_address[0], self.server.server_address[1]
+
+    def start(self) -> None:
+        """Start the background applier (the caller drives the server)."""
+        self.applier.start()
+
+    def serve_forever(self) -> None:
+        self.server.serve_forever()
+
+    def close(self, drain: bool = True) -> None:
+        """Stop accepting, optionally drain the backlog, release files."""
+        if self._closed:
+            return
+        self._closed = True
+        self.server.server_close()
+        if drain and self.applier.error is None:
+            self.applier.stop()
+        self.wal.close()
+
+    # -- ingest path ----------------------------------------------------------
+
+    def ingest(
+        self, delta: DatabaseDelta, wait: bool = False
+    ) -> tuple[int, dict]:
+        """Journal one delta; returns ``(http_status, payload)``."""
+        error = self.applier.error
+        if error is not None:
+            return 503, {"error": f"stream applier failed: {error}"}
+        lag = self.applier.lag
+        if lag >= self.options.max_lag_records:
+            self.metrics.add("streaming.ingest_shed", 1)
+            return 429, {"error": "ingest backlog is full", "lag": lag}
+        seq = self.wal.append(delta)
+        self.metrics.add("streaming.ingest_accepted", 1)
+        if not wait:
+            return 202, {"seq": seq, "applied": False, "lag": lag + 1}
+        try:
+            applied = self.applier.wait_applied(
+                seq, timeout=self.options.wait_timeout_seconds
+            )
+        except ReproError as exc:
+            return 503, {"error": str(exc), "seq": seq}
+        if not applied:
+            return 504, {
+                "error": "timed out waiting for application",
+                "seq": seq,
+            }
+        return 200, {
+            "seq": seq,
+            "applied": True,
+            "store_version": self.reader.refresh(),
+        }
+
+    def flush(self) -> bool:
+        return self.applier.flush(self.options.wait_timeout_seconds)
+
+    def lag_snapshot(self) -> dict:
+        error = self.applier.error
+        return {
+            "journaled_seq": self.wal.last_seq,
+            "applied_seq": self.applier.applied_seq,
+            "lag": self.applier.lag,
+            "rejected_records": len(self.applier.rejected),
+            "applier_alive": error is None,
+            "error": None if error is None else str(error),
+        }

@@ -1,0 +1,369 @@
+"""Segmented, checksummed write-ahead log of database deltas.
+
+The WAL is the durable front door of the streaming pipeline: an ingest
+request is acknowledged the moment its delta record is framed, written
+and (by default) fsync'd here, long before the batching applier folds it
+into the pattern store.  Records are :class:`~repro.incremental.delta.
+DatabaseDelta` payloads numbered by a monotonic sequence; the applier
+commits the highest applied sequence atomically with the store version,
+so recovery is always "replay everything after the committed offset".
+
+On-disk layout::
+
+    <wal>/
+      wal-00000000000000000000.seg     records 0..k-1
+      wal-000000000000000000<k>.seg    records k..        (active)
+
+Each segment is a concatenation of frames::
+
+    [4-byte big-endian payload length][32-byte SHA-256 of payload][payload]
+
+and is named after the sequence number of its first record, so sequence
+numbering survives both restarts and the truncation of fully-applied
+segments.  Opening the log scans the *active* (last) segment: a frame
+that runs past end-of-file, or whose checksum fails on the very last
+frame, is a torn append from a crash and is truncated away silently
+(``streaming.wal_torn_records``); a checksum failure anywhere *before*
+the tail is a bit flip and raises :class:`~repro.exceptions.WALError`
+instead of dropping acknowledged data.  Earlier segments are verified
+lazily as they are read back.
+
+The log is thread-safe: HTTP handler threads append while the applier
+thread reads, coordinated by one lock and a condition variable
+(:meth:`WriteAheadLog.wait_for`).  Readers only ever see frames whose
+write completed before ``next_seq`` advanced.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import struct
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.exceptions import WALError
+from repro.incremental.delta import DatabaseDelta
+from repro.observability.metrics import (
+    LockingMetricsRegistry,
+    MetricsRegistry,
+)
+
+__all__ = ["WALRecord", "WriteAheadLog"]
+
+_HEADER = struct.Struct(">I")
+_DIGEST_SIZE = 32
+_FRAME_OVERHEAD = _HEADER.size + _DIGEST_SIZE
+_SEGMENT_PREFIX = "wal-"
+_SEGMENT_SUFFIX = ".seg"
+_SEGMENT_DIGITS = 20
+
+
+@dataclass(frozen=True)
+class WALRecord:
+    """One journaled delta with its log sequence number."""
+
+    seq: int
+    delta: DatabaseDelta
+
+    def size(self) -> int:
+        """Graphs touched (added + removed) — the batching size measure."""
+        return self.delta.size()
+
+
+def _segment_name(start_seq: int) -> str:
+    return f"{_SEGMENT_PREFIX}{start_seq:0{_SEGMENT_DIGITS}d}{_SEGMENT_SUFFIX}"
+
+
+def _encode(delta: DatabaseDelta) -> bytes:
+    doc = {"add": delta.add_text, "remove": list(delta.remove_ids)}
+    return json.dumps(doc, sort_keys=True).encode("utf-8")
+
+
+def _decode(payload: bytes) -> DatabaseDelta:
+    doc = json.loads(payload.decode("utf-8"))
+    return DatabaseDelta(
+        add_text=doc.get("add", ""),
+        remove_ids=tuple(int(g) for g in doc.get("remove", ())),
+    )
+
+
+def _frame(payload: bytes) -> bytes:
+    return (
+        _HEADER.pack(len(payload))
+        + hashlib.sha256(payload).digest()
+        + payload
+    )
+
+
+class WriteAheadLog:
+    """A durable, segmented delta journal under one directory.
+
+    ``segment_max_bytes`` bounds segment size: an append that lands at
+    or past the bound rotates to a fresh segment, so fully-applied
+    history can be reclaimed file-by-file with
+    :meth:`truncate_applied`.  ``fsync=False`` trades power-loss
+    durability for speed (process crashes still lose nothing once the
+    OS has the write).
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        segment_max_bytes: int = 1 << 20,
+        fsync: bool = True,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.directory = Path(directory)
+        self.segment_max_bytes = max(1, segment_max_bytes)
+        self.fsync = fsync
+        self.metrics = (
+            metrics if metrics is not None else LockingMetricsRegistry()
+        )
+        self._lock = threading.Lock()
+        self._appended = threading.Condition(self._lock)
+        self._segments: list[int] = []  # start seqs, ascending
+        self._next_seq = 0
+        self._active_file = None
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._open_segments()
+
+    # -- opening / recovery ---------------------------------------------------
+
+    def _segment_path(self, start_seq: int) -> Path:
+        return self.directory / _segment_name(start_seq)
+
+    def _open_segments(self) -> None:
+        starts = sorted(
+            int(p.name[len(_SEGMENT_PREFIX):-len(_SEGMENT_SUFFIX)])
+            for p in self.directory.iterdir()
+            if p.name.startswith(_SEGMENT_PREFIX)
+            and p.name.endswith(_SEGMENT_SUFFIX)
+        )
+        if not starts:
+            starts = [0]
+            self._segment_path(0).touch()
+        self._segments = starts
+        # Only the active segment can hold a torn append: every earlier
+        # rotation completed, so earlier segments are verified lazily on
+        # read-back.  Scanning the tail both repairs it and recovers
+        # next_seq.
+        last_start = starts[-1]
+        records, truncate_at, torn = self._scan_segment(
+            self._segment_path(last_start), last_start, repair=True
+        )
+        if truncate_at is not None:
+            with open(self._segment_path(last_start), "r+b") as handle:
+                handle.truncate(truncate_at)
+                handle.flush()
+                os.fsync(handle.fileno())
+            self.metrics.add("streaming.wal_torn_records", torn)
+        self._next_seq = last_start + len(records)
+        self._active_file = open(self._segment_path(last_start), "ab")
+
+    def _scan_segment(
+        self, path: Path, start_seq: int, repair: bool
+    ) -> tuple[list[WALRecord], int | None, int]:
+        """Parse one segment file.
+
+        Returns ``(records, truncate_at, torn)``: with ``repair=True`` a
+        torn tail yields the byte offset to truncate at and the number
+        of discarded frames instead of raising.  A checksum failure that
+        is *not* the final frame always raises — that is corruption, not
+        a crashed append.
+        """
+        data = path.read_bytes()
+        records: list[WALRecord] = []
+        offset = 0
+        size = len(data)
+        while offset < size:
+            frame_start = offset
+            if size - offset < _FRAME_OVERHEAD:
+                return self._torn(path, records, frame_start, repair)
+            (length,) = _HEADER.unpack_from(data, offset)
+            offset += _HEADER.size
+            digest = data[offset:offset + _DIGEST_SIZE]
+            offset += _DIGEST_SIZE
+            if size - offset < length:
+                return self._torn(path, records, frame_start, repair)
+            payload = data[offset:offset + length]
+            offset += length
+            if hashlib.sha256(payload).digest() != digest:
+                if repair and offset == size:
+                    # Checksum failure on the very last frame: either a
+                    # torn append or a flip in it; both drop one
+                    # unacknowledged-or-unreadable record at the tail.
+                    return self._torn(path, records, frame_start, repair)
+                raise WALError(
+                    f"WAL segment {path.name} is corrupt at byte "
+                    f"{frame_start} (checksum mismatch before the tail)"
+                )
+            try:
+                delta = _decode(payload)
+            except (ValueError, KeyError, TypeError) as exc:
+                raise WALError(
+                    f"WAL segment {path.name} holds an undecodable record "
+                    f"at byte {frame_start}: {exc}"
+                ) from exc
+            records.append(WALRecord(start_seq + len(records), delta))
+        return records, None, 0
+
+    def _torn(
+        self, path: Path, records: list[WALRecord], frame_start: int,
+        repair: bool,
+    ) -> tuple[list[WALRecord], int | None, int]:
+        if not repair:
+            raise WALError(
+                f"WAL segment {path.name} ends in a torn record at byte "
+                f"{frame_start} outside the active segment"
+            )
+        return records, frame_start, 1
+
+    # -- appending ------------------------------------------------------------
+
+    @property
+    def next_seq(self) -> int:
+        with self._lock:
+            return self._next_seq
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence of the newest record (-1 when the log is empty)."""
+        with self._lock:
+            return self._next_seq - 1
+
+    def append(self, delta: DatabaseDelta) -> int:
+        """Durably journal one delta; returns its sequence number.
+
+        The record is on disk (and fsync'd unless disabled) before the
+        sequence is published to readers, so an acknowledged append is
+        never lost to a process crash.
+        """
+        payload = _encode(delta)
+        frame = _frame(payload)
+        with self._appended:
+            if self._active_file is None:
+                raise WALError(f"WAL {self.directory} is closed")
+            self._active_file.write(frame)
+            self._active_file.flush()
+            if self.fsync:
+                os.fsync(self._active_file.fileno())
+            seq = self._next_seq
+            self._next_seq += 1
+            self.metrics.add("streaming.wal_appends", 1)
+            self.metrics.add("streaming.wal_bytes", len(frame))
+            if self._active_file.tell() >= self.segment_max_bytes:
+                self._rotate_locked()
+            self._appended.notify_all()
+        return seq
+
+    def _rotate_locked(self) -> None:
+        self._active_file.close()
+        self._segments.append(self._next_seq)
+        self._active_file = open(
+            self._segment_path(self._next_seq), "ab"
+        )
+        self._fsync_directory()
+        self.metrics.add("streaming.wal_rotations", 1)
+
+    def _fsync_directory(self) -> None:
+        if not self.fsync:
+            return
+        fd = os.open(self.directory, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    # -- reading --------------------------------------------------------------
+
+    def wait_for(self, seq: int, timeout: float | None = None) -> bool:
+        """Block until record ``seq`` exists (True) or timeout (False)."""
+        with self._appended:
+            return self._appended.wait_for(
+                lambda: self._next_seq > seq, timeout
+            )
+
+    def read_from(
+        self, start_seq: int, max_records: int | None = None
+    ) -> list[WALRecord]:
+        """Records ``start_seq..`` in order, up to ``max_records``.
+
+        Raises :class:`~repro.exceptions.WALError` when ``start_seq``
+        predates the truncated history — an applier never asks for
+        applied (hence truncatable) records, so that means offset
+        bookkeeping was lost.
+        """
+        with self._lock:
+            segments = list(self._segments)
+            end_seq = self._next_seq
+        if start_seq >= end_seq:
+            return []
+        if start_seq < segments[0]:
+            raise WALError(
+                f"WAL records before {segments[0]} were truncated; "
+                f"cannot read from {start_seq}"
+            )
+        out: list[WALRecord] = []
+        for index, seg_start in enumerate(segments):
+            next_start = (
+                segments[index + 1] if index + 1 < len(segments) else end_seq
+            )
+            if next_start <= start_seq:
+                continue
+            records, _truncate, _torn = self._scan_segment(
+                self._segment_path(seg_start),
+                seg_start,
+                repair=index == len(segments) - 1,
+            )
+            for record in records:
+                if record.seq < start_seq or record.seq >= end_seq:
+                    continue
+                out.append(record)
+                if max_records is not None and len(out) >= max_records:
+                    return out
+        return out
+
+    # -- maintenance ----------------------------------------------------------
+
+    def truncate_applied(self, applied_seq: int) -> int:
+        """Delete segments whose every record is ``<= applied_seq``.
+
+        The active segment always survives (it receives the next
+        append); returns the number of segments removed.
+        """
+        removed = 0
+        with self._lock:
+            while len(self._segments) > 1 and self._segments[1] <= applied_seq + 1:
+                start = self._segments.pop(0)
+                self._segment_path(start).unlink(missing_ok=True)
+                removed += 1
+        if removed:
+            self._fsync_directory()
+            self.metrics.add("streaming.wal_truncated_segments", removed)
+        return removed
+
+    def total_bytes(self) -> int:
+        """Bytes currently held across all segments."""
+        with self._lock:
+            segments = list(self._segments)
+        return sum(
+            self._segment_path(s).stat().st_size
+            for s in segments
+            if self._segment_path(s).exists()
+        )
+
+    def close(self) -> None:
+        with self._lock:
+            if self._active_file is not None:
+                self._active_file.close()
+                self._active_file = None
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        self.close()
+        return False

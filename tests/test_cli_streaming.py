@@ -1,0 +1,176 @@
+"""CLI tests for ``taxogram ingest`` / ``taxogram info`` and graceful
+shutdown of the long-running servers.
+
+``info`` output is golden-checked (``REGEN_GOLDENS=1`` regenerates);
+the fixture chdirs into the tmp dir and uses relative paths so the
+golden is stable across runs.  The SIGTERM tests boot the real CLI in a
+subprocess, deliver the signal, and assert a clean exit 0 with the
+flush/exit message — the behaviour an orchestrator (systemd, k8s)
+depends on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.graphs.database import GraphDatabase
+from repro.graphs.io import write_graph_database
+from repro.incremental import DatabaseDelta
+from repro.streaming import WriteAheadLog
+from repro.taxonomy.builders import taxonomy_from_parent_names
+from repro.taxonomy.io import write_taxonomy
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+REGEN = bool(os.environ.get("REGEN_GOLDENS"))
+_PORT = re.compile(r"http://([^:]+):\d+")
+
+
+def _check_golden(name: str, actual: str) -> None:
+    path = GOLDEN_DIR / name
+    if REGEN:
+        path.parent.mkdir(exist_ok=True)
+        path.write_text(actual)
+        pytest.skip(f"regenerated {name}")
+    assert path.exists(), (
+        f"missing golden {name}; run with REGEN_GOLDENS=1 to create it"
+    )
+    assert actual == path.read_text()
+
+
+@pytest.fixture
+def workdir(tmp_path, monkeypatch):
+    """A mined store at ``store/`` relative to the cwd."""
+    monkeypatch.chdir(tmp_path)
+    taxonomy = taxonomy_from_parent_names({"b": "a", "c": "a"})
+    db = GraphDatabase(node_labels=taxonomy.interner)
+    for name in ["x", "x", "y"]:
+        db.new_graph(["b", "c"], [(0, 1, name)])
+    write_taxonomy(taxonomy, "tax.txt")
+    write_graph_database(db, "db.graphs")
+    assert main(
+        ["mine", "db.graphs", "tax.txt", "--support", "0.4",
+         "--store-out", "store"]
+    ) == 0
+    return tmp_path
+
+
+def _journal(wal_dir, deltas):
+    with WriteAheadLog(wal_dir) as wal:
+        for delta in deltas:
+            wal.append(delta)
+
+
+class TestInfoCommand:
+    def test_info_golden(self, workdir, capsys):
+        assert main(["info", "store"]) == 0
+        _check_golden("info_store.txt", capsys.readouterr().out)
+
+    def test_info_with_wal_golden(self, workdir, capsys):
+        _journal("wal", [
+            DatabaseDelta(add_text="t # 0\nv 0 b\nv 1 c\ne 0 1 x\n"),
+            DatabaseDelta(remove_ids=(0,)),
+        ])
+        assert main(["ingest", "store", "--wal", "wal"]) == 0
+        capsys.readouterr()
+        assert main(["info", "store", "--wal", "wal"]) == 0
+        _check_golden("info_store_wal.txt", capsys.readouterr().out)
+
+    def test_info_missing_wal_dir(self, workdir, capsys):
+        assert main(["info", "store", "--wal", "nowhere"]) == 2
+        assert "not a directory" in capsys.readouterr().err
+
+
+class TestIngestDrain:
+    def test_drain_applies_and_reports(self, workdir, capsys):
+        _journal("wal", [
+            DatabaseDelta(add_text="t # 0\nv 0 b\nv 1 c\ne 0 1 x\n"),
+            DatabaseDelta(add_text="t # 0\nv 0 ghost\n"),
+            DatabaseDelta(remove_ids=(1,)),
+        ])
+        assert main(["ingest", "store", "--wal", "wal"]) == 0
+        out = capsys.readouterr().out
+        assert "applied 3 journaled records to store" in out
+        assert "(applied seq 2, lag 0)" in out
+        assert "rejected record 1:" in out
+        assert "ghost" in out
+
+    def test_drain_is_idempotent(self, workdir, capsys):
+        _journal("wal", [
+            DatabaseDelta(add_text="t # 0\nv 0 b\nv 1 c\ne 0 1 y\n"),
+        ])
+        assert main(["ingest", "store", "--wal", "wal"]) == 0
+        capsys.readouterr()
+        assert main(["ingest", "store", "--wal", "wal"]) == 0
+        out = capsys.readouterr().out
+        assert "applied 0 journaled records" in out
+
+
+def _spawn_cli(args, cwd):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(
+        Path(__file__).resolve().parents[1] / "src"
+    ) + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, "-u", "-m", "repro.cli", *args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        cwd=cwd,
+        env=env,
+    )
+
+
+class TestGracefulShutdown:
+    def test_serve_exits_zero_on_sigterm(self, workdir):
+        process = _spawn_cli(["serve", "store", "--port", "0"], workdir)
+        try:
+            banner = process.stdout.readline()
+            assert _PORT.search(banner), banner
+            process.send_signal(signal.SIGTERM)
+            out, err = process.communicate(timeout=30)
+        finally:
+            process.kill()
+        assert process.returncode == 0, err
+        assert "received shutdown signal, exiting" in out
+
+    def test_ingest_serve_flushes_on_sigterm(self, workdir):
+        process = _spawn_cli(
+            ["ingest", "store", "--wal", "wal", "--serve", "--port", "0",
+             "--batch-latency", "0.02"],
+            workdir,
+        )
+        try:
+            banner = process.stdout.readline()
+            match = _PORT.search(banner)
+            assert match, banner
+            port = int(banner.rsplit(":", 1)[1].split()[0].rstrip("/"))
+            body = json.dumps(
+                {"add": "t # 0\nv 0 b\nv 1 c\ne 0 1 x\n"}
+            ).encode("utf-8")
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{port}/ingest",
+                body,
+                {"Content-Type": "application/json"},
+            )
+            with urllib.request.urlopen(request, timeout=10) as response:
+                assert response.status == 202
+            time.sleep(0.1)
+            process.send_signal(signal.SIGTERM)
+            out, err = process.communicate(timeout=30)
+        finally:
+            process.kill()
+        assert process.returncode == 0, err
+        assert "received shutdown signal, flushing applier" in out
+        # The acknowledged record was applied before exit.
+        assert "applied seq 0, lag 0" in out

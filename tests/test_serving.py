@@ -499,6 +499,48 @@ class TestBatchExecutor:
     def test_empty_batch(self, reader):
         assert BatchExecutor(reader).run([]) == []
 
+    def test_unexpected_exception_is_isolated_and_wrapped(self, reader, tax):
+        """A non-``ReproError`` escaping one query must not abandon the
+        rest of its group (regression: it used to propagate through
+        ``future.result()`` and leave ``None`` slots)."""
+
+        class ExplodingReader:
+            def class_key(self, pattern):
+                return reader.class_key(pattern)
+
+            def query(self, op, pattern=None, **kwargs):
+                if op == "boom":
+                    raise RuntimeError("disk on fire")
+                return reader.query(op, pattern, **kwargs)
+
+        results = BatchExecutor(ExplodingReader()).run(
+            [Query("top_k", k=2),
+             Query("boom", _pattern(tax, ["A", "B"], [(0, 1)])),
+             Query("top_k", k=1)]
+        )
+        assert len(results[0].value) == 2
+        assert len(results[2].value) == 1
+        error = results[1]
+        assert isinstance(error, ReproError)
+        assert "query failed" in str(error)
+        assert isinstance(error.__cause__, RuntimeError)
+
+    def test_unexpected_exception_in_grouping_is_wrapped(self, reader, tax):
+        class ExplodingKeyReader:
+            def class_key(self, pattern):
+                raise RuntimeError("index corrupted")
+
+            def query(self, op, pattern=None, **kwargs):
+                return reader.query(op, pattern, **kwargs)
+
+        results = BatchExecutor(ExplodingKeyReader()).run(
+            [Query("support", _pattern(tax, ["A", "B"], [(0, 1)])),
+             Query("top_k", k=2)]
+        )
+        assert isinstance(results[0], ReproError)
+        assert isinstance(results[0].__cause__, RuntimeError)
+        assert len(results[1].value) == 2
+
 
 class TestHTTPServer:
     @pytest.fixture

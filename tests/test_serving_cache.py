@@ -1,0 +1,136 @@
+"""Unit tests for :class:`repro.serving.cache.VersionedResultCache`.
+
+The serving layer leans on this cache under concurrency (every handler
+thread shares one instance, and the ingest applier's version bumps call
+``clear`` while queries are in flight), so beyond the LRU/versioning
+semantics these tests race gets and puts against wholesale clears.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.serving.cache import VersionedResultCache
+
+
+class TestSemantics:
+    def test_miss_then_hit(self):
+        cache = VersionedResultCache()
+        assert cache.is_miss(cache.get(1, "k"))
+        cache.put(1, "k", 42)
+        assert cache.get(1, "k") == 42
+        assert len(cache) == 1
+
+    def test_versions_do_not_collide(self):
+        cache = VersionedResultCache()
+        cache.put(1, "k", "old")
+        cache.put(2, "k", "new")
+        assert cache.get(1, "k") == "old"
+        assert cache.get(2, "k") == "new"
+
+    def test_none_is_a_cacheable_value(self):
+        cache = VersionedResultCache()
+        cache.put(1, "k", None)
+        value = cache.get(1, "k")
+        assert value is None
+        assert not cache.is_miss(value)
+
+    def test_clear_invalidates_everything(self):
+        cache = VersionedResultCache()
+        for key in range(5):
+            cache.put(1, key, key)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.is_miss(cache.get(1, 0))
+
+    def test_lru_eviction_order(self):
+        cache = VersionedResultCache(maxsize=2)
+        cache.put(1, "a", 1)
+        cache.put(1, "b", 2)
+        assert cache.get(1, "a") == 1  # refresh "a"; "b" is now oldest
+        cache.put(1, "c", 3)
+        assert cache.is_miss(cache.get(1, "b"))
+        assert cache.get(1, "a") == 1
+        assert cache.get(1, "c") == 3
+
+    def test_overwrite_does_not_grow(self):
+        cache = VersionedResultCache(maxsize=2)
+        for _ in range(5):
+            cache.put(1, "k", "v")
+        assert len(cache) == 1
+
+
+class TestDegenerateCapacity:
+    def test_capacity_zero_clamps_to_one(self):
+        cache = VersionedResultCache(maxsize=0)
+        cache.put(1, "a", 1)
+        assert cache.get(1, "a") == 1
+        cache.put(1, "b", 2)
+        assert len(cache) == 1
+        assert cache.is_miss(cache.get(1, "a"))
+        assert cache.get(1, "b") == 2
+
+    def test_negative_capacity_clamps_to_one(self):
+        cache = VersionedResultCache(maxsize=-7)
+        cache.put(1, "a", 1)
+        cache.put(1, "b", 2)
+        assert len(cache) == 1
+
+
+class TestConcurrency:
+    def test_racing_puts_gets_and_clears(self):
+        """Hammer one cache from reader threads while a "version bump"
+        thread clears it; no exception, and every surviving entry is one
+        a writer actually put."""
+        cache = VersionedResultCache(maxsize=64)
+        errors = []
+        stop = threading.Event()
+
+        def reader_writer(worker):
+            try:
+                for i in range(2000):
+                    key = (worker, i % 50)
+                    cache.put(worker, key, (worker, i))
+                    value = cache.get(worker, key)
+                    if not cache.is_miss(value):
+                        assert value[0] == worker
+            except BaseException as exc:  # noqa: BLE001 - collected
+                errors.append(exc)
+
+        def clearer():
+            try:
+                while not stop.is_set():
+                    cache.clear()
+            except BaseException as exc:  # noqa: BLE001 - collected
+                errors.append(exc)
+
+        workers = [
+            threading.Thread(target=reader_writer, args=(n,))
+            for n in range(4)
+        ]
+        bump = threading.Thread(target=clearer)
+        bump.start()
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        stop.set()
+        bump.join()
+        assert errors == []
+        assert len(cache) <= 64
+
+    def test_concurrent_eviction_respects_capacity(self):
+        cache = VersionedResultCache(maxsize=8)
+        threads = [
+            threading.Thread(
+                target=lambda n=n: [
+                    cache.put(n, i, i) for i in range(500)
+                ]
+            )
+            for n in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(cache) <= 8
