@@ -1,0 +1,219 @@
+"""Routed read throughput vs replica count (beyond-paper experiment).
+
+Setup: one mined store, copied to N replica directories, each served by
+its **own server process** (`taxogram serve`) so replicas own separate
+GILs — the same reason the parallel miner uses processes.  A
+:class:`~repro.replication.router.QueryRouter` in this process fans a
+pool of distinct, deliberately cache-hostile queries (2-edge patterns
+with generalized labels, forcing VF2 fallback scans) over the fleet
+from a thread pool of concurrent clients.
+
+Observation to reproduce in shape: routed read throughput **increases
+monotonically 1 -> 2 -> 4 replicas** — reads scale out because every
+query is answered exactly by any single replica, so the router can
+spread them freely.  The monotonic assertion needs real parallel
+hardware: on hosts with fewer cores than the largest fleet the points
+are still measured and recorded, but the assertion is skipped (server
+processes pinned to one core can only contend, never scale).
+
+With ``REPRO_BENCH_JSON_DIR`` set, each fleet size appends one point
+(throughput, query count, router counter snapshot) to
+``BENCH_replication_scaling.json``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import re
+import shutil
+import subprocess
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import pytest
+
+from benchmarks._common import print_header, print_row, record_bench_point
+from repro.core.taxogram import Taxogram, TaxogramOptions
+from repro.graphs.database import GraphDatabase
+from repro.replication import HTTPReplica, QueryRouter, RouterOptions
+from repro.taxonomy.builders import taxonomy_from_parent_names
+
+_PORT = re.compile(r"http://[^:]+:(\d+)")
+FLEETS = (1, 2, 4)
+CLIENT_THREADS = 8
+N_GRAPHS = 600
+POOL_SIZE = 120
+SIGMA = 0.3
+
+
+class _RouterPoint:
+    """record_bench_point shim: query count + router counter snapshot."""
+
+    class _Counters:
+        def __init__(self, counters):
+            self._counters = counters
+
+        def as_metrics(self):
+            return dict(self._counters)
+
+    def __init__(self, queries: int, metrics) -> None:
+        self._queries = queries
+        self.counters = self._Counters(metrics.as_dict()["counters"])
+
+    def __len__(self) -> int:
+        return self._queries
+
+
+def _build_store(root: Path) -> Path:
+    """A store over structured 6-edge graphs: big enough that a VF2
+    fallback scan costs real CPU, small enough to mine in seconds."""
+    taxonomy = taxonomy_from_parent_names(
+        {"b": "a", "c": "a", "d": "a", "e": "a"}
+    )
+    db = GraphDatabase(node_labels=taxonomy.interner)
+    leaves = ["b", "c", "d", "e"]
+    edge_names = ["x", "y"]
+    for i in range(N_GRAPHS):
+        nodes = [leaves[(i + j) % 4] for j in range(8)]
+        edges = [
+            (j, (j + 1) % 8, edge_names[(i + j) % 2]) for j in range(8)
+        ]
+        edges.append((0, 4, edge_names[i % 2]))
+        db.new_graph(nodes, edges)
+    store_dir = root / "store"
+    Taxogram(
+        TaxogramOptions(
+            min_support=SIGMA, max_edges=2, store_out=str(store_dir)
+        )
+    ).mine(db, taxonomy)
+    return store_dir
+
+
+def _query_pool() -> list[str]:
+    """Distinct 2-edge path patterns: generalized labels force VF2 over
+    the whole database, and no pattern repeats, so the per-replica
+    result cache never short-circuits the work."""
+    labels = ["a", "b", "c", "d", "e"]
+    edges = ["x", "y"]
+    pool = []
+    for l0, l1, l2, e0, e1 in itertools.product(
+        labels, labels, labels, edges, edges
+    ):
+        pool.append(
+            f"t # 0\nv 0 {l0}\nv 1 {l1}\nv 2 {l2}\n"
+            f"e 0 1 {e0}\ne 1 2 {e1}\n"
+        )
+    return pool[:POOL_SIZE], pool[POOL_SIZE:POOL_SIZE + CLIENT_THREADS]
+
+
+def _spawn_server(store_dir: Path) -> tuple[subprocess.Popen, str]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(
+        Path(__file__).resolve().parents[1] / "src"
+    ) + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-u", "-m", "repro.cli", "serve",
+         str(store_dir), "--port", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    banner = proc.stdout.readline()
+    match = _PORT.search(banner)
+    assert match, f"no port in banner: {banner!r} {proc.stderr}"
+    return proc, f"http://127.0.0.1:{match.group(1)}"
+
+
+@pytest.fixture(scope="module")
+def replica_dirs(tmp_path_factory):
+    root = tmp_path_factory.mktemp("replication_bench")
+    store = _build_store(root)
+    dirs = [store]
+    for i in range(1, max(FLEETS)):
+        copy = root / f"replica{i}"
+        shutil.copytree(store, copy)
+        dirs.append(copy)
+    return dirs
+
+
+def _measure(
+    urls: list[str], pool: list[str], warm: list[str]
+) -> tuple[float, int, object]:
+    router = QueryRouter(
+        [HTTPReplica(u, timeout=60.0) for u in urls],
+        options=RouterOptions(health_max_age_seconds=30.0),
+    )
+    try:
+        router.replica_states()  # pre-warm health outside the clock
+        with ThreadPoolExecutor(max_workers=CLIENT_THREADS) as executor:
+            list(
+                executor.map(
+                    lambda p: router.query("support", p), warm
+                )
+            )
+        start = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=CLIENT_THREADS) as executor:
+            answers = list(
+                executor.map(
+                    lambda p: router.query("support", p)["value"], pool
+                )
+            )
+        elapsed = time.perf_counter() - start
+        assert len(answers) == len(pool)
+        assert all(isinstance(a, int) for a in answers)
+        return elapsed, len(answers), router.metrics
+    finally:
+        router.close()
+
+
+def test_routed_throughput_scales_with_replicas(replica_dirs):
+    pool, warm = _query_pool()
+    throughput: dict[int, float] = {}
+    print_header(
+        "Routed read throughput vs replica count (scatter-gather)",
+        f"{'replicas':>12}  {'queries':>12}  {'seconds':>12}  "
+        f"{'queries/s':>12}",
+    )
+    answers_by_fleet = {}
+    for fleet in FLEETS:
+        procs_urls = [_spawn_server(d) for d in replica_dirs[:fleet]]
+        try:
+            urls = [url for _proc, url in procs_urls]
+            elapsed, count, metrics = _measure(urls, pool, warm)
+            throughput[fleet] = count / elapsed
+            answers_by_fleet[fleet] = count
+            print_row(
+                fleet, count, f"{elapsed:.2f}", f"{count / elapsed:.1f}"
+            )
+            record_bench_point(
+                "replication_scaling",
+                f"{fleet}x",
+                elapsed,
+                _RouterPoint(count, metrics),
+            )
+        finally:
+            for proc, _url in procs_urls:
+                proc.terminate()
+            for proc, _url in procs_urls:
+                try:
+                    proc.wait(timeout=10)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+    # The observation under test: reads scale out monotonically.  A
+    # fleet can only outrun a smaller one when its servers actually own
+    # distinct cores; contended hosts measure scheduler noise instead.
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        cores = os.cpu_count() or 1
+    if cores < max(FLEETS):
+        pytest.skip(
+            f"monotonic-scaling assertion needs >= {max(FLEETS)} CPU "
+            f"cores, host has {cores} (points recorded above)"
+        )
+    assert throughput[2] > throughput[1], throughput
+    assert throughput[4] > throughput[2], throughput

@@ -332,6 +332,130 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --serve, exit after handling N requests (testing "
         "aid; default: serve until interrupted)",
     )
+    ingest.add_argument(
+        "--publish",
+        action="store_true",
+        help="with --serve, also publish the WAL for follower replicas "
+        "(GET /replication/manifest, /segment, /snapshot)",
+    )
+    ingest.add_argument(
+        "--secret",
+        default=None,
+        metavar="KEY",
+        help="with --publish, HMAC-sign the replication manifest so "
+        "followers can verify its origin",
+    )
+
+    replicate = sub.add_parser(
+        "replicate",
+        help="maintain a follower replica of a published primary store",
+    )
+    replicate.add_argument(
+        "store", type=Path, help="local replica store directory"
+    )
+    replicate.add_argument(
+        "--from",
+        dest="primary",
+        required=True,
+        metavar="URL",
+        help="base URL of the primary (an `ingest --serve --publish` "
+        "endpoint)",
+    )
+    replicate.add_argument(
+        "--wal",
+        type=Path,
+        required=True,
+        metavar="DIR",
+        help="local write-ahead log directory for re-journaled records",
+    )
+    replicate.add_argument(
+        "--serve",
+        action="store_true",
+        help="keep syncing in the background and expose the replica's "
+        "read-only query endpoints over HTTP (default: catch up to "
+        "the primary's watermark once and exit)",
+    )
+    replicate.add_argument(
+        "--secret",
+        default=None,
+        metavar="KEY",
+        help="verify the primary's manifest signature with this key",
+    )
+    replicate.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.2,
+        metavar="SECONDS",
+        help="how often the background sync polls the primary "
+        "(--serve only)",
+    )
+    replicate.add_argument(
+        "--timeout",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="without --serve, give up if the replica has not reached "
+        "the primary's watermark after this long",
+    )
+    replicate.add_argument("--host", default="127.0.0.1")
+    replicate.add_argument(
+        "--port",
+        type=int,
+        default=8081,
+        help="TCP port to bind with --serve (0 = pick a free port)",
+    )
+    replicate.add_argument(
+        "--max-requests",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --serve, exit after handling N requests (testing "
+        "aid; default: serve until interrupted)",
+    )
+
+    route = sub.add_parser(
+        "route",
+        help="scatter-gather query router over replica (or sharded) "
+        "store servers",
+    )
+    route.add_argument(
+        "--replica",
+        dest="replicas",
+        action="append",
+        required=True,
+        metavar="URL",
+        help="base URL of a replica to route to (repeatable)",
+    )
+    route.add_argument(
+        "--sharded",
+        action="store_true",
+        help="treat the replicas as disjoint database shards in shard "
+        "order and merge support/graphs answers exactly (other ops "
+        "are refused)",
+    )
+    route.add_argument(
+        "--max-staleness",
+        type=int,
+        default=None,
+        metavar="N",
+        help="never route to a replica more than N applied records "
+        "behind the freshest replica",
+    )
+    route.add_argument("--host", default="127.0.0.1")
+    route.add_argument(
+        "--port",
+        type=int,
+        default=8082,
+        help="TCP port to bind (0 = pick a free port)",
+    )
+    route.add_argument(
+        "--max-requests",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit after handling N requests (testing aid; default: "
+        "serve until interrupted)",
+    )
 
     info = sub.add_parser(
         "info",
@@ -422,6 +546,10 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_serve(args)
         if args.command == "ingest":
             return _cmd_ingest(args)
+        if args.command == "replicate":
+            return _cmd_replicate(args)
+        if args.command == "route":
+            return _cmd_route(args)
         if args.command == "info":
             return _cmd_info(args)
     except ReproError as exc:
@@ -755,6 +883,12 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
         max_batch_records=args.batch_records,
         max_latency_seconds=args.batch_latency,
     )
+    if args.publish and not args.serve:
+        print("error: --publish requires --serve", file=sys.stderr)
+        return 2
+    if args.secret is not None and not args.publish:
+        print("error: --secret requires --publish", file=sys.stderr)
+        return 2
     if not args.serve:
         metrics = MetricsRegistry()
         with WriteAheadLog(args.wal, metrics=metrics) as wal:
@@ -772,22 +906,36 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
             print(f"  rejected record {seq}: {reason}")
         return 0
 
-    service = IngestService(
-        args.store,
-        args.wal,
-        host=args.host,
-        port=args.port,
-        options=IngestOptions(max_lag_records=args.max_lag),
-        applier_options=applier_options,
-    )
+    if args.publish:
+        from repro.replication import PrimaryService
+
+        service = PrimaryService(
+            args.store,
+            args.wal,
+            secret=args.secret,
+            host=args.host,
+            port=args.port,
+            options=IngestOptions(max_lag_records=args.max_lag),
+            applier_options=applier_options,
+        )
+    else:
+        service = IngestService(
+            args.store,
+            args.wal,
+            host=args.host,
+            port=args.port,
+            options=IngestOptions(max_lag_records=args.max_lag),
+            applier_options=applier_options,
+        )
     stopped = (
         _install_graceful_shutdown(service.server)
         if args.max_requests is None
         else None
     )
     host, port = service.address
+    role = "publishing" if args.publish else "ingesting"
     print(
-        f"ingesting into {args.store} at http://{host}:{port} "
+        f"{role} into {args.store} at http://{host}:{port} "
         f"(wal {args.wal}, store version {service.reader.version}, "
         f"{service.reader.database_size} graphs)"
     )
@@ -816,6 +964,113 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_replicate(args: argparse.Namespace) -> int:
+    from repro.replication import Follower, FollowerOptions, FollowerService
+    from repro.streaming import ApplierOptions
+
+    options = FollowerOptions(
+        poll_interval_seconds=args.poll_interval,
+        secret=args.secret,
+    )
+    if not args.serve:
+        with Follower(
+            args.store, args.wal, args.primary, options=options
+        ) as follower:
+            follower.catch_up(timeout=args.timeout)
+            if follower.recovery not in (None, "clean"):
+                print(
+                    f"recovered replica after crash ({follower.recovery})"
+                )
+            if follower.bootstrapped:
+                print(f"bootstrapped from {args.primary} store snapshot")
+            print(
+                f"replica {args.store} caught up to {args.primary} "
+                f"(applied seq {follower.applied_seq}, "
+                f"watermark {follower.last_watermark})"
+            )
+        return 0
+
+    service = FollowerService(
+        args.store,
+        args.wal,
+        args.primary,
+        host=args.host,
+        port=args.port,
+        options=options,
+        applier_options=ApplierOptions(max_latency_seconds=0.05),
+    )
+    stopped = (
+        _install_graceful_shutdown(service.server)
+        if args.max_requests is None
+        else None
+    )
+    host, port = service.address
+    print(
+        f"replicating {args.primary} into {args.store} at "
+        f"http://{host}:{port} (wal {args.wal}, applied seq "
+        f"{service.follower.applied_seq})"
+    )
+    sys.stdout.flush()
+    service.start()
+    try:
+        if args.max_requests is not None:
+            service.server.daemon_threads = False
+            for _ in range(args.max_requests):
+                service.server.handle_request()
+            print(f"handled {args.max_requests} requests, exiting")
+        else:
+            service.serve_forever()
+            if stopped.is_set():
+                print("received shutdown signal, exiting")
+    except KeyboardInterrupt:  # pragma: no cover - interactive mode
+        pass
+    finally:
+        applied = service.follower.applied_seq
+        service.close()
+    print(f"applied seq {applied}")
+    return 0
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    from repro.replication import HTTPReplica, RouterOptions, RouterService
+
+    service = RouterService(
+        [HTTPReplica(url) for url in args.replicas],
+        host=args.host,
+        port=args.port,
+        options=RouterOptions(
+            sharded=args.sharded, max_staleness=args.max_staleness
+        ),
+    )
+    stopped = (
+        _install_graceful_shutdown(service.server)
+        if args.max_requests is None
+        else None
+    )
+    host, port = service.address
+    mode = "sharded" if args.sharded else "replicated"
+    print(
+        f"routing over {len(args.replicas)} {mode} replicas at "
+        f"http://{host}:{port}"
+    )
+    sys.stdout.flush()
+    try:
+        if args.max_requests is not None:
+            service.server.daemon_threads = False
+            for _ in range(args.max_requests):
+                service.server.handle_request()
+            print(f"handled {args.max_requests} requests, exiting")
+        else:
+            service.serve_forever()
+            if stopped.is_set():
+                print("received shutdown signal, exiting")
+    except KeyboardInterrupt:  # pragma: no cover - interactive mode
+        pass
+    finally:
+        service.close()
+    return 0
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     from repro.incremental.store import FORMAT_VERSION
     from repro.serving import StoreReader
@@ -837,6 +1092,12 @@ def _cmd_info(args: argparse.Namespace) -> int:
     applied = reader.app_state.get("wal_applied_seq")
     if applied is not None:
         print(f"applied wal seq: {applied}")
+    role = reader.app_state.get("replication_role")
+    if role is not None:
+        print(f"replication role: {role}")
+    source = reader.app_state.get("replication_source")
+    if source is not None:
+        print(f"replication source: {source}")
     if args.wal is not None:
         if not args.wal.is_dir():
             print(f"error: {args.wal} is not a directory", file=sys.stderr)

@@ -48,6 +48,17 @@ class WALError(StoreError):
     """
 
 
+class ReplicationError(StoreError):
+    """Replication between a primary and its followers broke down.
+
+    Raised by :mod:`repro.replication` when a shipped segment fails
+    digest verification, a signed manifest fails authentication, the
+    replication stream arrives out of order, a follower has fallen
+    behind truncated history and cannot bootstrap, or a router finds no
+    replica able to satisfy a request's staleness bound.
+    """
+
+
 class MemoryBudgetExceeded(ReproError):
     """A mining run exceeded its configured memory budget.
 

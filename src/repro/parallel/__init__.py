@@ -15,6 +15,7 @@ from repro.parallel.merge import (
     MergedClass,
     merge_class_fragments,
     merge_label_supports,
+    merge_support_sets,
     union_candidate_codes,
 )
 from repro.parallel.runtime import ParallelTaxogram
@@ -34,6 +35,7 @@ __all__ = [
     "ClassFragment",
     "MergedClass",
     "merge_label_supports",
+    "merge_support_sets",
     "union_candidate_codes",
     "merge_class_fragments",
 ]

@@ -44,6 +44,7 @@ __all__ = [
     "ClassFragment",
     "MergedClass",
     "merge_label_supports",
+    "merge_support_sets",
     "union_candidate_codes",
     "merge_class_fragments",
 ]
@@ -100,6 +101,33 @@ def merge_label_supports(
     for supports in per_shard:
         for label, count in supports.items():
             merged[label] = merged.get(label, 0) + count
+    return merged
+
+
+def merge_support_sets(
+    per_shard: Sequence[Iterable[int]],
+    shard_starts: Sequence[int],
+) -> BitSet:
+    """Re-base per-shard graph-id sets onto the global id space and OR.
+
+    ``per_shard[s]`` holds shard ``s``'s local ids of the graphs
+    containing some pattern; ``shard_starts[s]`` is the global id of the
+    shard's first graph.  Because shards are disjoint contiguous ranges,
+    the shifted OR is exact: the result's popcount is the pattern's
+    global support.  This is the same :meth:`~repro.util.bitset.BitSet.
+    offset` + :meth:`~repro.util.bitset.BitSet.union_update` re-basing
+    :func:`merge_class_fragments` applies to occurrence bits; the
+    replication query router uses it to merge per-shard ``graphs``
+    answers into one global support set.
+    """
+    if len(per_shard) != len(shard_starts):
+        raise MiningError(
+            f"got {len(per_shard)} shard answers for "
+            f"{len(shard_starts)} shard offsets"
+        )
+    merged = BitSet()
+    for gids, start in zip(per_shard, shard_starts):
+        merged.union_update(BitSet(gids).offset(start))
     return merged
 
 

@@ -1,0 +1,669 @@
+"""Scatter-gather query routing over replicas or shard-partitioned stores.
+
+:class:`QueryRouter` answers the serving ops (``support`` /
+``contains`` / ``graphs`` / ``specializations`` / ``top_k``) through a
+pool of :class:`ReplicaEndpoint`\\ s — HTTP servers
+(:class:`HTTPReplica`) or in-process readers (:class:`LocalReplica`).
+Answers are the *payload* form the HTTP layer serves
+(:func:`repro.serving.server.value_payload`), so a routed answer and a
+direct single-store answer are bit-identical after JSON encoding; the
+differential harness pins that.
+
+Two modes:
+
+* **Replicated** (default): every replica holds a full store copy
+  (WAL-shipped followers).  Requests round-robin across healthy
+  replicas; a transport failure evicts the replica for
+  ``eviction_seconds`` and the request retries on the next one.
+  Per-request freshness: ``min_applied_seq`` (the ingest ack's ``seq``)
+  restricts dispatch to replicas whose committed WAL offset has reached
+  it — read-your-writes across the fleet — and ``max_staleness``
+  bounds how far behind the freshest known replica any serving replica
+  may lag.  When every live replica is merely *stale* (not down), the
+  router sheds with :class:`StaleReplicasError`, which the HTTP face
+  maps to the streaming tier's 429 + ``Retry-After`` convention.
+* **Sharded**: each endpoint holds a store mined over a contiguous
+  shard of the database (:mod:`repro.parallel.sharding` order).
+  ``support`` and ``graphs`` fan out to *every* shard and merge exactly
+  by re-basing per-shard graph-id sets with
+  :func:`repro.parallel.merge.merge_support_sets` — the same
+  shifted-OR the parallel miner uses.  ``contains`` / ``specializations``
+  / ``top_k`` are refused: frequency and over-generalization are
+  properties of the *global* occurrence state, and per-shard mined
+  result sets cannot be merged into them exactly (the parallel runtime
+  merges occurrence fragments *before* deciding either — shard-local
+  decisions are unavoidably lossy).
+
+:class:`RouterService` exposes the router over HTTP: ``POST /query``
+and ``GET /top`` (both accepting ``min_applied_seq``), ``GET /health``
+listing per-replica liveness, and ``GET /metrics``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from urllib.parse import parse_qs, urlparse
+
+from repro.exceptions import ReplicationError, ReproError
+from repro.observability.metrics import (
+    LockingMetricsRegistry,
+    MetricsRegistry,
+)
+from repro.observability.trace import NOOP_TRACER, Tracer
+from repro.parallel.merge import merge_support_sets
+from repro.serving.reader import StoreReader
+from repro.serving.server import value_payload
+
+__all__ = [
+    "HTTPReplica",
+    "LocalReplica",
+    "QueryRejected",
+    "QueryRouter",
+    "RouterOptions",
+    "RouterService",
+    "StaleReplicasError",
+]
+
+_ROUTED_OPS = ("support", "contains", "graphs", "specializations", "top_k")
+_SHARDED_OPS = ("support", "graphs")
+
+
+class StaleReplicasError(ReplicationError):
+    """Every live replica lags the request's staleness bound.
+
+    Transient by construction — followers are catching up — so carries
+    ``retry_after`` for the 429 + ``Retry-After`` shedding convention.
+    """
+
+    retry_after = 1
+
+
+class QueryRejected(ReproError):
+    """The query itself is invalid (bad pattern, unknown op).
+
+    Distinguished from transport failures: a rejection is the replica
+    *answering* (HTTP 400), so it must propagate to the client instead
+    of evicting the replica and retrying elsewhere.
+    """
+
+
+class HTTPReplica:
+    """A replica reached over the serving HTTP surface."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    @property
+    def name(self) -> str:
+        return self.base_url
+
+    def health(self) -> dict:
+        with urllib.request.urlopen(
+            self.base_url + "/health", timeout=self.timeout
+        ) as response:
+            return json.loads(response.read())
+
+    def query(
+        self,
+        op: str,
+        pattern: str | None = None,
+        min_support: float | None = None,
+        k: int | None = None,
+        label_filter: str | None = None,
+    ) -> dict:
+        if op == "top_k":
+            path = f"/top?k={10 if k is None else int(k)}"
+            if label_filter is not None:
+                path += f"&label={label_filter}"
+            request = urllib.request.Request(self.base_url + path)
+        else:
+            doc: dict = {"op": op, "pattern": pattern}
+            if min_support is not None:
+                doc["min_support"] = min_support
+            request = urllib.request.Request(
+                self.base_url + "/query",
+                json.dumps(doc).encode("utf-8"),
+                {"Content-Type": "application/json"},
+            )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            detail = exc.read().decode("utf-8", "replace")
+            if exc.code == 400:
+                try:
+                    message = json.loads(detail).get("error", detail)
+                except ValueError:
+                    message = detail
+                raise QueryRejected(str(message)) from exc
+            raise ReplicationError(
+                f"replica {self.base_url} failed a {op} query: "
+                f"{exc.code} {detail}"
+            ) from exc
+
+
+class LocalReplica:
+    """An in-process reader presenting the same payload surface.
+
+    Useful for tests, for routing over local store directories without
+    sockets, and as the reference the differential harness compares
+    HTTP answers against.
+    """
+
+    def __init__(
+        self, store: str | Path | StoreReader, name: str | None = None
+    ) -> None:
+        self.reader = (
+            store if isinstance(store, StoreReader) else StoreReader(store)
+        )
+        self._name = (
+            name if name is not None else f"local:{self.reader.directory}"
+        )
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def health(self) -> dict:
+        reader = self.reader
+        reader.refresh()
+        applied = reader.app_state.get("wal_applied_seq")
+        return {
+            "status": "ok",
+            "role": "local",
+            "store_version": reader.version,
+            "classes": reader.num_classes,
+            "database_size": reader.database_size,
+            "min_support": reader.min_support,
+            "applied_seq": None if applied is None else int(applied),
+        }
+
+    def query(
+        self,
+        op: str,
+        pattern: str | None = None,
+        min_support: float | None = None,
+        k: int | None = None,
+        label_filter: str | None = None,
+    ) -> dict:
+        reader = self.reader
+        try:
+            parsed = (
+                None if pattern is None else reader.parse_pattern(pattern)
+            )
+            answer = reader.query(
+                op,
+                parsed,
+                min_support=min_support,
+                k=k,
+                label_filter=label_filter,
+            )
+        except ReproError as exc:
+            raise QueryRejected(str(exc)) from exc
+        return {
+            "op": op,
+            "store_version": answer.store_version,
+            "cached": answer.cached,
+            "value": value_payload(reader, op, answer.value),
+        }
+
+
+@dataclass(frozen=True)
+class RouterOptions:
+    """Dispatch knobs for :class:`QueryRouter`.
+
+    ``sharded`` switches to exact scatter-gather over disjoint shards
+    (endpoints listed in :func:`~repro.parallel.sharding.shard_database`
+    order).  ``max_staleness`` (replicated mode) is the most records a
+    chosen replica may lag behind the freshest known replica; ``None``
+    disables the fleet-relative bound (per-request ``min_applied_seq``
+    still applies).
+    """
+
+    sharded: bool = False
+    max_staleness: int | None = None
+    health_max_age_seconds: float = 1.0
+    eviction_seconds: float = 2.0
+
+
+class _ReplicaState:
+    def __init__(self, replica) -> None:
+        self.replica = replica
+        self.health: dict | None = None
+        self.health_at = float("-inf")
+        self.down_until = float("-inf")
+        self.failures = 0
+
+    @property
+    def applied_seq(self) -> int:
+        if not self.health:
+            return -1
+        applied = self.health.get("applied_seq")
+        return -1 if applied is None else int(applied)
+
+    def up(self, now: float) -> bool:
+        return now >= self.down_until
+
+
+class QueryRouter:
+    """Fan queries across replicas; merge or retry as the mode demands."""
+
+    def __init__(
+        self,
+        replicas,
+        options: RouterOptions | None = None,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        states = [_ReplicaState(replica) for replica in replicas]
+        if not states:
+            raise ReplicationError("router needs at least one replica")
+        self.options = options if options is not None else RouterOptions()
+        self.metrics = (
+            metrics if metrics is not None else LockingMetricsRegistry()
+        )
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
+        self._states = states
+        self._lock = threading.Lock()
+        self._round_robin = 0
+        self._pool = (
+            ThreadPoolExecutor(
+                max_workers=len(states),
+                thread_name_prefix="router-shard",
+            )
+            if self.options.sharded
+            else None
+        )
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+
+    # -- health ---------------------------------------------------------------
+
+    def _refresh_health(self, state: _ReplicaState, now: float) -> None:
+        if now - state.health_at < self.options.health_max_age_seconds:
+            return
+        try:
+            state.health = state.replica.health()
+            state.health_at = now
+            state.failures = 0
+        except (ReproError, OSError, ValueError) as exc:
+            self._evict(state, now, f"health check failed: {exc}")
+
+    def _evict(self, state: _ReplicaState, now: float, reason: str) -> None:
+        state.failures += 1
+        state.down_until = now + self.options.eviction_seconds
+        state.health = None
+        state.health_at = float("-inf")
+        self.metrics.add("replication.router_evictions", 1)
+
+    def replica_states(self) -> list[dict]:
+        """Health snapshot for ``GET /health`` on the router."""
+        now = time.monotonic()
+        out = []
+        for state in self._states:
+            self._refresh_health(state, now)
+            out.append(
+                {
+                    "replica": state.replica.name,
+                    "up": state.up(now),
+                    "applied_seq": (
+                        state.applied_seq if state.health else None
+                    ),
+                    "store_version": (
+                        state.health.get("store_version")
+                        if state.health
+                        else None
+                    ),
+                }
+            )
+        return out
+
+    # -- dispatch -------------------------------------------------------------
+
+    def query(
+        self,
+        op: str,
+        pattern: str | None = None,
+        *,
+        min_support: float | None = None,
+        k: int | None = None,
+        label_filter: str | None = None,
+        min_applied_seq: int | None = None,
+    ) -> dict:
+        """Route one query; returns the HTTP-shaped answer payload.
+
+        ``pattern`` is graph-db text (the wire format), not a parsed
+        graph — the router never opens a store itself.
+        """
+        if op not in _ROUTED_OPS:
+            raise QueryRejected(f"unknown query op {op!r}")
+        with self.tracer.span(f"replication.route_{op}"):
+            if self.options.sharded:
+                payload = self._query_sharded(
+                    op, pattern, min_support, min_applied_seq
+                )
+            else:
+                payload = self._query_replicated(
+                    op, pattern, min_support, k, label_filter,
+                    min_applied_seq,
+                )
+        self.metrics.add("replication.router_queries", 1)
+        return payload
+
+    # -- replicated mode ------------------------------------------------------
+
+    def _eligible(
+        self, now: float, min_applied_seq: int | None
+    ) -> tuple[list[_ReplicaState], bool]:
+        """Live replicas satisfying the staleness bounds.
+
+        Returns ``(eligible, any_live)``; a live-but-stale replica gets
+        one immediate health re-poll before being ruled out, since
+        followers advance continuously.
+        """
+        floor = -1 if min_applied_seq is None else min_applied_seq
+        live = [s for s in self._states if s.up(now)]
+        for state in live:
+            self._refresh_health(state, now)
+        live = [s for s in live if s.up(now)]
+        if self.options.max_staleness is not None and live:
+            freshest = max(s.applied_seq for s in live)
+            floor = max(floor, freshest - self.options.max_staleness)
+        eligible = []
+        for state in live:
+            if state.applied_seq < floor:
+                # Maybe it caught up since the cached health: re-poll.
+                state.health_at = float("-inf")
+                self._refresh_health(state, now)
+            if state.up(now) and state.applied_seq >= floor:
+                eligible.append(state)
+        return eligible, bool(live)
+
+    def _query_replicated(
+        self, op, pattern, min_support, k, label_filter, min_applied_seq
+    ) -> dict:
+        now = time.monotonic()
+        eligible, any_live = self._eligible(now, min_applied_seq)
+        if not eligible:
+            if any_live:
+                self.metrics.add("replication.router_shed_stale", 1)
+                raise StaleReplicasError(
+                    f"no replica has reached applied seq "
+                    f"{min_applied_seq} yet; retry shortly"
+                )
+            raise ReplicationError(
+                "no healthy replica is available to route to"
+            )
+        with self._lock:
+            start = self._round_robin
+            self._round_robin += 1
+        order = [
+            eligible[(start + i) % len(eligible)]
+            for i in range(len(eligible))
+        ]
+        last_error: Exception | None = None
+        for state in order:
+            try:
+                payload = state.replica.query(
+                    op,
+                    pattern,
+                    min_support=min_support,
+                    k=k,
+                    label_filter=label_filter,
+                )
+            except QueryRejected:
+                raise
+            except (ReproError, OSError, ValueError) as exc:
+                last_error = exc
+                self._evict(state, time.monotonic(), str(exc))
+                self.metrics.add("replication.router_retries", 1)
+                continue
+            payload["replica"] = state.replica.name
+            return payload
+        raise ReplicationError(
+            f"every eligible replica failed the {op} query; "
+            f"last error: {last_error}"
+        )
+
+    # -- sharded mode ---------------------------------------------------------
+
+    def _shard_starts(self, now: float) -> list[int]:
+        """Global start offsets from per-shard database sizes.
+
+        Endpoints must be listed in shard order over a contiguous
+        partition (the :func:`~repro.parallel.sharding.shard_database`
+        invariant); the router derives each shard's global start as the
+        prefix sum of the sizes reported by ``/health``.
+        """
+        starts = []
+        total = 0
+        for state in self._states:
+            self._refresh_health(state, now)
+            if not state.health:
+                raise ReplicationError(
+                    f"shard {state.replica.name} is unreachable; sharded "
+                    f"answers need every shard"
+                )
+            starts.append(total)
+            total += int(state.health["database_size"])
+        return starts
+
+    def _query_sharded(
+        self, op, pattern, min_support, min_applied_seq
+    ) -> dict:
+        if op not in _SHARDED_OPS:
+            raise QueryRejected(
+                f"op {op!r} cannot be answered exactly over "
+                f"shard-partitioned stores (shard-local mined sets do "
+                f"not merge); sharded routing supports "
+                f"{', '.join(_SHARDED_OPS)}"
+            )
+        if min_applied_seq is not None:
+            raise QueryRejected(
+                "min_applied_seq is not meaningful across shards (their "
+                "WAL offsets are independent)"
+            )
+        now = time.monotonic()
+        starts = self._shard_starts(now)
+        futures = [
+            self._pool.submit(
+                state.replica.query, "graphs", pattern, min_support
+            )
+            for state in self._states
+        ]
+        answers = []
+        for state, future in zip(self._states, futures):
+            try:
+                answers.append(future.result())
+            except QueryRejected:
+                raise
+            except (ReproError, OSError, ValueError) as exc:
+                self._evict(state, time.monotonic(), str(exc))
+                raise ReplicationError(
+                    f"shard {state.replica.name} failed; sharded answers "
+                    f"need every shard: {exc}"
+                ) from exc
+        merged = merge_support_sets(
+            [answer["value"]["graph_ids"] for answer in answers], starts
+        )
+        self.metrics.add("replication.router_shard_merges", 1)
+        if op == "support":
+            value: object = len(merged)
+        else:
+            value = {
+                "support": len(merged),
+                "graph_ids": sorted(merged),
+                # Cross-shard occurrence ids live in different class-
+                # local spaces; exact occurrence merging is the parallel
+                # miner's job, not the router's.
+                "occurrences": None,
+                "path": "sharded:" + ",".join(
+                    str(answer["value"]["path"]) for answer in answers
+                ),
+            }
+        return {
+            "op": op,
+            "sharded": True,
+            "shards": len(answers),
+            "store_versions": [a["store_version"] for a in answers],
+            "value": value,
+        }
+
+
+# -- HTTP face ----------------------------------------------------------------
+
+
+class RouterHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+
+    def __init__(
+        self, address: tuple[str, int], router: QueryRouter
+    ) -> None:
+        super().__init__(address, RouterRequestHandler)
+        self.router = router
+
+
+class RouterRequestHandler(BaseHTTPRequestHandler):
+    server: RouterHTTPServer
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # keep test and CLI output deterministic
+
+    def _send(self, status: int, payload: object) -> None:
+        body = json.dumps(payload, indent=2).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_shed(self, exc: StaleReplicasError) -> None:
+        body = json.dumps({"error": str(exc)}, indent=2).encode("utf-8")
+        self.send_response(429)
+        self.send_header("Retry-After", str(exc.retry_after))
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _routed(self, **kwargs) -> None:
+        router = self.server.router
+        try:
+            self._send(200, router.query(**kwargs))
+        except QueryRejected as exc:
+            self._send(400, {"error": str(exc)})
+        except StaleReplicasError as exc:
+            self._send_shed(exc)
+        except ReplicationError as exc:
+            self._send(503, {"error": str(exc)})
+        except ReproError as exc:
+            self._send(400, {"error": str(exc)})
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        parsed = urlparse(self.path)
+        router = self.server.router
+        if parsed.path == "/health":
+            mode = "sharded" if router.options.sharded else "replicated"
+            self._send(
+                200,
+                {
+                    "status": "ok",
+                    "role": "router",
+                    "mode": mode,
+                    "replicas": router.replica_states(),
+                },
+            )
+            return
+        if parsed.path == "/metrics":
+            self._send(200, router.metrics.as_dict())
+            return
+        if parsed.path == "/top":
+            params = parse_qs(parsed.query)
+            try:
+                k = int(params.get("k", ["10"])[0])
+                label = params.get("label", [None])[0]
+                min_applied = params.get("min_applied_seq", [None])[0]
+                min_applied_seq = (
+                    None if min_applied is None else int(min_applied)
+                )
+            except ValueError as exc:
+                self._send(400, {"error": f"malformed request: {exc!r}"})
+                return
+            self._routed(
+                op="top_k",
+                k=k,
+                label_filter=label,
+                min_applied_seq=min_applied_seq,
+            )
+            return
+        self._send(404, {"error": f"unknown path {parsed.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        if urlparse(self.path).path != "/query":
+            self._send(404, {"error": f"unknown path {self.path!r}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            doc = json.loads(self.rfile.read(length) or b"{}")
+            if not isinstance(doc, dict):
+                raise ValueError("request body must be a JSON object")
+            op = str(doc.get("op", "support"))
+            pattern = doc.get("pattern")
+            min_support = doc.get("min_support")
+            min_applied = doc.get("min_applied_seq")
+        except (ValueError, TypeError, KeyError) as exc:
+            self._send(400, {"error": f"malformed query request: {exc!r}"})
+            return
+        self._routed(
+            op=op,
+            pattern=None if pattern is None else str(pattern),
+            min_support=(
+                None if min_support is None else float(min_support)
+            ),
+            min_applied_seq=(
+                None if min_applied is None else int(min_applied)
+            ),
+        )
+
+
+class RouterService:
+    """The router behind one socket (``taxogram route``)."""
+
+    def __init__(
+        self,
+        replicas,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        options: RouterOptions | None = None,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self.router = QueryRouter(
+            replicas, options=options, metrics=metrics, tracer=tracer
+        )
+        self.metrics = self.router.metrics
+        self.server = RouterHTTPServer((host, port), self.router)
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.server.server_address[0], self.server.server_address[1]
+
+    def serve_forever(self) -> None:
+        self.server.serve_forever()
+
+    def close(self) -> None:
+        self.server.server_close()
+        self.router.close()

@@ -33,7 +33,7 @@ Typical use::
 from repro.serving.batch import BatchExecutor, Query
 from repro.serving.cache import VersionedResultCache
 from repro.serving.reader import MatchResult, ServingAnswer, StoreReader
-from repro.serving.server import StoreHTTPServer, serve
+from repro.serving.server import StoreHTTPServer, serve, value_payload
 
 __all__ = [
     "BatchExecutor",
@@ -44,4 +44,5 @@ __all__ = [
     "StoreReader",
     "VersionedResultCache",
     "serve",
+    "value_payload",
 ]

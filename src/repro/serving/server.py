@@ -26,18 +26,30 @@ from urllib.parse import parse_qs, urlparse
 from repro.exceptions import ReproError
 from repro.serving.reader import MatchResult, StoreReader
 
-__all__ = ["StoreHTTPServer", "StoreRequestHandler", "serve"]
+__all__ = [
+    "StoreHTTPServer",
+    "StoreRequestHandler",
+    "serve",
+    "value_payload",
+]
 
 
 class StoreHTTPServer(ThreadingHTTPServer):
     """One reader shared by every request-handler thread.
 
     ``handler`` is pluggable so extensions (the streaming ingest
-    service) can subclass :class:`StoreRequestHandler` with extra
-    endpoints while reusing the read-side routing unchanged.
+    service, the replication tier) can subclass
+    :class:`StoreRequestHandler` with extra endpoints while reusing the
+    read-side routing unchanged.  ``role`` names the process's place in
+    a replicated deployment (``standalone``, ``primary``, ``follower``)
+    and is reported by ``GET /health`` alongside the committed WAL
+    offset, so a query router can health-check any server through the
+    one endpoint; subclasses add liveness details via
+    :meth:`health_extras`.
     """
 
     daemon_threads = True
+    role = "standalone"
 
     def __init__(
         self,
@@ -49,6 +61,10 @@ class StoreHTTPServer(ThreadingHTTPServer):
             address, handler if handler is not None else StoreRequestHandler
         )
         self.reader = reader
+
+    def health_extras(self) -> dict:
+        """Extra ``GET /health`` fields (applier liveness, lag, ...)."""
+        return {}
 
 
 def serve(
@@ -71,7 +87,12 @@ def _pattern_payload(reader: StoreReader, pattern) -> dict:
     }
 
 
-def _value_payload(reader: StoreReader, op: str, value) -> object:
+def value_payload(reader: StoreReader, op: str, value) -> object:
+    """Render a query answer as its canonical JSON-compatible value.
+
+    Shared with :mod:`repro.replication.router` so a routed answer and a
+    direct server answer are byte-comparable after JSON encoding.
+    """
     if op == "graphs":
         assert isinstance(value, MatchResult)
         return {
@@ -110,16 +131,18 @@ class StoreRequestHandler(BaseHTTPRequestHandler):
         reader = self.server.reader
         parsed = urlparse(self.path)
         if parsed.path == "/health":
-            self._send(
-                200,
-                {
-                    "status": "ok",
-                    "store_version": reader.version,
-                    "classes": reader.num_classes,
-                    "database_size": reader.database_size,
-                    "min_support": reader.min_support,
-                },
-            )
+            applied = reader.app_state.get("wal_applied_seq")
+            payload = {
+                "status": "ok",
+                "role": self.server.role,
+                "store_version": reader.version,
+                "classes": reader.num_classes,
+                "database_size": reader.database_size,
+                "min_support": reader.min_support,
+                "applied_seq": None if applied is None else int(applied),
+            }
+            payload.update(self.server.health_extras())
+            self._send(200, payload)
             return
         if parsed.path == "/metrics":
             self._send(200, reader.metrics.as_dict())
@@ -139,7 +162,7 @@ class StoreRequestHandler(BaseHTTPRequestHandler):
                     "op": "top_k",
                     "store_version": answer.store_version,
                     "cached": answer.cached,
-                    "value": _value_payload(reader, "top_k", answer.value),
+                    "value": value_payload(reader, "top_k", answer.value),
                 },
             )
             return
@@ -170,6 +193,6 @@ class StoreRequestHandler(BaseHTTPRequestHandler):
                 "op": op,
                 "store_version": answer.store_version,
                 "cached": answer.cached,
-                "value": _value_payload(reader, op, answer.value),
+                "value": value_payload(reader, op, answer.value),
             },
         )

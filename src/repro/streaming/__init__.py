@@ -21,15 +21,22 @@ from repro.streaming.applier import (
     recover_store,
 )
 from repro.streaming.service import IngestOptions, IngestService
-from repro.streaming.wal import WALRecord, WriteAheadLog
+from repro.streaming.wal import (
+    SegmentView,
+    WALRecord,
+    WriteAheadLog,
+    decode_frames,
+)
 
 __all__ = [
     "ApplierOptions",
     "IngestOptions",
     "IngestService",
+    "SegmentView",
     "StreamApplier",
     "WALRecord",
     "WriteAheadLog",
     "applied_wal_seq",
+    "decode_frames",
     "recover_store",
 ]

@@ -275,6 +275,10 @@ class StreamApplier:
         self._stop = threading.Event()
         self._flush = threading.Event()
         self.rejected: list[tuple[int, str]] = []
+        # Extra keys committed into the store's app_state with every
+        # batch (same atomic manifest rename as the WAL offset).  The
+        # replication tier stamps its role/source here.
+        self.app_state_extra: dict[str, object] = {}
         # Fail fast if offset bookkeeping and WAL retention diverged.
         self.wal.read_from(self._applied_seq + 1, max_records=0)
 
@@ -335,6 +339,8 @@ class StreamApplier:
             # Written before apply(): the updater's single manifest
             # rename commits the delta and the offset atomically.
             shadow.app_state[_APPLIED_KEY] = batch[-1].seq
+            if self.app_state_extra:
+                shadow.app_state.update(self.app_state_extra)
             updater = IncrementalTaxogram(shadow, self.options.incremental)
             with self.tracer.span("streaming.incremental_apply"):
                 result = updater.apply(delta, self.tracer)

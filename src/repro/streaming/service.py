@@ -48,7 +48,12 @@ from repro.serving.server import StoreHTTPServer, StoreRequestHandler
 from repro.streaming.applier import ApplierOptions, StreamApplier
 from repro.streaming.wal import WriteAheadLog
 
-__all__ = ["IngestOptions", "IngestService", "IngestRequestHandler"]
+__all__ = [
+    "IngestHTTPServer",
+    "IngestOptions",
+    "IngestRequestHandler",
+    "IngestService",
+]
 
 
 @dataclass(frozen=True)
@@ -138,14 +143,30 @@ class IngestRequestHandler(StoreRequestHandler):
 class IngestHTTPServer(StoreHTTPServer):
     """The serving server with a back-reference to its ingest service."""
 
+    role = "primary"
+
     def __init__(
         self,
         address: tuple[str, int],
         reader: StoreReader,
         service: "IngestService",
+        handler: "type[StoreRequestHandler] | None" = None,
     ) -> None:
-        super().__init__(address, reader, handler=IngestRequestHandler)
+        super().__init__(
+            address,
+            reader,
+            handler=handler if handler is not None else IngestRequestHandler,
+        )
         self.service = service
+
+    def health_extras(self) -> dict:
+        applier = self.service.applier
+        return {
+            "applier_alive": applier.error is None,
+            "applied_seq": applier.applied_seq,
+            "journaled_seq": self.service.wal.last_seq,
+            "lag": applier.lag,
+        }
 
 
 class IngestService:
@@ -156,7 +177,13 @@ class IngestService:
     — once :meth:`start` is called — applies in the background.
     :meth:`close` drains pending records and releases everything; it is
     what SIGTERM handling calls for a graceful exit.
+
+    ``handler_class`` is the request handler the server is built with;
+    :class:`~repro.replication.shipper.PrimaryService` overrides it to
+    add the segment-publishing endpoints on the same socket.
     """
+
+    handler_class: "type[IngestRequestHandler]" = IngestRequestHandler
 
     def __init__(
         self,
@@ -183,7 +210,9 @@ class IngestService:
             tracer=self.tracer,
         )
         self.reader = StoreReader(store_dir, tracer=self.tracer)
-        self.server = IngestHTTPServer((host, port), self.reader, self)
+        self.server = IngestHTTPServer(
+            (host, port), self.reader, self, handler=type(self).handler_class
+        )
         self._closed = False
 
     # -- lifecycle ------------------------------------------------------------

@@ -51,7 +51,7 @@ from repro.observability.metrics import (
     MetricsRegistry,
 )
 
-__all__ = ["WALRecord", "WriteAheadLog"]
+__all__ = ["SegmentView", "WALRecord", "WriteAheadLog", "decode_frames"]
 
 _HEADER = struct.Struct(">I")
 _DIGEST_SIZE = 32
@@ -77,6 +77,31 @@ def _segment_name(start_seq: int) -> str:
     return f"{_SEGMENT_PREFIX}{start_seq:0{_SEGMENT_DIGITS}d}{_SEGMENT_SUFFIX}"
 
 
+@dataclass(frozen=True)
+class SegmentView:
+    """A point-in-time, read-only view of one segment.
+
+    ``size_bytes`` is the *published* length: bytes whose append
+    completed (and whose sequence was acknowledged) before the view was
+    taken.  A concurrent append may grow the file past it, but the view
+    is always frame-aligned — appends publish whole frames under the
+    writer lock.  ``end_seq`` is exclusive.
+    """
+
+    start_seq: int
+    end_seq: int
+    size_bytes: int
+    sealed: bool
+
+    @property
+    def name(self) -> str:
+        return _segment_name(self.start_seq)
+
+    @property
+    def record_count(self) -> int:
+        return self.end_seq - self.start_seq
+
+
 def _encode(delta: DatabaseDelta) -> bytes:
     doc = {"add": delta.add_text, "remove": list(delta.remove_ids)}
     return json.dumps(doc, sort_keys=True).encode("utf-8")
@@ -98,6 +123,52 @@ def _frame(payload: bytes) -> bytes:
     )
 
 
+def decode_frames(
+    data: bytes, start_seq: int
+) -> tuple[list[WALRecord], int]:
+    """Strictly decode the complete frames at the head of ``data``.
+
+    The reader-side counterpart of the framing in :meth:`WriteAheadLog.
+    append`, for consumers that fetch raw segment byte ranges (a
+    replication follower tailing a remote primary).  Returns
+    ``(records, consumed_bytes)``: a trailing *partial* frame — a chunk
+    boundary cutting a frame in half — is left unconsumed for the caller
+    to complete with the next fetch.  A checksum mismatch or undecodable
+    payload in a complete frame raises :class:`~repro.exceptions.
+    WALError`: published byte ranges never end in a torn append, so a
+    bad digest here is corruption, not a crash artifact.
+    """
+    records: list[WALRecord] = []
+    offset = 0
+    size = len(data)
+    while True:
+        frame_start = offset
+        if size - offset < _FRAME_OVERHEAD:
+            break
+        (length,) = _HEADER.unpack_from(data, offset)
+        if size - frame_start < _FRAME_OVERHEAD + length:
+            break
+        offset += _HEADER.size
+        digest = data[offset:offset + _DIGEST_SIZE]
+        offset += _DIGEST_SIZE
+        payload = data[offset:offset + length]
+        offset += length
+        if hashlib.sha256(payload).digest() != digest:
+            raise WALError(
+                f"WAL frame for record {start_seq + len(records)} is "
+                f"corrupt at byte {frame_start} (checksum mismatch)"
+            )
+        try:
+            delta = _decode(payload)
+        except (ValueError, KeyError, TypeError) as exc:
+            raise WALError(
+                f"WAL frame for record {start_seq + len(records)} holds "
+                f"an undecodable payload at byte {frame_start}: {exc}"
+            ) from exc
+        records.append(WALRecord(start_seq + len(records), delta))
+    return records, frame_start
+
+
 class WriteAheadLog:
     """A durable, segmented delta journal under one directory.
 
@@ -115,10 +186,16 @@ class WriteAheadLog:
         segment_max_bytes: int = 1 << 20,
         fsync: bool = True,
         metrics: MetricsRegistry | None = None,
+        initial_seq: int = 0,
     ) -> None:
         self.directory = Path(directory)
         self.segment_max_bytes = max(1, segment_max_bytes)
         self.fsync = fsync
+        # First sequence number of a brand-new log.  Ignored when the
+        # directory already holds segments; a replication follower that
+        # bootstrapped its store from a snapshot uses it to start its
+        # local journal at the snapshot's committed offset + 1.
+        self._initial_seq = max(0, initial_seq)
         self.metrics = (
             metrics if metrics is not None else LockingMetricsRegistry()
         )
@@ -143,8 +220,8 @@ class WriteAheadLog:
             and p.name.endswith(_SEGMENT_SUFFIX)
         )
         if not starts:
-            starts = [0]
-            self._segment_path(0).touch()
+            starts = [self._initial_seq]
+            self._segment_path(self._initial_seq).touch()
         self._segments = starts
         # Only the active segment can hold a torn append: every earlier
         # rotation completed, so earlier segments are verified lazily on
@@ -325,6 +402,85 @@ class WriteAheadLog:
                 if max_records is not None and len(out) >= max_records:
                     return out
         return out
+
+    # -- read-only segment access (replication followers) ---------------------
+
+    def segment_views(self) -> list[SegmentView]:
+        """Point-in-time views of every segment, oldest first.
+
+        The writer lock is held only while the bounds are sampled —
+        never across file I/O — so followers can tail segments with
+        :meth:`read_segment_chunk` without stalling appends.  The active
+        (last) segment's ``size_bytes`` is its published length; sealed
+        segments are immutable until :meth:`truncate_applied` reclaims
+        them.
+        """
+        with self._lock:
+            segments = list(self._segments)
+            end_seq = self._next_seq
+            if self._active_file is not None:
+                active_size = self._active_file.tell()
+            else:
+                active_size = self._segment_path(segments[-1]).stat().st_size
+            views: list[SegmentView] = []
+            for index, start in enumerate(segments[:-1]):
+                views.append(
+                    SegmentView(
+                        start_seq=start,
+                        end_seq=segments[index + 1],
+                        size_bytes=self._segment_path(start).stat().st_size,
+                        sealed=True,
+                    )
+                )
+            views.append(
+                SegmentView(
+                    start_seq=segments[-1],
+                    end_seq=end_seq,
+                    size_bytes=active_size,
+                    sealed=False,
+                )
+            )
+        return views
+
+    def read_segment_chunk(
+        self, start_seq: int, offset: int, max_bytes: int
+    ) -> bytes:
+        """Up to ``max_bytes`` published bytes of one segment at ``offset``.
+
+        Reads through a separate handle — concurrent appends are never
+        blocked — and clamps to the published length, so the returned
+        bytes always end on a frame boundary *if* ``offset`` started on
+        one (decode them with :func:`decode_frames`).  Raises
+        :class:`~repro.exceptions.WALError` for a segment that does not
+        exist (never written, or truncated after being applied).
+        """
+        if offset < 0 or max_bytes < 0:
+            raise ValueError("offset and max_bytes must be non-negative")
+        with self._lock:
+            if start_seq not in self._segments:
+                raise WALError(
+                    f"WAL segment starting at {start_seq} does not exist "
+                    f"(truncated or never written)"
+                )
+            if (
+                start_seq == self._segments[-1]
+                and self._active_file is not None
+            ):
+                published = self._active_file.tell()
+            else:
+                published = self._segment_path(start_seq).stat().st_size
+        end = min(published, offset + max_bytes)
+        if offset >= end:
+            return b""
+        try:
+            with open(self._segment_path(start_seq), "rb") as handle:
+                handle.seek(offset)
+                return handle.read(end - offset)
+        except OSError as exc:
+            raise WALError(
+                f"WAL segment starting at {start_seq} vanished while "
+                f"being read (truncated concurrently): {exc}"
+            ) from exc
 
     # -- maintenance ----------------------------------------------------------
 

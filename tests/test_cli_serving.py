@@ -177,10 +177,12 @@ class TestServeCommand:
         assert process.returncode == 0, err
         assert payload == {
             "status": "ok",
+            "role": "standalone",
             "store_version": 1,
             "classes": payload["classes"],
             "database_size": 4,
             "min_support": 0.5,
+            "applied_seq": None,
         }
         assert payload["classes"] >= 2
         normalized = _PORT.sub(r"http://\1:<port>", banner + out)

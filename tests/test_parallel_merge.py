@@ -10,6 +10,8 @@ from __future__ import annotations
 import random
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.core.occurrence_index import build_occurrence_index
 from repro.core.relabel import relabel_database
@@ -20,6 +22,7 @@ from repro.mining.dfs_code import DFSCode, code_lt
 from repro.mining.gspan import GSpanMiner
 from repro.mining.projection import project_code
 from repro.parallel.merge import (
+    merge_support_sets,
     ClassFragment,
     merge_class_fragments,
     merge_label_supports,
@@ -158,3 +161,82 @@ class TestUnionCandidateCodes:
 
     def test_empty_union(self):
         assert union_candidate_codes([[], []]) == []
+
+
+class TestMergeSupportSets:
+    """Properties of the shifted-OR used by the replication router.
+
+    The router merges per-shard graph-id answers with exactly this
+    re-basing, so these properties are what make sharded ``support`` /
+    ``graphs`` answers exact.
+    """
+
+    @staticmethod
+    def _partition(rng: random.Random, total: int, shards: int):
+        """Random contiguous partition: per-shard local ids + starts."""
+        cuts = sorted(rng.randint(0, total) for _ in range(shards - 1))
+        bounds = [0, *cuts, total]
+        starts, per_shard = [], []
+        for lo, hi in zip(bounds, bounds[1:]):
+            starts.append(lo)
+            members = [g for g in range(lo, hi) if rng.random() < 0.5]
+            per_shard.append([g - lo for g in members])
+        return per_shard, starts
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        total=st.integers(min_value=0, max_value=64),
+        shards=st.integers(min_value=1, max_value=6),
+    )
+    def test_rebasing_reconstructs_global_ids(self, seed, total, shards):
+        rng = random.Random(seed)
+        per_shard, starts = self._partition(rng, total, shards)
+        expected = sorted(
+            start + local
+            for locals_, start in zip(per_shard, starts)
+            for local in locals_
+        )
+        merged = merge_support_sets(per_shard, starts)
+        assert sorted(merged) == expected
+        assert len(merged) == len(expected)  # disjoint shards: no overlap
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        total=st.integers(min_value=1, max_value=48),
+        shards=st.integers(min_value=2, max_value=6),
+    )
+    def test_merge_is_associative_over_shard_grouping(
+        self, seed, total, shards
+    ):
+        """Merging all shards at once equals merging a prefix first and
+        OR-ing the rest in — the order routers receive answers in must
+        not matter."""
+        rng = random.Random(seed)
+        per_shard, starts = self._partition(rng, total, shards)
+        whole = merge_support_sets(per_shard, starts)
+        split = rng.randint(1, shards - 1)
+        left = merge_support_sets(per_shard[:split], starts[:split])
+        right = merge_support_sets(per_shard[split:], starts[split:])
+        left.union_update(right)
+        assert sorted(left) == sorted(whole)
+
+    @given(shards=st.integers(min_value=1, max_value=5))
+    def test_empty_shards_contribute_nothing(self, shards):
+        starts = [i * 10 for i in range(shards)]
+        merged = merge_support_sets([[] for _ in range(shards)], starts)
+        assert len(merged) == 0
+        assert sorted(merged) == []
+
+    @given(
+        gids=st.lists(
+            st.integers(min_value=0, max_value=200), unique=True
+        )
+    )
+    def test_single_shard_is_identity(self, gids):
+        merged = merge_support_sets([gids], [0])
+        assert sorted(merged) == sorted(gids)
+        assert len(merged) == len(gids)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(MiningError, match="shard answers"):
+            merge_support_sets([[0], [1]], [0])

@@ -1,0 +1,470 @@
+"""Scatter-gather router: dispatch, failover, staleness, shard merges.
+
+Replica-pool behaviour is pinned with :class:`LocalReplica` (no
+sockets); the HTTP face and the failover path run against real
+follower/primary servers.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import threading
+import urllib.request
+
+import pytest
+
+from repro.core.taxogram import Taxogram, TaxogramOptions
+from repro.exceptions import ReplicationError
+from repro.graphs.database import GraphDatabase
+from repro.replication import (
+    HTTPReplica,
+    LocalReplica,
+    QueryRouter,
+    RouterOptions,
+    RouterService,
+    StaleReplicasError,
+)
+from repro.replication.router import QueryRejected
+from repro.serving import StoreReader
+from repro.taxonomy.builders import taxonomy_from_parent_names
+from tests.test_replication_shipper import ADD_ONE, _mine_store, _request
+
+GENERAL = "t # 0\nv 0 a\nv 1 a\ne 0 1 x\n"
+
+
+@pytest.fixture
+def store(tmp_path):
+    return _mine_store(tmp_path)
+
+
+def _replicas(tmp_path, store, n):
+    dirs = [store]
+    for i in range(1, n):
+        copy = tmp_path / f"copy{i}"
+        shutil.copytree(store, copy)
+        dirs.append(copy)
+    return [LocalReplica(d, name=f"r{i}") for i, d in enumerate(dirs)]
+
+
+class TestReplicatedDispatch:
+    def test_answers_match_direct_reader(self, tmp_path, store):
+        router = QueryRouter(_replicas(tmp_path, store, 3))
+        reader = StoreReader(store)
+        for op in ("support", "contains", "graphs", "specializations"):
+            routed = router.query(op, GENERAL)
+            direct = reader.query(op, reader.parse_pattern(GENERAL))
+            from repro.serving import value_payload
+
+            assert routed["value"] == value_payload(
+                reader, op, direct.value
+            )
+        routed = router.query("top_k", k=2)
+        direct = reader.query("top_k", None, k=2)
+        from repro.serving import value_payload
+
+        assert routed["value"] == value_payload(
+            reader, "top_k", direct.value
+        )
+        router.close()
+
+    def test_round_robin_spreads_load(self, tmp_path, store):
+        router = QueryRouter(_replicas(tmp_path, store, 3))
+        served = [router.query("support", GENERAL)["replica"]
+                  for _ in range(6)]
+        assert set(served) == {"r0", "r1", "r2"}
+        router.close()
+
+    def test_unknown_op_rejected_without_eviction(self, tmp_path, store):
+        router = QueryRouter(_replicas(tmp_path, store, 2))
+        with pytest.raises(QueryRejected):
+            router.query("explode", GENERAL)
+        with pytest.raises(QueryRejected, match="unknown record type"):
+            router.query("support", "not a graph")
+        assert router.metrics.counter("replication.router_evictions") == 0
+        assert all(s["up"] for s in router.replica_states())
+        router.close()
+
+    def test_dead_replica_evicted_and_failed_over(self, tmp_path, store):
+        class Dead:
+            name = "dead"
+
+            def health(self):
+                raise OSError("connection refused")
+
+            def query(self, *args, **kwargs):
+                raise OSError("connection refused")
+
+        replicas = [Dead(), *_replicas(tmp_path, store, 1)]
+        router = QueryRouter(
+            replicas, options=RouterOptions(health_max_age_seconds=0.0)
+        )
+        for _ in range(3):
+            answer = router.query("support", GENERAL)
+            assert answer["replica"] == "r0"
+        assert router.metrics.counter("replication.router_evictions") >= 1
+        states = {s["replica"]: s for s in router.replica_states()}
+        assert states["dead"]["up"] is False
+        assert states["r0"]["up"] is True
+        router.close()
+
+    def test_all_replicas_down_is_an_error(self):
+        class Dead:
+            name = "dead"
+
+            def health(self):
+                raise OSError("nope")
+
+            def query(self, *args, **kwargs):
+                raise OSError("nope")
+
+        router = QueryRouter([Dead()])
+        with pytest.raises(ReplicationError, match="healthy"):
+            router.query("support", GENERAL)
+        router.close()
+
+
+class TestStaleness:
+    def test_min_applied_seq_gates_dispatch(self, tmp_path, store):
+        # A freshly mined store has no applied offset (-1): any
+        # min_applied_seq >= 0 must shed rather than serve stale data.
+        router = QueryRouter(_replicas(tmp_path, store, 2))
+        router.query("support", GENERAL, min_applied_seq=-1)
+        with pytest.raises(StaleReplicasError) as info:
+            router.query("support", GENERAL, min_applied_seq=0)
+        assert info.value.retry_after == 1
+        assert router.metrics.counter(
+            "replication.router_shed_stale"
+        ) == 1
+        router.close()
+
+    def test_max_staleness_excludes_laggards(self, tmp_path, store):
+        """With a fleet-relative bound, only replicas near the freshest
+        applied offset serve."""
+        from repro.incremental import PatternStore
+
+        fresh_dir = tmp_path / "fresh"
+        shutil.copytree(store, fresh_dir)
+        fresh = PatternStore.open(fresh_dir)
+        fresh.app_state["wal_applied_seq"] = 100
+        fresh.save()
+        replicas = [
+            LocalReplica(store, name="laggard"),  # applied -1
+            LocalReplica(fresh_dir, name="fresh"),  # applied 100
+        ]
+        router = QueryRouter(
+            replicas, options=RouterOptions(max_staleness=10)
+        )
+        for _ in range(4):
+            assert router.query("support", GENERAL)["replica"] == "fresh"
+        router.close()
+
+
+class TestShardedDispatch:
+    @staticmethod
+    def _sharded_stores(tmp_path):
+        """One global store vs two stores mined over halves of the
+        database, in shard order."""
+        taxonomy = taxonomy_from_parent_names({"b": "a", "c": "a"})
+
+        def build(names, out):
+            db = GraphDatabase(node_labels=taxonomy.interner)
+            for name in names:
+                db.new_graph(["b", "c"], [(0, 1, name)])
+            Taxogram(
+                TaxogramOptions(min_support=0.25, store_out=str(out))
+            ).mine(db, taxonomy)
+
+        names = ["x", "y", "x", "y", "x", "x"]
+        build(names, tmp_path / "global")
+        build(names[:3], tmp_path / "shard0")
+        build(names[3:], tmp_path / "shard1")
+        return tmp_path / "global", [
+            tmp_path / "shard0", tmp_path / "shard1"
+        ]
+
+    def test_support_and_graphs_merge_exactly(self, tmp_path):
+        global_dir, shard_dirs = self._sharded_stores(tmp_path)
+        router = QueryRouter(
+            [LocalReplica(d, name=d.name) for d in shard_dirs],
+            options=RouterOptions(sharded=True),
+        )
+        reader = StoreReader(global_dir)
+        for pattern in (GENERAL, ADD_ONE, "t # 0\nv 0 b\nv 1 c\ne 0 1 y\n"):
+            routed = router.query("support", pattern)
+            direct = reader.query(
+                "support", reader.parse_pattern(pattern)
+            )
+            assert routed["value"] == direct.value
+            assert routed["sharded"] is True and routed["shards"] == 2
+            graphs = router.query("graphs", pattern)
+            assert graphs["value"]["support"] == direct.value
+            assert graphs["value"]["graph_ids"] == sorted(
+                reader.query(
+                    "graphs", reader.parse_pattern(pattern)
+                ).value.graph_ids
+            )
+        router.close()
+
+    def test_global_only_ops_refused(self, tmp_path):
+        _global_dir, shard_dirs = self._sharded_stores(tmp_path)
+        router = QueryRouter(
+            [LocalReplica(d) for d in shard_dirs],
+            options=RouterOptions(sharded=True),
+        )
+        for op in ("contains", "specializations", "top_k"):
+            with pytest.raises(QueryRejected, match="shard"):
+                router.query(op, GENERAL)
+        with pytest.raises(QueryRejected, match="min_applied_seq"):
+            router.query("support", GENERAL, min_applied_seq=0)
+        router.close()
+
+    def test_missing_shard_fails_the_answer(self, tmp_path):
+        _global_dir, shard_dirs = self._sharded_stores(tmp_path)
+
+        class Dead:
+            name = "shard1"
+
+            def health(self):
+                raise OSError("gone")
+
+            def query(self, *args, **kwargs):
+                raise OSError("gone")
+
+        router = QueryRouter(
+            [LocalReplica(shard_dirs[0]), Dead()],
+            options=RouterOptions(sharded=True),
+        )
+        with pytest.raises(ReplicationError, match="every shard"):
+            router.query("support", GENERAL)
+        router.close()
+
+
+class TestRouterHTTP:
+    @pytest.fixture
+    def routed(self, tmp_path, store):
+        service = RouterService(_replicas(tmp_path, store, 2), port=0)
+        thread = threading.Thread(
+            target=service.serve_forever, daemon=True
+        )
+        thread.start()
+        host, port = service.address
+        try:
+            yield f"http://{host}:{port}"
+        finally:
+            service.server.shutdown()
+            thread.join(timeout=10)
+            service.close()
+
+    def test_query_and_top_roundtrip(self, routed, store):
+        status, body, _ = _request(
+            routed, "/query", {"op": "support", "pattern": GENERAL}
+        )
+        assert status == 200
+        doc = json.loads(body)
+        reader = StoreReader(store)
+        assert doc["value"] == reader.query(
+            "support", reader.parse_pattern(GENERAL)
+        ).value
+        status, body, _ = _request(routed, "/top?k=2")
+        assert status == 200
+        assert len(json.loads(body)["value"]) <= 2
+
+    def test_staleness_sheds_with_retry_after(self, routed):
+        req = urllib.request.Request(
+            routed + "/query",
+            json.dumps(
+                {
+                    "op": "support",
+                    "pattern": GENERAL,
+                    "min_applied_seq": 5,
+                }
+            ).encode("utf-8"),
+            {"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(req, timeout=10)
+        assert info.value.code == 429
+        assert info.value.headers["Retry-After"] == "1"
+
+    def test_bad_pattern_is_400(self, routed):
+        status, body, _ = _request(
+            routed, "/query", {"op": "support", "pattern": "garbage"}
+        )
+        assert status == 400
+
+    def test_health_lists_replicas(self, routed):
+        status, body, _ = _request(routed, "/health")
+        doc = json.loads(body)
+        assert doc["role"] == "router"
+        assert doc["mode"] == "replicated"
+        assert [r["replica"] for r in doc["replicas"]] == ["r0", "r1"]
+        assert all(r["up"] for r in doc["replicas"])
+        status, body, _ = _request(routed, "/metrics")
+        assert status == 200
+
+    def test_partitioned_follower_evicted_router_keeps_answering(
+        self, tmp_path
+    ):
+        """Kill one of two live follower servers; the router evicts it
+        and keeps serving exact answers from the survivor."""
+        import urllib.error
+
+        from repro.replication import FollowerOptions, FollowerService
+        from repro.streaming import ApplierOptions
+        from tests.test_replication_follower import _unapplied_primary
+
+        p_service, url, p_thread = _unapplied_primary(tmp_path, 2)
+        followers = []
+        threads = []
+        try:
+            for i in range(2):
+                fsvc = FollowerService(
+                    tmp_path / f"replica{i}",
+                    tmp_path / f"rwal{i}",
+                    url,
+                    port=0,
+                    options=FollowerOptions(poll_interval_seconds=0.02),
+                    applier_options=ApplierOptions(
+                        max_latency_seconds=0.02
+                    ),
+                )
+                fsvc.follower.catch_up(timeout=30)
+                thread = threading.Thread(
+                    target=fsvc.serve_forever, daemon=True
+                )
+                thread.start()
+                followers.append(fsvc)
+                threads.append(thread)
+            urls = [
+                f"http://{f.address[0]}:{f.address[1]}" for f in followers
+            ]
+            router = QueryRouter(
+                [HTTPReplica(u, timeout=2.0) for u in urls],
+                options=RouterOptions(
+                    health_max_age_seconds=0.0, eviction_seconds=60.0
+                ),
+            )
+            before = router.query("support", GENERAL)["value"]
+            # Partition follower 0 away entirely.
+            followers[0].server.shutdown()
+            followers[0].server.server_close()
+            threads[0].join(timeout=10)
+            for _ in range(4):
+                answer = router.query("support", GENERAL)
+                assert answer["value"] == before
+                assert answer["replica"] == urls[1]
+            assert router.metrics.counter(
+                "replication.router_evictions"
+            ) >= 1
+            router.close()
+        finally:
+            for fsvc, thread in zip(followers, threads):
+                try:
+                    fsvc.server.shutdown()
+                except Exception:
+                    pass
+                thread.join(timeout=5)
+                fsvc.close()
+            p_service.server.shutdown()
+            p_thread.join(timeout=10)
+            p_service.close()
+
+
+_FOLLOWER_SERVER = """
+import sys
+from repro.replication import FollowerOptions, FollowerService
+from repro.streaming import ApplierOptions
+
+store_dir, wal_dir, url = sys.argv[1], sys.argv[2], sys.argv[3]
+service = FollowerService(
+    store_dir, wal_dir, url, port=int(sys.argv[4]),
+    options=FollowerOptions(poll_interval_seconds=0.02, fetch_max_bytes=64),
+    applier_options=ApplierOptions(max_batch_records=1),
+)
+service.start()
+print("PORT", service.address[1], flush=True)
+service.serve_forever()
+"""
+
+
+@pytest.mark.slow
+def test_router_survives_sigkilled_follower_and_rejoin(tmp_path):
+    """Nightly failover drill: two follower server subprocesses behind a
+    router; one is SIGKILLed mid-replay.  The router must evict it and
+    keep answering from the survivor; a restarted follower must recover
+    its half-applied store and serve again."""
+    import os
+    import subprocess
+    import sys
+    import time
+    from pathlib import Path
+
+    from tests.test_replication_follower import _unapplied_primary
+
+    p_service, url, p_thread = _unapplied_primary(tmp_path, 8)
+    worker = tmp_path / "follower_server.py"
+    worker.write_text(_FOLLOWER_SERVER)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parent.parent / "src")
+
+    def spawn(i, port=0):
+        proc = subprocess.Popen(
+            [sys.executable, "-u", str(worker),
+             str(tmp_path / f"replica{i}"), str(tmp_path / f"rwal{i}"),
+             url, str(port)],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            env=env,
+        )
+        banner = proc.stdout.readline().decode()
+        assert banner.startswith("PORT"), (
+            banner + proc.stderr.read().decode()
+        )
+        return proc, int(banner.split()[1])
+
+    procs = []
+    try:
+        (proc0, port0) = spawn(0)
+        (proc1, port1) = spawn(1)
+        procs = [proc0, proc1]
+        urls = [f"http://127.0.0.1:{port0}", f"http://127.0.0.1:{port1}"]
+        router = QueryRouter(
+            [HTTPReplica(u, timeout=2.0) for u in urls],
+            options=RouterOptions(
+                health_max_age_seconds=0.0, eviction_seconds=0.2
+            ),
+        )
+        expected = router.query("support", GENERAL)["value"]
+        # Kill follower 0 mid-replay (1-record batches + tiny fetches
+        # mean it is almost certainly inside the sync/apply loop).
+        proc0.kill()
+        proc0.wait()
+        for _ in range(6):
+            answer = router.query("support", GENERAL)
+            assert answer["replica"] == urls[1]
+            assert answer["value"] >= expected
+        assert router.metrics.counter("replication.router_evictions") >= 1
+        # Restart on the same port: recovery must settle the killed
+        # replica's store and the router must route to it again.
+        (proc0, _port) = spawn(0, port=port0)
+        procs[0] = proc0
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            time.sleep(0.3)
+            served = {
+                router.query("support", GENERAL)["replica"]
+                for _ in range(4)
+            }
+            if urls[0] in served:
+                break
+        else:
+            pytest.fail("restarted follower never rejoined the pool")
+        router.close()
+    finally:
+        for proc in procs:
+            proc.kill()
+            proc.wait()
+        p_service.server.shutdown()
+        p_thread.join(timeout=10)
+        p_service.close()

@@ -182,3 +182,126 @@ class TestCorruption:
         with WriteAheadLog(wal_dir, segment_max_bytes=1) as wal:
             with pytest.raises(WALError, match="corrupt"):
                 wal.read_from(0)
+
+
+class TestSegmentReadAPI:
+    """Read-only segment surface used by replication followers.
+
+    Followers tail the log without the writer lock: published lengths
+    are sampled under the lock (and are always frame boundaries), but
+    the bytes themselves are read from an independent file handle.
+    """
+
+    def test_segment_views_cover_the_log(self, tmp_path):
+        from repro.streaming import SegmentView
+
+        with WriteAheadLog(tmp_path / "wal", segment_max_bytes=1) as wal:
+            for d in _deltas(3):
+                wal.append(d)
+            views = wal.segment_views()
+            assert all(isinstance(v, SegmentView) for v in views)
+            # segment_max_bytes=1 seals a segment after every append.
+            assert [v.sealed for v in views] == [True, True, True, False]
+            assert views[0].start_seq == 0
+            assert views[-1].end_seq == wal.next_seq
+            # Views tile the sequence space with no gaps.
+            for left, right in zip(views, views[1:]):
+                assert left.end_seq == right.start_seq
+            assert sum(v.record_count for v in views) == 3
+
+    def test_chunked_reads_reassemble_every_record(self, tmp_path):
+        from repro.streaming import decode_frames
+
+        with WriteAheadLog(tmp_path / "wal") as wal:
+            deltas = _deltas(7)
+            for d in deltas:
+                wal.append(d)
+            view = wal.segment_views()[0]
+            # Fetch in tiny chunks so frames are split mid-byte-range,
+            # exactly as a follower with a small fetch budget would.
+            data = b""
+            offset = 0
+            while True:
+                chunk = wal.read_segment_chunk(view.start_seq, offset, 13)
+                if not chunk:
+                    break
+                data += chunk
+                offset += len(chunk)
+            assert offset == view.size_bytes
+        records, consumed = decode_frames(data, view.start_seq)
+        assert consumed == len(data)  # published length is frame-aligned
+        assert [r.seq for r in records] == list(range(7))
+        assert [r.delta for r in records] == deltas
+
+    def test_decode_frames_buffers_partial_tail(self, tmp_path):
+        from repro.streaming import decode_frames
+
+        with WriteAheadLog(tmp_path / "wal") as wal:
+            for d in _deltas(2):
+                wal.append(d)
+            view = wal.segment_views()[0]
+            data = wal.read_segment_chunk(view.start_seq, 0, view.size_bytes)
+        cut = len(data) - 5  # sever the last frame
+        records, consumed = decode_frames(data[:cut], 0)
+        assert [r.seq for r in records] == [0]
+        assert consumed < cut  # partial frame left unconsumed
+        # Appending the remainder completes the frame.
+        records, consumed2 = decode_frames(data[consumed:], 1)
+        assert [r.seq for r in records] == [1]
+        assert consumed + consumed2 == len(data)
+
+    def test_decode_frames_checksum_mismatch_raises(self, tmp_path):
+        from repro.streaming import decode_frames
+
+        with WriteAheadLog(tmp_path / "wal") as wal:
+            wal.append(_delta("x"))
+            view = wal.segment_views()[0]
+            data = bytearray(
+                wal.read_segment_chunk(view.start_seq, 0, view.size_bytes)
+            )
+        data[-1] ^= 0xFF
+        with pytest.raises(WALError, match="corrupt"):
+            decode_frames(bytes(data), 0)
+
+    def test_torn_tail_never_published(self, tmp_path):
+        """A torn append repaired on reopen is invisible to readers:
+        the published length shrinks back to the last whole frame."""
+        from repro.streaming import decode_frames
+
+        wal_dir = tmp_path / "wal"
+        with WriteAheadLog(wal_dir) as wal:
+            for d in _deltas(3):
+                wal.append(d)
+        segment = _only_segment(wal_dir)
+        segment.write_bytes(segment.read_bytes()[:-7])  # torn record 2
+        with WriteAheadLog(wal_dir) as wal:
+            view = wal.segment_views()[0]
+            assert view.end_seq == 2
+            data = wal.read_segment_chunk(view.start_seq, 0, 1 << 20)
+            assert len(data) == view.size_bytes
+        records, consumed = decode_frames(data, 0)
+        assert consumed == len(data)
+        assert [r.seq for r in records] == [0, 1]
+
+    def test_read_chunk_validates_arguments(self, tmp_path):
+        with WriteAheadLog(tmp_path / "wal") as wal:
+            wal.append(_delta("x"))
+            with pytest.raises(ValueError):
+                wal.read_segment_chunk(0, -1, 10)
+            with pytest.raises(ValueError):
+                wal.read_segment_chunk(0, 0, -1)
+            with pytest.raises(WALError, match="does not exist"):
+                wal.read_segment_chunk(99, 0, 10)
+            # Past the published length is empty, not an error.
+            assert wal.read_segment_chunk(0, 1 << 20, 10) == b""
+
+    def test_initial_seq_positions_an_empty_log(self, tmp_path):
+        """A follower whose store already committed seq K re-creates its
+        local WAL at K+1 instead of renumbering from zero."""
+        with WriteAheadLog(tmp_path / "wal", initial_seq=7) as wal:
+            assert wal.next_seq == 7
+            assert wal.append(_delta("x")) == 7
+            views = wal.segment_views()
+            assert views[0].start_seq == 7
+        with WriteAheadLog(tmp_path / "wal") as wal:
+            assert wal.next_seq == 8

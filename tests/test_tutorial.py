@@ -257,3 +257,101 @@ class TestTutorial:
         # Replay is idempotent: reopening applies nothing new.
         with WriteAheadLog(wal_dir) as wal:
             assert StreamApplier(store_dir, wal).drain() == 0
+
+    def test_step15_replication(self, tmp_path):
+        taxonomy, db = _setup()
+        import json
+        import threading
+        import urllib.request
+
+        from repro import StoreReader
+        from repro.replication import (
+            Follower,
+            FollowerOptions,
+            LocalReplica,
+            PrimaryService,
+            QueryRouter,
+            StaleReplicasError,
+        )
+        from repro.streaming import ApplierOptions, IngestOptions
+
+        store_dir = tmp_path / "pathways.store"
+        options = TaxogramOptions(min_support=0.5, store_out=str(store_dir))
+        Taxogram(options).mine(db, taxonomy)
+
+        # A publishing primary: the step-14 ingest service plus the
+        # replication surface (manifest / segments / snapshot), signed.
+        primary = PrimaryService(
+            store_dir,
+            tmp_path / "pathways.wal",
+            secret="hush",
+            port=0,
+            options=IngestOptions(wait_timeout_seconds=60.0),
+            applier_options=ApplierOptions(max_latency_seconds=0.02),
+        )
+        primary.start()
+        thread = threading.Thread(target=primary.serve_forever, daemon=True)
+        thread.start()
+        host, port = primary.address
+        primary_url = f"http://{host}:{port}"
+        try:
+            # Ingest one pathway and wait for its batch to commit.
+            request = urllib.request.Request(
+                primary_url + "/ingest",
+                json.dumps({
+                    "add": "t # 0\nv 0 carrier\nv 1 helicase\n"
+                           "e 0 1 interacts\n",
+                    "wait": True,
+                }).encode("utf-8"),
+                {"Content-Type": "application/json"},
+            )
+            with urllib.request.urlopen(request, timeout=30) as response:
+                ack = json.loads(response.read())
+            assert ack["seq"] == 0
+
+            # A follower is the same journal applied by the same code.
+            follower = Follower(
+                tmp_path / "replica.store",
+                tmp_path / "replica.wal",
+                primary_url,
+                options=FollowerOptions(secret="hush"),
+            )
+            with follower:
+                follower.catch_up(timeout=60)
+                assert follower.lag() == 0
+                assert follower.applied_seq == ack["seq"]
+
+            # Route queries over the replica: exact, as always.
+            pattern_text = (
+                "t # 0\nv 0 transporter\nv 1 helicase\ne 0 1 interacts\n"
+            )
+            router = QueryRouter([LocalReplica(tmp_path / "replica.store")])
+            try:
+                routed = router.query("support", pattern_text)
+                reader = StoreReader(tmp_path / "replica.store")
+                direct = reader.query(
+                    "support", reader.parse_pattern(pattern_text)
+                )
+                assert routed["value"] == direct.value == 4
+
+                # Read-your-writes: the applied WAL offset is the
+                # fleet-comparable freshness key.  A floor every live
+                # replica misses sheds instead of answering stale.
+                fresh = router.query(
+                    "support", pattern_text, min_applied_seq=ack["seq"]
+                )
+                assert fresh["value"] == 4
+                try:
+                    router.query(
+                        "support", pattern_text,
+                        min_applied_seq=ack["seq"] + 1,
+                    )
+                    raise AssertionError("stale read was not shed")
+                except StaleReplicasError as exc:
+                    assert exc.retry_after == 1
+            finally:
+                router.close()
+        finally:
+            primary.server.shutdown()
+            thread.join(timeout=10)
+            primary.close()
