@@ -3,6 +3,7 @@
 #
 #   scripts/verify.sh            # tier-1: the full fast test suite
 #   scripts/verify.sh --slow     # tier-1 plus the RUN_SLOW=1 matrices
+#   scripts/verify.sh --chaos    # the RUN_CHAOS=1 fault-injection sweeps
 #   scripts/verify.sh --cov      # tier-1 under coverage, gated at 85%
 #
 # The coverage gate needs pytest-cov (`pip install -e .[cov]`); when it
@@ -37,6 +38,10 @@ case "$mode" in
     --slow)
         shift
         RUN_SLOW=1 exec python -m pytest "$@"
+        ;;
+    --chaos)
+        shift
+        RUN_CHAOS=1 exec python -m pytest tests/test_chaos_load.py "$@"
         ;;
     "")
         exec python -m pytest

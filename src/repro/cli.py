@@ -17,6 +17,10 @@ Commands:
   or run the live ingest service (``--serve``) that journals ``POST
   /ingest`` deltas durably and applies them in the background (see
   :mod:`repro.streaming`).
+* ``loadtest`` — drive seeded open-loop load (and optional fault
+  injection) against a spawned or running service and judge the run
+  against the declared backpressure envelope (see
+  :mod:`repro.loadtest`).
 * ``info`` — print a pattern store's manifest summary (version, counts,
   WAL lag when a journal is present).
 * ``stats`` — print Table 1-style statistics for a graph database file.
@@ -273,6 +277,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit after handling N requests (testing aid; default: "
         "serve until interrupted)",
     )
+    serve.add_argument(
+        "--legacy-threads",
+        action="store_true",
+        help="serve with the thread-per-request front-end instead of "
+        "the asyncio front (A/B aid for the load harness)",
+    )
 
     ingest = sub.add_parser(
         "ingest",
@@ -344,6 +354,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="KEY",
         help="with --publish, HMAC-sign the replication manifest so "
         "followers can verify its origin",
+    )
+    ingest.add_argument(
+        "--legacy-threads",
+        action="store_true",
+        help="with --serve, use the thread-per-request front-end "
+        "instead of the asyncio front (A/B aid for the load harness)",
     )
 
     replicate = sub.add_parser(
@@ -457,6 +473,96 @@ def build_parser() -> argparse.ArgumentParser:
         "serve until interrupted)",
     )
 
+    loadtest = sub.add_parser(
+        "loadtest",
+        help="drive seeded open-loop load (and optional faults) "
+        "against a spawned or running service",
+    )
+    loadtest.add_argument("store", type=Path, help="pattern store directory")
+    loadtest.add_argument(
+        "--wal",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="spawn `ingest --serve` over this WAL (mixed traffic); "
+        "without it, a read-only `serve` (query-only traffic)",
+    )
+    loadtest.add_argument(
+        "--url",
+        default=None,
+        metavar="URL",
+        help="drive an already-running service instead of spawning one "
+        "(incompatible with --fault)",
+    )
+    loadtest.add_argument("--duration", type=float, default=5.0,
+                          metavar="SECONDS")
+    loadtest.add_argument(
+        "--rate",
+        type=float,
+        default=50.0,
+        metavar="RPS",
+        help="open-loop arrival rate in requests/second",
+    )
+    loadtest.add_argument(
+        "--mix",
+        default="80:15:5",
+        metavar="Q:I:F",
+        help="query:ingest:flush traffic weights (default 80:15:5)",
+    )
+    loadtest.add_argument("--seed", type=int, default=0)
+    loadtest.add_argument("--workers", type=_workers_type, default=8)
+    loadtest.add_argument(
+        "--pattern-file",
+        dest="pattern_files",
+        type=Path,
+        action="append",
+        metavar="FILE",
+        help="graph database file whose graphs become support/graphs "
+        "query patterns (repeatable; default: GET /top only)",
+    )
+    loadtest.add_argument(
+        "--add-file",
+        dest="add_files",
+        type=Path,
+        action="append",
+        metavar="FILE",
+        help="graph database file whose graphs cycle through POST "
+        "/ingest deltas (repeatable; required for ingest traffic)",
+    )
+    loadtest.add_argument(
+        "--fault",
+        choices=("none", "kill-applier", "stall-fsync"),
+        default="none",
+        help="inject one seeded fault mid-run: SIGKILL + pinned-port "
+        "restart of the service, or a wal.fsync stall window",
+    )
+    loadtest.add_argument(
+        "--stall-ms",
+        type=int,
+        default=150,
+        metavar="MS",
+        help="per-append fsync stall for --fault stall-fsync",
+    )
+    loadtest.add_argument(
+        "--max-lag",
+        type=int,
+        default=1024,
+        help="spawned service's hard ingest backlog bound",
+    )
+    loadtest.add_argument(
+        "--legacy-threads",
+        action="store_true",
+        help="spawn the service with the thread-per-request front",
+    )
+    loadtest.add_argument(
+        "--report-out",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write the full JSON report here (REPRO_BENCH_JSON_DIR "
+        "also receives a copy when set)",
+    )
+
     info = sub.add_parser(
         "info",
         help="print a pattern store's manifest summary",
@@ -550,6 +656,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_replicate(args)
         if args.command == "route":
             return _cmd_route(args)
+        if args.command == "loadtest":
+            return _cmd_loadtest(args)
         if args.command == "info":
             return _cmd_info(args)
     except ReproError as exc:
@@ -831,9 +939,79 @@ def _install_graceful_shutdown(server):
     return stopped
 
 
+def _run_async_front(args, front, banner, post_banner=None) -> bool:
+    """Drive an :class:`AsyncHTTPFront` the way the threaded commands
+    drive ``serve_forever()``: banner after bind, graceful SIGTERM/
+    SIGINT when running without ``--max-requests``.  Returns whether a
+    shutdown signal arrived."""
+    import asyncio
+    import signal
+
+    stopped = {"signal": False}
+
+    async def _run() -> None:
+        # Handlers must be live before the banner: callers treat the
+        # banner as "ready" and may SIGTERM immediately after it.
+        if args.max_requests is None:
+            loop = asyncio.get_running_loop()
+
+            def _on_signal() -> None:
+                stopped["signal"] = True
+                front.request_stop()
+
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(signum, _on_signal)
+                except (NotImplementedError, RuntimeError):
+                    pass
+        host, port = await front.start()
+        print(banner(host, port))
+        if post_banner is not None:
+            post_banner()
+        sys.stdout.flush()
+        try:
+            await front.serve_until_stopped()
+        finally:
+            await front.shutdown()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive mode
+        pass
+    return stopped["signal"]
+
+
+def _cmd_serve_async(args: argparse.Namespace) -> int:
+    from repro.serving import AdmissionController, serve_async
+
+    front, reader = serve_async(
+        args.store,
+        host=args.host,
+        port=args.port,
+        admission=AdmissionController(),
+        max_requests=args.max_requests,
+    )
+    signalled = _run_async_front(
+        args,
+        front,
+        lambda host, port: (
+            f"serving {args.store} at http://{host}:{port} "
+            f"(store version {reader.version}, {reader.num_classes} "
+            f"classes, {reader.database_size} graphs)"
+        ),
+    )
+    if args.max_requests is not None:
+        print(f"handled {args.max_requests} requests, exiting")
+    elif signalled:
+        print("received shutdown signal, exiting")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serving import serve
 
+    if not args.legacy_threads:
+        return _cmd_serve_async(args)
     server = serve(args.store, host=args.host, port=args.port)
     reader = server.reader
     # Install before the banner: orchestrators treat the banner as
@@ -906,6 +1084,9 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
             print(f"  rejected record {seq}: {reason}")
         return 0
 
+    if not args.legacy_threads:
+        return _cmd_ingest_async(args, applier_options)
+
     if args.publish:
         from repro.replication import PrimaryService
 
@@ -960,6 +1141,72 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     print(
         f"applied seq {service.applier.applied_seq}, "
         f"lag {service.applier.lag}"
+    )
+    return 0
+
+
+def _cmd_ingest_async(args: argparse.Namespace, applier_options) -> int:
+    from repro.serving import (
+        AdmissionController,
+        AdmissionLimits,
+        AdmissionPolicy,
+        AsyncHTTPFront,
+    )
+    from repro.streaming import IngestCore, IngestOptions
+
+    if args.publish:
+        from repro.replication import PrimaryCore
+
+        core = PrimaryCore(
+            args.store,
+            args.wal,
+            secret=args.secret,
+            options=IngestOptions(max_lag_records=args.max_lag),
+            applier_options=applier_options,
+        )
+    else:
+        core = IngestCore(
+            args.store,
+            args.wal,
+            options=IngestOptions(max_lag_records=args.max_lag),
+            applier_options=applier_options,
+        )
+    admission = AdmissionController(
+        AdmissionPolicy(AdmissionLimits.for_max_lag(args.max_lag)),
+        lag_fn=lambda: core.applier.lag,
+        metrics=core.metrics,
+    )
+    front = AsyncHTTPFront(
+        core.routes(),
+        host=args.host,
+        port=args.port,
+        admission=admission,
+        max_requests=args.max_requests,
+    )
+    role = "publishing" if args.publish else "ingesting"
+
+    def _post_banner() -> None:
+        if core.applier.recovery != "clean":
+            print(f"recovered store after crash ({core.applier.recovery})")
+        core.start()
+
+    signalled = _run_async_front(
+        args,
+        front,
+        lambda host, port: (
+            f"{role} into {args.store} at http://{host}:{port} "
+            f"(wal {args.wal}, store version {core.reader.version}, "
+            f"{core.reader.database_size} graphs)"
+        ),
+        post_banner=_post_banner,
+    )
+    if args.max_requests is not None:
+        print(f"handled {args.max_requests} requests, exiting")
+    elif signalled:
+        print("received shutdown signal, flushing applier")
+    core.close(drain=True)
+    print(
+        f"applied seq {core.applier.applied_seq}, lag {core.applier.lag}"
     )
     return 0
 
@@ -1069,6 +1316,228 @@ def _cmd_route(args: argparse.Namespace) -> int:
     finally:
         service.close()
     return 0
+
+
+def _graph_texts(path: Path) -> list[str]:
+    """Split a graph-database file into per-graph texts, re-headered
+    as standalone single-graph documents (``t # 0``)."""
+    chunks: list[list[str]] = []
+    current: list[str] | None = None
+    for line in Path(path).read_text().splitlines():
+        if line.startswith("t #"):
+            if current is not None:
+                chunks.append(current)
+            current = ["t # 0"]
+        elif line.strip() and current is not None:
+            current.append(line)
+    if current is not None:
+        chunks.append(current)
+    return ["\n".join(chunk) + "\n" for chunk in chunks if len(chunk) > 1]
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    import json
+    import os
+    import tempfile
+
+    from repro.loadtest import (
+        Envelope,
+        FaultInjector,
+        LoadOptions,
+        LoadRunner,
+        WorkloadMix,
+        build_plan,
+        seeded_fault_plan,
+        verify_no_lost_acks,
+        verify_version_monotonic,
+    )
+    from repro.loadtest.cluster import spawn_ingest, spawn_serve
+    from repro.loadtest.faults import (
+        FaultEvent,
+        kill_and_restart,
+        stall_fsync,
+    )
+
+    try:
+        mix = WorkloadMix.parse(args.mix)
+    except ValueError as exc:
+        raise ReproError(str(exc)) from exc
+    if args.url is not None and args.fault != "none":
+        raise ReproError(
+            "--fault needs a harness-spawned service; drop --url"
+        )
+    patterns = [
+        text
+        for file in (args.pattern_files or [])
+        for text in _graph_texts(file)
+    ]
+    add_texts = [
+        text
+        for file in (args.add_files or [])
+        for text in _graph_texts(file)
+    ]
+    options = LoadOptions(
+        duration_seconds=args.duration,
+        rate=args.rate,
+        mix=mix,
+        seed=args.seed,
+        workers=args.workers,
+    )
+    plan = build_plan(options, patterns, add_texts)
+    ingest_traffic = any(r.kind in ("ingest", "flush") for r in plan)
+    if ingest_traffic and args.wal is None and args.url is None:
+        raise ReproError(
+            "ingest traffic needs --wal (to spawn `ingest --serve`) "
+            "or --url of a live ingest service"
+        )
+
+    env = None
+    faultpoints_path = None
+    if args.fault == "stall-fsync":
+        faultpoints_path = Path(tempfile.mkdtemp()) / "faults.json"
+        faultpoints_path.write_text("{}")
+        env = {"REPRO_FAULTPOINTS_FILE": str(faultpoints_path)}
+
+    process = None
+    if args.url is not None:
+        base_url = args.url
+    elif args.wal is not None:
+        process = spawn_ingest(
+            args.store,
+            args.wal,
+            max_lag=args.max_lag,
+            legacy_threads=args.legacy_threads,
+            env=env,
+        ).start()
+        base_url = process.url
+    else:
+        process = spawn_serve(
+            args.store, legacy_threads=args.legacy_threads, env=env
+        ).start()
+        base_url = process.url
+
+    events = []
+    envelope = Envelope()
+    if args.fault == "kill-applier":
+        (kill_at, _), = seeded_fault_plan(
+            args.seed, args.duration, ["kill_applier"]
+        )
+        events.append(
+            FaultEvent(
+                kill_at, "kill_applier",
+                lambda: kill_and_restart(process),
+            )
+        )
+        # The service is down for part of the window by design.
+        envelope = Envelope(max_transport_fraction=0.75)
+    elif args.fault == "stall-fsync":
+        (stall_at, _), = seeded_fault_plan(
+            args.seed, args.duration, ["stall_fsync"]
+        )
+        clear_at = min(args.duration * 0.9, stall_at + args.duration * 0.3)
+        events.append(
+            FaultEvent(
+                stall_at, "stall_fsync",
+                lambda: stall_fsync(faultpoints_path, args.stall_ms),
+            )
+        )
+        events.append(
+            FaultEvent(
+                clear_at, "clear_fsync",
+                lambda: stall_fsync(faultpoints_path, 0),
+            )
+        )
+    injector = FaultInjector(events).start()
+
+    print(
+        f"load: {len(plan)} planned requests over {args.duration:g}s "
+        f"at {args.rate:g} rps (seed {args.seed}, mix "
+        f"{mix.query:g}:{mix.ingest:g}:{mix.flush:g}, fault "
+        f"{args.fault})"
+    )
+    sys.stdout.flush()
+    exit_code = 0
+    try:
+        report = LoadRunner(
+            base_url, plan, workers=args.workers
+        ).run()
+        injector.join()
+        if injector.fired:
+            print(f"faults fired: {', '.join(injector.fired)}")
+        for error in injector.errors:
+            print(f"fault error: {error}", file=sys.stderr)
+            exit_code = 1
+
+        counts = report.counts
+        print(
+            f"outcomes: {report.total} total — ok {counts['ok']}, "
+            f"shed {counts['shed']}, rejected {counts['rejected']}, "
+            f"server_error {counts['server_error']}, transport "
+            f"{counts['transport']}, timeout {counts['timeout']}"
+        )
+        print(f"throughput: {report.throughput:.1f} completed rps")
+        for kind, hist in sorted(report.latency.items()):
+            summary = hist.as_dict()
+            print(
+                f"latency[{kind}]: p50 {summary['p50_ms']:.1f}ms  "
+                f"p99 {summary['p99_ms']:.1f}ms  "
+                f"max {summary['max_ms']:.1f}ms"
+            )
+
+        if report.max_acked_seq is not None:
+            snapshot = verify_no_lost_acks(base_url, report)
+            print(
+                f"durability: applied seq "
+                f"{snapshot['applied_seq']} covers all "
+                f"{len(report.acked_seqs)} acked writes"
+            )
+        verify_version_monotonic(report)
+        print("consistency: store versions monotone per client")
+
+        violations = envelope.violations(report)
+        for violation in violations:
+            print(f"envelope violation: {violation}", file=sys.stderr)
+            exit_code = exit_code or 1
+        if not violations:
+            print("backpressure: inside the declared envelope")
+
+        doc = report.as_dict()
+        doc.update(
+            {
+                "seed": args.seed,
+                "rate": args.rate,
+                "duration_seconds": args.duration,
+                "mix": args.mix,
+                "fault": args.fault,
+                "front": (
+                    "legacy-threads" if args.legacy_threads else "async"
+                ),
+                "faults_fired": list(injector.fired),
+            }
+        )
+        if args.report_out is not None:
+            args.report_out.write_text(json.dumps(doc, indent=2) + "\n")
+            print(f"report written to {args.report_out}")
+        bench_dir = os.environ.get("REPRO_BENCH_JSON_DIR")
+        if bench_dir:
+            bench_path = Path(bench_dir) / "BENCH_loadtest.json"
+            points = (
+                json.loads(bench_path.read_text())
+                if bench_path.exists()
+                else []
+            )
+            points.append(doc)
+            bench_path.write_text(
+                json.dumps(points, indent=2, sort_keys=True) + "\n"
+            )
+    except (AssertionError, TimeoutError) as exc:
+        print(f"chaos check failed: {exc}", file=sys.stderr)
+        exit_code = 1
+    finally:
+        injector.cancel()
+        if process is not None:
+            process.terminate()
+    return exit_code
 
 
 def _cmd_info(args: argparse.Namespace) -> int:

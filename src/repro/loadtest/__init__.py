@@ -1,0 +1,58 @@
+"""Deterministic load generation and fault injection for the serving
+stack.
+
+The package closes the loop the unit suites cannot: it drives a *real*
+``taxogram`` process tree (``serve`` / ``ingest --serve`` /
+``replicate`` / ``route``) with sustained mixed traffic, injects faults
+mid-run (SIGKILL + restart, WAL-segment corruption, fsync stalls), and
+then proves the durability and consistency contracts held:
+
+* no acknowledged write (``202`` or ``"wait": true``) is ever lost;
+* every query answer carries a committed ``store_version`` and no
+  client ever observes versions moving backwards;
+* shedding stays inside the declared backpressure envelope — overload
+  produces ``429`` + ``Retry-After``, never hangs or ``500``\\ s.
+
+Everything is seeded: :func:`~repro.loadtest.workload.build_plan`
+derives the full open-loop arrival schedule from one RNG, and
+:func:`~repro.loadtest.faults.seeded_fault_plan` derives fault times
+the same way, so a failing chaos run replays exactly from its seed.
+"""
+
+from repro.loadtest.checks import (
+    verify_no_lost_acks,
+    verify_version_monotonic,
+    wait_for_applied,
+)
+from repro.loadtest.cluster import ManagedProcess, taxogram_argv
+from repro.loadtest.faults import FaultInjector, seeded_fault_plan
+from repro.loadtest.harness import (
+    Envelope,
+    LoadReport,
+    LoadRunner,
+    RequestOutcome,
+)
+from repro.loadtest.workload import (
+    LoadOptions,
+    PlannedRequest,
+    WorkloadMix,
+    build_plan,
+)
+
+__all__ = [
+    "Envelope",
+    "FaultInjector",
+    "LoadOptions",
+    "LoadReport",
+    "LoadRunner",
+    "ManagedProcess",
+    "PlannedRequest",
+    "RequestOutcome",
+    "WorkloadMix",
+    "build_plan",
+    "seeded_fault_plan",
+    "taxogram_argv",
+    "verify_no_lost_acks",
+    "verify_version_monotonic",
+    "wait_for_applied",
+]

@@ -1,0 +1,176 @@
+"""Seeded fault plans and the injector that executes them mid-run.
+
+Faults are the contract-probing half of the harness.  Each one targets
+a specific durability or liveness mechanism:
+
+* ``kill_applier`` — SIGKILL the ingest process and restart it on the
+  pinned port: exercises WAL crash recovery and the fsync-before-ack
+  promise (every acked seq must re-apply).
+* ``kill_follower`` — SIGKILL a follower without restart: exercises
+  router eviction/backoff and primary-only continuation.
+* ``truncate_segment`` / ``corrupt_segment`` — damage the *follower's*
+  re-journaled WAL tail the way a torn write would: recovery must
+  repair the tail and resync from the primary, never serve from a
+  half-applied image.
+* ``stall_fsync`` — inject latency at the ``wal.fsync`` fault point
+  (:mod:`repro.util.faultpoints`): acks slow down, lag builds, and
+  admission control must shed with 429s rather than hang or 500.
+
+:func:`seeded_fault_plan` picks injection times deterministically from
+a seed, so a chaos failure replays exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+from pathlib import Path
+
+from repro.loadtest.cluster import ManagedProcess
+
+__all__ = [
+    "FaultEvent",
+    "FaultInjector",
+    "corrupt_segment",
+    "seeded_fault_plan",
+    "stall_fsync",
+    "truncate_segment",
+]
+
+FAULT_KINDS = (
+    "kill_applier",
+    "kill_follower",
+    "truncate_segment",
+    "corrupt_segment",
+    "stall_fsync",
+)
+
+
+class FaultEvent:
+    """One scheduled fault: run ``action()`` at ``at`` seconds."""
+
+    __slots__ = ("at", "name", "action")
+
+    def __init__(self, at: float, name: str, action) -> None:
+        self.at = at
+        self.name = name
+        self.action = action
+
+
+class FaultInjector:
+    """Execute fault events on timers; never lets one leak a thread."""
+
+    def __init__(self, events: list[FaultEvent]) -> None:
+        self.events = sorted(events, key=lambda e: e.at)
+        self.fired: list[str] = []
+        self.errors: list[str] = []
+        self._timers: list[threading.Timer] = []
+        self._lock = threading.Lock()
+
+    def start(self) -> "FaultInjector":
+        for event in self.events:
+            timer = threading.Timer(event.at, self._run, (event,))
+            timer.daemon = True
+            self._timers.append(timer)
+            timer.start()
+        return self
+
+    def _run(self, event: FaultEvent) -> None:
+        try:
+            event.action()
+            with self._lock:
+                self.fired.append(event.name)
+        except Exception as exc:  # noqa: BLE001 - reported, not raised
+            with self._lock:
+                self.errors.append(f"{event.name}: {exc!r}")
+
+    def join(self, timeout: float = 60.0) -> None:
+        """Wait for every timer to have fired and finished."""
+        for timer in self._timers:
+            timer.join(timeout=timeout)
+
+    def cancel(self) -> None:
+        for timer in self._timers:
+            timer.cancel()
+
+
+def seeded_fault_plan(
+    seed: int,
+    duration_seconds: float,
+    kinds: list[str],
+    *,
+    margin: float = 0.2,
+) -> list[tuple[float, str]]:
+    """Deterministic ``(at, kind)`` schedule inside the load window.
+
+    Faults land in the middle ``1 - 2*margin`` of the run (injecting at
+    t=0 tests nothing; injecting at the very end races the checks) and
+    are sorted by time.
+    """
+    rng = random.Random(seed)
+    lo = duration_seconds * margin
+    hi = duration_seconds * (1.0 - margin)
+    plan = [(rng.uniform(lo, hi), kind) for kind in kinds]
+    return sorted(plan)
+
+
+# -- concrete fault actions ---------------------------------------------------
+
+
+def stall_fsync(faultpoints_path: str | Path, sleep_ms: int) -> None:
+    """Arm (or with ``sleep_ms=0`` disarm) the ``wal.fsync`` stall.
+
+    The target process must have been spawned with
+    ``REPRO_FAULTPOINTS_FILE`` pointing at ``faultpoints_path``; the
+    file is re-read on mtime change, so writing it *is* the injection.
+    """
+    path = Path(faultpoints_path)
+    doc = {} if sleep_ms <= 0 else {"wal.fsync": {"sleep_ms": sleep_ms}}
+    tmp = path.with_suffix(".tmp")
+    tmp.write_text(json.dumps(doc))
+    tmp.replace(path)
+
+
+def _latest_segment(wal_dir: str | Path) -> Path:
+    segments = sorted(Path(wal_dir).glob("wal-*.seg"))
+    if not segments:
+        raise FileNotFoundError(f"no WAL segments under {wal_dir}")
+    return segments[-1]
+
+
+def truncate_segment(wal_dir: str | Path, drop_bytes: int = 7) -> Path:
+    """Chop a partial frame off the newest segment (a torn write)."""
+    segment = _latest_segment(wal_dir)
+    size = segment.stat().st_size
+    with open(segment, "r+b") as handle:
+        handle.truncate(max(0, size - drop_bytes))
+    return segment
+
+
+def corrupt_segment(
+    wal_dir: str | Path, *, offset_from_end: int = 3, flip: int = 0xFF
+) -> Path:
+    """Flip one byte near the newest segment's tail (bit rot).
+
+    Near the tail so the damage lands in the *last* frame: recovery
+    treats a bad final frame as torn and repairs it; damage further in
+    is a hard integrity error by design.
+    """
+    segment = _latest_segment(wal_dir)
+    size = segment.stat().st_size
+    if size == 0:
+        return segment
+    position = max(0, size - 1 - offset_from_end)
+    with open(segment, "r+b") as handle:
+        handle.seek(position)
+        byte = handle.read(1)
+        handle.seek(position)
+        handle.write(bytes([byte[0] ^ flip]))
+    return segment
+
+
+def kill_and_restart(process: ManagedProcess) -> None:
+    """SIGKILL + pinned-port respawn, as one schedulable action."""
+    process.sigkill()
+    process.restart()

@@ -1,0 +1,155 @@
+"""Seeded open-loop workload plans.
+
+A plan is the complete request schedule for one run, computed up front
+from ``(LoadOptions, seed)``: arrival times are exponential
+inter-arrivals at the configured rate (a Poisson process — the
+open-loop model, where clients do *not* slow down when the server
+does), and each arrival draws its request kind from the workload mix.
+Computing the whole schedule before the first byte hits the wire is
+what makes a chaos failure replayable: the same seed produces the same
+arrivals, the same mix, the same ingest payload order.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+__all__ = ["LoadOptions", "PlannedRequest", "WorkloadMix", "build_plan"]
+
+_QUERY_OPS = ("top", "support", "graphs")
+
+
+@dataclass(frozen=True)
+class WorkloadMix:
+    """Relative weights of the three traffic classes.
+
+    Weights are relative, not fractions — ``WorkloadMix(80, 15, 5)``
+    and ``WorkloadMix(0.8, 0.15, 0.05)`` describe the same mix.
+    """
+
+    query: float = 0.80
+    ingest: float = 0.15
+    flush: float = 0.05
+
+    def __post_init__(self) -> None:
+        for name in ("query", "ingest", "flush"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"mix weight {name} must be >= 0")
+        if self.query + self.ingest + self.flush <= 0:
+            raise ValueError("mix weights must not all be zero")
+
+    @classmethod
+    def parse(cls, token: str) -> "WorkloadMix":
+        """``"80:15:5"`` -> ``WorkloadMix(80, 15, 5)``."""
+        parts = token.split(":")
+        if len(parts) != 3:
+            raise ValueError(
+                f"mix must be QUERY:INGEST:FLUSH, got {token!r}"
+            )
+        try:
+            query, ingest, flush = (float(part) for part in parts)
+        except ValueError:
+            raise ValueError(
+                f"mix weights must be numbers, got {token!r}"
+            ) from None
+        return cls(query, ingest, flush)
+
+    def weights(self) -> tuple[float, float, float]:
+        return (self.query, self.ingest, self.flush)
+
+
+@dataclass(frozen=True)
+class PlannedRequest:
+    """One scheduled request: fire at ``at`` seconds from run start."""
+
+    at: float
+    kind: str  # "query" | "ingest" | "flush"
+    op: str = "top"  # query sub-op: "top" | "support" | "graphs"
+    pattern: str | None = None  # graph-db text for support/graphs
+    add_text: str | None = None  # graph-db text for ingest
+    wait: bool = False  # ingest read-your-writes
+
+
+@dataclass(frozen=True)
+class LoadOptions:
+    """Knobs for :func:`build_plan`.
+
+    ``rate`` is the open-loop arrival rate in requests/second;
+    ``wait_fraction`` is the share of ingest requests that demand
+    read-your-writes (``"wait": true``) instead of a journal ack.
+    """
+
+    duration_seconds: float = 5.0
+    rate: float = 50.0
+    mix: WorkloadMix = field(default_factory=WorkloadMix)
+    seed: int = 0
+    workers: int = 8
+    wait_fraction: float = 0.25
+    top_k: int = 5
+
+    def __post_init__(self) -> None:
+        if self.duration_seconds <= 0:
+            raise ValueError("duration must be positive")
+        if self.rate <= 0:
+            raise ValueError("rate must be positive")
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")
+        if not 0.0 <= self.wait_fraction <= 1.0:
+            raise ValueError("wait_fraction must be in [0, 1]")
+
+
+def build_plan(
+    options: LoadOptions,
+    patterns: list[str] | None = None,
+    add_texts: list[str] | None = None,
+) -> list[PlannedRequest]:
+    """The full arrival schedule for one run, sorted by time.
+
+    ``patterns`` are graph-db-text patterns for ``support`` /
+    ``graphs`` queries (without them every query is a ``GET /top``);
+    ``add_texts`` are graph-db-text graphs cycled through ``POST
+    /ingest`` bodies (without them, ingest weight is redistributed to
+    queries — a serve-only target has no ingest surface).
+    """
+    rng = random.Random(options.seed)
+    mix = options.mix
+    if not add_texts and (mix.ingest > 0 or mix.flush > 0):
+        mix = WorkloadMix(mix.query + mix.ingest + mix.flush, 0.0, 0.0)
+    weights = mix.weights()
+    plan: list[PlannedRequest] = []
+    ingest_index = 0
+    at = 0.0
+    while True:
+        at += rng.expovariate(options.rate)
+        if at >= options.duration_seconds:
+            break
+        kind = rng.choices(("query", "ingest", "flush"), weights)[0]
+        if kind == "query":
+            op = rng.choice(_QUERY_OPS) if patterns else "top"
+            plan.append(
+                PlannedRequest(
+                    at=at,
+                    kind="query",
+                    op=op,
+                    pattern=(
+                        rng.choice(patterns)
+                        if patterns and op != "top"
+                        else None
+                    ),
+                )
+            )
+        elif kind == "ingest":
+            plan.append(
+                PlannedRequest(
+                    at=at,
+                    kind="ingest",
+                    op="ingest",
+                    add_text=add_texts[ingest_index % len(add_texts)],
+                    wait=rng.random() < options.wait_fraction,
+                )
+            )
+            ingest_index += 1
+        else:
+            plan.append(PlannedRequest(at=at, kind="flush", op="flush"))
+    return plan

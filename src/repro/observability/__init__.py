@@ -24,7 +24,11 @@ Typical use::
     result_path.write_text(result.report.to_json())
 """
 
-from repro.observability.metrics import LockingMetricsRegistry, MetricsRegistry
+from repro.observability.metrics import (
+    LatencyHistogram,
+    LockingMetricsRegistry,
+    MetricsRegistry,
+)
 from repro.observability.report import RunReport
 from repro.observability.trace import (
     NOOP_TRACER,
@@ -36,6 +40,7 @@ from repro.observability.trace import (
 )
 
 __all__ = [
+    "LatencyHistogram",
     "LockingMetricsRegistry",
     "MetricsRegistry",
     "RunReport",

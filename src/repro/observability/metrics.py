@@ -14,9 +14,11 @@ for peaks (RSS, resident entries) and harmless for constants like
 
 from __future__ import annotations
 
+import bisect
+import math
 import threading
 
-__all__ = ["LockingMetricsRegistry", "MetricsRegistry"]
+__all__ = ["LatencyHistogram", "LockingMetricsRegistry", "MetricsRegistry"]
 
 
 class MetricsRegistry:
@@ -76,6 +78,109 @@ class MetricsRegistry:
             f"MetricsRegistry(counters={len(self.counters)}, "
             f"gauges={len(self.gauges)})"
         )
+
+
+def _log_boundaries(
+    min_seconds: float, max_seconds: float, per_decade: int
+) -> list[float]:
+    decades = math.log10(max_seconds / min_seconds)
+    steps = max(1, int(math.ceil(decades * per_decade)))
+    return [
+        min_seconds * 10.0 ** (i * decades / steps)
+        for i in range(steps + 1)
+    ]
+
+
+class LatencyHistogram:
+    """A fixed, log-spaced latency histogram with cheap quantiles.
+
+    Counters and gauges cannot answer "what was p99?"; sorting raw
+    samples would grow without bound on a long-lived server.  This
+    keeps a constant number of logarithmic buckets (default: 10 per
+    decade from 1µs to 60s), so ``observe`` is O(log buckets) and
+    quantiles are O(buckets) — accurate to the bucket width (~26%),
+    which is the standard trade for serving histograms.  Thread-safe.
+    """
+
+    __slots__ = (
+        "_boundaries", "_counts", "_lock", "count", "total_seconds",
+        "max_seconds",
+    )
+
+    def __init__(
+        self,
+        min_seconds: float = 1e-6,
+        max_seconds: float = 60.0,
+        buckets_per_decade: int = 10,
+    ) -> None:
+        self._boundaries = _log_boundaries(
+            min_seconds, max_seconds, buckets_per_decade
+        )
+        # One bucket per boundary gap, plus underflow and overflow.
+        self._counts = [0] * (len(self._boundaries) + 1)
+        self._lock = threading.Lock()
+        self.count = 0
+        self.total_seconds = 0.0
+        self.max_seconds = 0.0
+
+    def observe(self, seconds: float) -> None:
+        index = bisect.bisect_left(self._boundaries, seconds)
+        with self._lock:
+            self._counts[index] += 1
+            self.count += 1
+            self.total_seconds += seconds
+            if seconds > self.max_seconds:
+                self.max_seconds = seconds
+
+    def quantile(self, q: float) -> float:
+        """The latency below which fraction ``q`` of samples fall.
+
+        Returns the upper boundary of the bucket holding the quantile
+        (the max for the overflow bucket); 0.0 when empty.
+        """
+        with self._lock:
+            if self.count == 0:
+                return 0.0
+            rank = max(1, math.ceil(q * self.count))
+            seen = 0
+            for index, bucket in enumerate(self._counts):
+                seen += bucket
+                if seen >= rank:
+                    if index < len(self._boundaries):
+                        return self._boundaries[index]
+                    return self.max_seconds
+            return self.max_seconds
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        if other._boundaries != self._boundaries:
+            raise ValueError("cannot merge histograms with different buckets")
+        with other._lock:
+            counts = list(other._counts)
+            count = other.count
+            total = other.total_seconds
+            peak = other.max_seconds
+        with self._lock:
+            for index, bucket in enumerate(counts):
+                self._counts[index] += bucket
+            self.count += count
+            self.total_seconds += total
+            if peak > self.max_seconds:
+                self.max_seconds = peak
+
+    def as_dict(self) -> dict:
+        """Summary in milliseconds, for reports and ``/metrics``."""
+        return {
+            "count": self.count,
+            "mean_ms": (
+                0.0
+                if self.count == 0
+                else self.total_seconds / self.count * 1000.0
+            ),
+            "p50_ms": self.quantile(0.50) * 1000.0,
+            "p90_ms": self.quantile(0.90) * 1000.0,
+            "p99_ms": self.quantile(0.99) * 1000.0,
+            "max_ms": self.max_seconds * 1000.0,
+        }
 
 
 class LockingMetricsRegistry(MetricsRegistry):

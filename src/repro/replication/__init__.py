@@ -47,6 +47,7 @@ from repro.replication.router import (
     StaleReplicasError,
 )
 from repro.replication.shipper import (
+    PrimaryCore,
     PrimaryService,
     SegmentShipper,
     sign_manifest,
@@ -58,6 +59,7 @@ __all__ = [
     "FollowerOptions",
     "FollowerService",
     "HTTPReplica",
+    "PrimaryCore",
     "LocalReplica",
     "PrimaryClient",
     "PrimaryService",

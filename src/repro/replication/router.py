@@ -229,12 +229,20 @@ class RouterOptions:
     chosen replica may lag behind the freshest known replica; ``None``
     disables the fleet-relative bound (per-request ``min_applied_seq``
     still applies).
+
+    Evictions back off exponentially: the first failure sidelines a
+    replica for ``eviction_seconds``, each consecutive failure doubles
+    the penalty up to ``eviction_seconds * eviction_backoff_cap``.  A
+    flapping replica therefore costs the router at most one probe per
+    capped window instead of one per ``eviction_seconds``; one healthy
+    answer resets the streak.
     """
 
     sharded: bool = False
     max_staleness: int | None = None
     health_max_age_seconds: float = 1.0
     eviction_seconds: float = 2.0
+    eviction_backoff_cap: float = 8.0
 
 
 class _ReplicaState:
@@ -304,7 +312,11 @@ class QueryRouter:
 
     def _evict(self, state: _ReplicaState, now: float, reason: str) -> None:
         state.failures += 1
-        state.down_until = now + self.options.eviction_seconds
+        backoff = min(
+            2.0 ** (state.failures - 1),
+            max(1.0, self.options.eviction_backoff_cap),
+        )
+        state.down_until = now + self.options.eviction_seconds * backoff
         state.health = None
         state.health_at = float("-inf")
         self.metrics.add("replication.router_evictions", 1)

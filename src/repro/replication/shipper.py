@@ -35,19 +35,23 @@ import tarfile
 import threading
 import time
 from pathlib import Path
-from urllib.parse import parse_qs, urlparse
 
-from repro.exceptions import ReplicationError, ReproError, WALError
+from repro.exceptions import ReplicationError
 from repro.incremental.store import fence_state
 from repro.observability.metrics import (
     LockingMetricsRegistry,
     MetricsRegistry,
 )
-from repro.streaming.service import IngestRequestHandler, IngestService
+from repro.streaming.service import (
+    IngestCore,
+    IngestRequestHandler,
+    IngestService,
+)
 from repro.streaming.wal import WriteAheadLog
 
 __all__ = [
     "MANIFEST_FORMAT",
+    "PrimaryCore",
     "PrimaryRequestHandler",
     "PrimaryService",
     "SegmentShipper",
@@ -221,60 +225,37 @@ class SegmentShipper:
 
 
 class PrimaryRequestHandler(IngestRequestHandler):
-    """Ingest + serving endpoints plus the segment-publishing surface."""
+    """Kept for back-compat; the replication endpoints are mounted by
+    :meth:`PrimaryService.extra_routes` since PR 7, so both the
+    threaded and asyncio front-ends share them."""
 
-    def do_GET(self) -> None:  # noqa: N802 - http.server API
-        parsed = urlparse(self.path)
-        if not parsed.path.startswith("/replication/"):
-            super().do_GET()
-            return
-        shipper = self.server.service.shipper
-        if parsed.path == "/replication/manifest":
-            self._send(200, shipper.manifest())
-            return
-        if parsed.path == "/replication/segment":
-            params = parse_qs(parsed.query)
-            try:
-                start = int(params["start"][0])
-                offset = int(params.get("offset", ["0"])[0])
-                length = int(
-                    params.get("length", [str(DEFAULT_CHUNK_BYTES)])[0]
-                )
-            except (KeyError, ValueError, IndexError) as exc:
-                self._send(400, {"error": f"malformed segment request: {exc!r}"})
-                return
-            try:
-                data = shipper.read_chunk(start, offset, length)
-            except WALError as exc:
-                self._send(404, {"error": str(exc)})
-                return
-            except ValueError as exc:
-                self._send(400, {"error": str(exc)})
-                return
-            self._send_bytes(200, data)
-            return
-        if parsed.path == "/replication/snapshot":
-            try:
-                version, data = shipper.snapshot()
-            except ReproError as exc:
-                self._send(503, {"error": str(exc)})
-                return
-            self._send_bytes(
-                200, data, headers={"X-Store-Version": str(version)}
-            )
-            return
-        self._send(404, {"error": f"unknown path {parsed.path!r}"})
 
-    def _send_bytes(
-        self, status: int, data: bytes, headers: dict | None = None
+class PrimaryCore(IngestCore):
+    """A transport-free publishing ingest core (asyncio front-end).
+
+    The same WAL/applier/reader/shipper composition as
+    :class:`PrimaryService` minus the threaded HTTP server; mount
+    :meth:`~repro.streaming.service.IngestCore.routes` on an
+    :class:`~repro.serving.aserver.AsyncHTTPFront` instead.
+    """
+
+    def __init__(
+        self,
+        store_dir: str | Path,
+        wal_dir: str | Path,
+        secret: str | None = None,
+        **kwargs: object,
     ) -> None:
-        self.send_response(status)
-        self.send_header("Content-Type", "application/octet-stream")
-        self.send_header("Content-Length", str(len(data)))
-        for name, value in (headers or {}).items():
-            self.send_header(name, value)
-        self.end_headers()
-        self.wfile.write(data)
+        super().__init__(store_dir, wal_dir, **kwargs)
+        self.shipper = SegmentShipper(
+            self.wal, Path(store_dir), secret=secret, metrics=self.metrics
+        )
+        self.applier.app_state_extra["replication_role"] = "primary"
+
+    def extra_routes(self):
+        from repro.serving.endpoints import replication_routes
+
+        return replication_routes(self.shipper)
 
 
 class PrimaryService(IngestService):
@@ -286,6 +267,11 @@ class PrimaryService(IngestService):
     """
 
     handler_class = PrimaryRequestHandler
+
+    def extra_routes(self):
+        from repro.serving.endpoints import replication_routes
+
+        return replication_routes(self.shipper)
 
     def __init__(
         self,

@@ -30,19 +30,46 @@ Typical use::
     top = reader.top_k(10, label_filter="binding")
 """
 
+from repro.serving.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionLimits,
+    AdmissionPolicy,
+)
+from repro.serving.aserver import AsyncHTTPFront, serve_async
 from repro.serving.batch import BatchExecutor, Query
 from repro.serving.cache import VersionedResultCache
+from repro.serving.endpoints import (
+    Endpoint,
+    HTTPRequest,
+    RouteTable,
+    ingest_routes,
+    replication_routes,
+    serving_routes,
+)
 from repro.serving.reader import MatchResult, ServingAnswer, StoreReader
 from repro.serving.server import StoreHTTPServer, serve, value_payload
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "AdmissionLimits",
+    "AdmissionPolicy",
+    "AsyncHTTPFront",
     "BatchExecutor",
+    "Endpoint",
+    "HTTPRequest",
     "MatchResult",
     "Query",
+    "RouteTable",
     "ServingAnswer",
     "StoreHTTPServer",
     "StoreReader",
     "VersionedResultCache",
+    "ingest_routes",
+    "replication_routes",
     "serve",
+    "serve_async",
+    "serving_routes",
     "value_payload",
 ]

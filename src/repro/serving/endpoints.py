@@ -1,0 +1,321 @@
+"""Transport-neutral endpoint logic shared by both HTTP front-ends.
+
+PR 7 gives the serving stack two front-ends — the original
+thread-per-request :class:`~repro.serving.server.StoreHTTPServer` and
+the asyncio :class:`~repro.serving.aserver.AsyncHTTPFront` — that must
+answer byte-identically so the load harness can A/B them.  The only way
+to keep that true over time is to write each endpoint exactly once:
+
+* :class:`HTTPRequest` is the lowest common denominator of a parsed
+  request (method, path, query params, body bytes);
+* an endpoint handler is a plain blocking function
+  ``HTTPRequest -> (status, payload, headers)`` where ``payload`` is a
+  JSON-compatible object (or raw ``bytes`` for segment/snapshot
+  transfers);
+* a :class:`RouteTable` maps ``(method, path)`` to an
+  :class:`Endpoint`, which also carries the endpoint's admission
+  *kind* (``query`` / ``ingest`` / ``control``) so a front-end can
+  apply :mod:`repro.serving.admission` without knowing the routes.
+
+``serving_routes`` builds the read-only surface over a
+:class:`~repro.serving.reader.StoreReader`; ``ingest_routes`` adds the
+streaming surface over an ingest service/core; ``replication_routes``
+adds the primary's segment-publishing surface over a
+:class:`~repro.replication.shipper.SegmentShipper`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.exceptions import ReproError
+from repro.incremental.delta import DatabaseDelta
+
+__all__ = [
+    "Endpoint",
+    "HTTPRequest",
+    "HTTPResult",
+    "RouteTable",
+    "ingest_routes",
+    "replication_routes",
+    "serving_routes",
+]
+
+# (status, payload, extra headers); payload is JSON-encodable or bytes.
+HTTPResult = tuple[int, object, dict]
+
+
+@dataclass(frozen=True)
+class HTTPRequest:
+    """A parsed request, independent of the transport that read it."""
+
+    method: str
+    path: str
+    params: Mapping[str, list] = field(default_factory=dict)
+    body: bytes = b""
+
+    def param(self, name: str, default: str | None = None) -> str | None:
+        values = self.params.get(name)
+        if not values:
+            return default
+        return values[0]
+
+    def json(self) -> dict:
+        """The body as a JSON object (``{}`` when empty).
+
+        Raises ``ValueError`` for non-objects so every consumer turns
+        malformed bodies into one consistent 400.
+        """
+        doc = json.loads(self.body or b"{}")
+        if not isinstance(doc, dict):
+            raise ValueError("request body must be a JSON object")
+        return doc
+
+
+@dataclass(frozen=True)
+class Endpoint:
+    """One routable handler plus its admission classification."""
+
+    method: str
+    path: str
+    name: str
+    kind: str  # "query" | "ingest" | "control"
+    handler: Callable[[HTTPRequest], HTTPResult]
+
+
+class RouteTable:
+    """``(method, path)`` -> :class:`Endpoint` with merge support."""
+
+    def __init__(self, endpoints: list[Endpoint] | None = None) -> None:
+        self._routes: dict[tuple[str, str], Endpoint] = {}
+        for endpoint in endpoints or []:
+            self.add(endpoint)
+
+    def add(self, endpoint: Endpoint) -> None:
+        self._routes[(endpoint.method, endpoint.path)] = endpoint
+
+    def merge(self, other: "RouteTable") -> "RouteTable":
+        for endpoint in other.endpoints():
+            self.add(endpoint)
+        return self
+
+    def resolve(self, method: str, path: str) -> Endpoint | None:
+        return self._routes.get((method, path))
+
+    def endpoints(self) -> list[Endpoint]:
+        return list(self._routes.values())
+
+    def replace(
+        self, method: str, path: str,
+        wrap: Callable[[Endpoint], Callable[[HTTPRequest], HTTPResult]],
+    ) -> None:
+        """Swap one handler for a wrapper of it (front-end decoration)."""
+        current = self._routes[(method, path)]
+        self.add(
+            Endpoint(
+                method=method,
+                path=path,
+                name=current.name,
+                kind=current.kind,
+                handler=wrap(current),
+            )
+        )
+
+
+def not_found(path: str) -> HTTPResult:
+    return 404, {"error": f"unknown path {path!r}"}, {}
+
+
+def _pattern_payload(reader, pattern) -> dict:
+    return {
+        "pattern": reader.render(pattern),
+        "support": pattern.support,
+        "support_count": pattern.support_count,
+    }
+
+
+def value_payload(reader, op: str, value) -> object:
+    """Render a query answer as its canonical JSON-compatible value.
+
+    Shared with :mod:`repro.replication.router` so a routed answer and a
+    direct server answer are byte-comparable after JSON encoding.
+    """
+    from repro.serving.reader import MatchResult
+
+    if op == "graphs":
+        assert isinstance(value, MatchResult)
+        return {
+            "support": value.support_count,
+            "graph_ids": sorted(value.graph_ids),
+            "occurrences": (
+                None
+                if value.occurrences is None
+                else [
+                    [graph_id, list(nodes)]
+                    for graph_id, nodes in value.occurrences
+                ]
+            ),
+            "path": value.path,
+        }
+    if op in ("specializations", "top_k"):
+        return [_pattern_payload(reader, p) for p in value]
+    return value
+
+
+def serving_routes(
+    reader,
+    role: str = "standalone",
+    health_extras: Callable[[], dict] | None = None,
+) -> RouteTable:
+    """The PR-4 read-only surface: /health, /metrics, /top, /query."""
+
+    def handle_health(request: HTTPRequest) -> HTTPResult:
+        applied = reader.app_state.get("wal_applied_seq")
+        payload = {
+            "status": "ok",
+            "role": role,
+            "store_version": reader.version,
+            "classes": reader.num_classes,
+            "database_size": reader.database_size,
+            "min_support": reader.min_support,
+            "applied_seq": None if applied is None else int(applied),
+        }
+        if health_extras is not None:
+            payload.update(health_extras())
+        return 200, payload, {}
+
+    def handle_metrics(request: HTTPRequest) -> HTTPResult:
+        return 200, reader.metrics.as_dict(), {}
+
+    def handle_top(request: HTTPRequest) -> HTTPResult:
+        try:
+            k = int(request.param("k", "10"))
+            label = request.param("label")
+            answer = reader.query("top_k", k=k, label_filter=label)
+        except (ReproError, ValueError) as exc:
+            return 400, {"error": str(exc)}, {}
+        return 200, {
+            "op": "top_k",
+            "store_version": answer.store_version,
+            "cached": answer.cached,
+            "value": value_payload(reader, "top_k", answer.value),
+        }, {}
+
+    def handle_query(request: HTTPRequest) -> HTTPResult:
+        try:
+            doc = request.json()
+            op = doc.get("op", "support")
+            pattern = reader.parse_pattern(doc["pattern"])
+            answer = reader.query(
+                op, pattern, min_support=doc.get("min_support")
+            )
+        except ReproError as exc:
+            return 400, {"error": str(exc)}, {}
+        except (KeyError, ValueError, TypeError) as exc:
+            return 400, {"error": f"malformed query request: {exc!r}"}, {}
+        return 200, {
+            "op": op,
+            "store_version": answer.store_version,
+            "cached": answer.cached,
+            "value": value_payload(reader, op, answer.value),
+        }, {}
+
+    return RouteTable([
+        Endpoint("GET", "/health", "health", "control", handle_health),
+        Endpoint("GET", "/metrics", "metrics", "control", handle_metrics),
+        Endpoint("GET", "/top", "top", "query", handle_top),
+        Endpoint("POST", "/query", "query", "query", handle_query),
+    ])
+
+
+def ingest_routes(core) -> RouteTable:
+    """The streaming surface over an ingest core: /ingest, /flush, /lag.
+
+    ``core`` is anything with the :class:`~repro.streaming.service.
+    IngestCore` contract (``ingest``, ``flush``, ``lag_snapshot``,
+    ``applier``).
+    """
+
+    def handle_ingest(request: HTTPRequest) -> HTTPResult:
+        try:
+            doc = request.json()
+            delta = DatabaseDelta(
+                add_text=str(doc.get("add", "")),
+                remove_ids=tuple(int(g) for g in doc.get("remove", ())),
+            )
+            wait = bool(doc.get("wait", False))
+        except ReproError as exc:
+            return 400, {"error": str(exc)}, {}
+        except (ValueError, TypeError, KeyError) as exc:
+            return 400, {"error": f"malformed ingest request: {exc!r}"}, {}
+        if delta.is_empty:
+            return 400, {"error": "ingest delta is empty"}, {}
+        status, payload = core.ingest(delta, wait=wait)
+        headers = {"Retry-After": "1"} if status == 429 else {}
+        return status, payload, headers
+
+    def handle_flush(request: HTTPRequest) -> HTTPResult:
+        try:
+            applied = core.flush()
+        except ReproError as exc:
+            return 503, {"error": str(exc)}, {}
+        if not applied:
+            return 504, {"error": "flush timed out"}, {}
+        return 200, {"applied_seq": core.applier.applied_seq}, {}
+
+    def handle_lag(request: HTTPRequest) -> HTTPResult:
+        return 200, core.lag_snapshot(), {}
+
+    return RouteTable([
+        Endpoint("POST", "/ingest", "ingest", "ingest", handle_ingest),
+        Endpoint("POST", "/flush", "flush", "control", handle_flush),
+        Endpoint("GET", "/lag", "lag", "control", handle_lag),
+    ])
+
+
+def replication_routes(shipper) -> RouteTable:
+    """The primary's segment-publishing surface (PR 6)."""
+    from repro.exceptions import WALError
+    from repro.replication.shipper import DEFAULT_CHUNK_BYTES
+
+    def handle_manifest(request: HTTPRequest) -> HTTPResult:
+        return 200, shipper.manifest(), {}
+
+    def handle_segment(request: HTTPRequest) -> HTTPResult:
+        try:
+            start = int(request.params["start"][0])
+            offset = int(request.param("offset", "0"))
+            length = int(request.param("length", str(DEFAULT_CHUNK_BYTES)))
+        except (KeyError, ValueError, IndexError) as exc:
+            return 400, {"error": f"malformed segment request: {exc!r}"}, {}
+        try:
+            data = shipper.read_chunk(start, offset, length)
+        except WALError as exc:
+            return 404, {"error": str(exc)}, {}
+        except ValueError as exc:
+            return 400, {"error": str(exc)}, {}
+        return 200, data, {}
+
+    def handle_snapshot(request: HTTPRequest) -> HTTPResult:
+        try:
+            version, data = shipper.snapshot()
+        except ReproError as exc:
+            return 503, {"error": str(exc)}, {}
+        return 200, data, {"X-Store-Version": str(version)}
+
+    return RouteTable([
+        Endpoint(
+            "GET", "/replication/manifest", "replication_manifest",
+            "control", handle_manifest,
+        ),
+        Endpoint(
+            "GET", "/replication/segment", "replication_segment",
+            "query", handle_segment,
+        ),
+        Endpoint(
+            "GET", "/replication/snapshot", "replication_snapshot",
+            "query", handle_snapshot,
+        ),
+    ])

@@ -1,4 +1,4 @@
-"""A minimal JSON/HTTP front-end for :class:`StoreReader` (stdlib only).
+"""The threaded (legacy) JSON/HTTP front-end for :class:`StoreReader`.
 
 Endpoints:
 
@@ -14,6 +14,12 @@ with ``{"error": ...}``; unknown paths are 404.  The server is a
 :class:`ThreadingHTTPServer`, so concurrent requests exercise the
 reader's thread-safety for real — every handler thread shares one
 :class:`StoreReader` and its caches.
+
+Since PR 7 the endpoint logic itself lives in
+:mod:`repro.serving.endpoints`, shared with the asyncio front-end
+(:mod:`repro.serving.aserver`); this module only supplies the
+thread-per-request transport, kept behind the CLI's
+``--legacy-threads`` flag so the load harness can A/B the two.
 """
 
 from __future__ import annotations
@@ -23,8 +29,14 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from urllib.parse import parse_qs, urlparse
 
-from repro.exceptions import ReproError
-from repro.serving.reader import MatchResult, StoreReader
+from repro.serving.endpoints import (
+    HTTPRequest,
+    RouteTable,
+    not_found,
+    serving_routes,
+    value_payload,
+)
+from repro.serving.reader import StoreReader
 
 __all__ = [
     "StoreHTTPServer",
@@ -45,7 +57,7 @@ class StoreHTTPServer(ThreadingHTTPServer):
     and is reported by ``GET /health`` alongside the committed WAL
     offset, so a query router can health-check any server through the
     one endpoint; subclasses add liveness details via
-    :meth:`health_extras`.
+    :meth:`health_extras` and extra endpoints via :meth:`build_routes`.
     """
 
     daemon_threads = True
@@ -61,10 +73,26 @@ class StoreHTTPServer(ThreadingHTTPServer):
             address, handler if handler is not None else StoreRequestHandler
         )
         self.reader = reader
+        self._routes: RouteTable | None = None
 
     def health_extras(self) -> dict:
         """Extra ``GET /health`` fields (applier liveness, lag, ...)."""
         return {}
+
+    def build_routes(self) -> RouteTable:
+        """The server's endpoint table; subclasses merge extra routes."""
+        return serving_routes(
+            self.reader, role=self.role, health_extras=self.health_extras
+        )
+
+    @property
+    def routes(self) -> RouteTable:
+        # Built lazily: subclass attributes referenced by the routes
+        # (e.g. PrimaryService.shipper) may not exist yet while the
+        # socket is being bound in ``__init__``.
+        if self._routes is None:
+            self._routes = self.build_routes()
+        return self._routes
 
 
 def serve(
@@ -79,120 +107,49 @@ def serve(
     return StoreHTTPServer((host, port), reader)
 
 
-def _pattern_payload(reader: StoreReader, pattern) -> dict:
-    return {
-        "pattern": reader.render(pattern),
-        "support": pattern.support,
-        "support_count": pattern.support_count,
-    }
-
-
-def value_payload(reader: StoreReader, op: str, value) -> object:
-    """Render a query answer as its canonical JSON-compatible value.
-
-    Shared with :mod:`repro.replication.router` so a routed answer and a
-    direct server answer are byte-comparable after JSON encoding.
-    """
-    if op == "graphs":
-        assert isinstance(value, MatchResult)
-        return {
-            "support": value.support_count,
-            "graph_ids": sorted(value.graph_ids),
-            "occurrences": (
-                None
-                if value.occurrences is None
-                else [
-                    [graph_id, list(nodes)]
-                    for graph_id, nodes in value.occurrences
-                ]
-            ),
-            "path": value.path,
-        }
-    if op in ("specializations", "top_k"):
-        return [_pattern_payload(reader, p) for p in value]
-    return value
-
-
 class StoreRequestHandler(BaseHTTPRequestHandler):
     server: StoreHTTPServer
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         pass  # keep test and CLI output deterministic
 
-    def _send(self, status: int, payload: object) -> None:
-        body = json.dumps(payload, indent=2).encode("utf-8")
+    def _send(
+        self, status: int, payload: object, headers: dict | None = None
+    ) -> None:
+        if isinstance(payload, (bytes, bytearray)):
+            body = bytes(payload)
+            content_type = "application/octet-stream"
+        else:
+            body = json.dumps(payload, indent=2).encode("utf-8")
+            content_type = "application/json"
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
-    def do_GET(self) -> None:  # noqa: N802 - http.server API
-        reader = self.server.reader
+    def _dispatch(self, method: str) -> None:
         parsed = urlparse(self.path)
-        if parsed.path == "/health":
-            applied = reader.app_state.get("wal_applied_seq")
-            payload = {
-                "status": "ok",
-                "role": self.server.role,
-                "store_version": reader.version,
-                "classes": reader.num_classes,
-                "database_size": reader.database_size,
-                "min_support": reader.min_support,
-                "applied_seq": None if applied is None else int(applied),
-            }
-            payload.update(self.server.health_extras())
-            self._send(200, payload)
+        endpoint = self.server.routes.resolve(method, parsed.path)
+        if endpoint is None:
+            path = parsed.path if method == "GET" else self.path
+            self._send(*not_found(path))
             return
-        if parsed.path == "/metrics":
-            self._send(200, reader.metrics.as_dict())
-            return
-        if parsed.path == "/top":
-            params = parse_qs(parsed.query)
-            try:
-                k = int(params.get("k", ["10"])[0])
-                label = params.get("label", [None])[0]
-                answer = reader.query("top_k", k=k, label_filter=label)
-            except (ReproError, ValueError) as exc:
-                self._send(400, {"error": str(exc)})
-                return
-            self._send(
-                200,
-                {
-                    "op": "top_k",
-                    "store_version": answer.store_version,
-                    "cached": answer.cached,
-                    "value": value_payload(reader, "top_k", answer.value),
-                },
-            )
-            return
-        self._send(404, {"error": f"unknown path {parsed.path!r}"})
+        length = int(self.headers.get("Content-Length", "0"))
+        body = self.rfile.read(length) if length else b""
+        request = HTTPRequest(
+            method=method,
+            path=parsed.path,
+            params=parse_qs(parsed.query),
+            body=body,
+        )
+        status, payload, headers = endpoint.handler(request)
+        self._send(status, payload, headers)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("GET")
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
-        reader = self.server.reader
-        if urlparse(self.path).path != "/query":
-            self._send(404, {"error": f"unknown path {self.path!r}"})
-            return
-        try:
-            length = int(self.headers.get("Content-Length", "0"))
-            doc = json.loads(self.rfile.read(length) or b"{}")
-            op = doc.get("op", "support")
-            pattern = reader.parse_pattern(doc["pattern"])
-            answer = reader.query(
-                op, pattern, min_support=doc.get("min_support")
-            )
-        except ReproError as exc:
-            self._send(400, {"error": str(exc)})
-            return
-        except (KeyError, ValueError, TypeError) as exc:
-            self._send(400, {"error": f"malformed query request: {exc!r}"})
-            return
-        self._send(
-            200,
-            {
-                "op": op,
-                "store_version": answer.store_version,
-                "cached": answer.cached,
-                "value": value_payload(reader, op, answer.value),
-            },
-        )
+        self._dispatch("POST")

@@ -20,7 +20,11 @@ from repro.streaming.applier import (
     applied_wal_seq,
     recover_store,
 )
-from repro.streaming.service import IngestOptions, IngestService
+from repro.streaming.service import (
+    IngestCore,
+    IngestOptions,
+    IngestService,
+)
 from repro.streaming.wal import (
     SegmentView,
     WALRecord,
@@ -30,6 +34,7 @@ from repro.streaming.wal import (
 
 __all__ = [
     "ApplierOptions",
+    "IngestCore",
     "IngestOptions",
     "IngestService",
     "SegmentView",

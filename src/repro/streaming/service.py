@@ -1,16 +1,20 @@
 """Live ingest service: the serving HTTP front-end plus a WAL pipeline.
 
-:class:`IngestService` composes the whole streaming stack behind one
-socket: a :class:`~repro.streaming.wal.WriteAheadLog` as the durable
+:class:`IngestCore` composes the whole streaming stack *without* a
+transport: a :class:`~repro.streaming.wal.WriteAheadLog` as the durable
 front door, a background :class:`~repro.streaming.applier.StreamApplier`
-folding journaled deltas into the pattern store, and the PR-4 serving
-endpoints answering queries against whichever store version is
-committed.  Readers never observe a half-applied batch — the applier's
-shadow-swap commit means the store directory always holds a complete,
-checksummed version.
+folding journaled deltas into the pattern store, and a
+:class:`~repro.serving.reader.StoreReader` answering queries against
+whichever store version is committed.  Readers never observe a
+half-applied batch — the applier's shadow-swap commit means the store
+directory always holds a complete, checksummed version.
 
-Endpoints added on top of :class:`~repro.serving.server.
-StoreRequestHandler`:
+:class:`IngestService` is the core plus the threaded (legacy) HTTP
+server; the asyncio front-end (:mod:`repro.serving.aserver`) composes
+the same core with :func:`repro.serving.endpoints.ingest_routes`
+instead, so both fronts share one ingest path byte for byte.
+
+Endpoints added on top of the serving surface:
 
 * ``POST /ingest`` — body ``{"add": <graph-db text>, "remove": [ids],
   "wait": bool}``.  Acknowledged (``202``, with the record's ``seq``)
@@ -31,10 +35,8 @@ up.
 
 from __future__ import annotations
 
-import json
 from dataclasses import dataclass
 from pathlib import Path
-from urllib.parse import urlparse
 
 from repro.exceptions import ReproError
 from repro.incremental.delta import DatabaseDelta
@@ -43,12 +45,14 @@ from repro.observability.metrics import (
     MetricsRegistry,
 )
 from repro.observability.trace import NOOP_TRACER, Tracer
+from repro.serving.endpoints import RouteTable, ingest_routes, serving_routes
 from repro.serving.reader import StoreReader
 from repro.serving.server import StoreHTTPServer, StoreRequestHandler
 from repro.streaming.applier import ApplierOptions, StreamApplier
 from repro.streaming.wal import WriteAheadLog
 
 __all__ = [
+    "IngestCore",
     "IngestHTTPServer",
     "IngestOptions",
     "IngestRequestHandler",
@@ -58,11 +62,13 @@ __all__ = [
 
 @dataclass(frozen=True)
 class IngestOptions:
-    """Admission and wait knobs for :class:`IngestService`.
+    """Admission and wait knobs for :class:`IngestCore`.
 
-    ``max_lag_records`` is the backpressure bound: once that many
+    ``max_lag_records`` is the hard backpressure bound: once that many
     acknowledged records await application, further ingests are shed
-    with 429.  ``wait_timeout_seconds`` caps ``"wait": true`` blocking.
+    with 429 (the asyncio front-end additionally sheds probabilistically
+    *before* this bound via :mod:`repro.serving.admission`).
+    ``wait_timeout_seconds`` caps ``"wait": true`` blocking.
     """
 
     max_lag_records: int = 1024
@@ -70,74 +76,9 @@ class IngestOptions:
 
 
 class IngestRequestHandler(StoreRequestHandler):
-    """The serving endpoints plus ``/ingest``, ``/flush`` and ``/lag``."""
+    """Kept for back-compat; routing is table-driven since PR 7."""
 
     server: "IngestHTTPServer"
-
-    def do_GET(self) -> None:  # noqa: N802 - http.server API
-        if urlparse(self.path).path == "/lag":
-            self._send(200, self.server.service.lag_snapshot())
-            return
-        super().do_GET()
-
-    def do_POST(self) -> None:  # noqa: N802 - http.server API
-        path = urlparse(self.path).path
-        if path == "/ingest":
-            self._handle_ingest()
-            return
-        if path == "/flush":
-            self._handle_flush()
-            return
-        super().do_POST()
-
-    def _read_body(self) -> dict:
-        length = int(self.headers.get("Content-Length", "0"))
-        doc = json.loads(self.rfile.read(length) or b"{}")
-        if not isinstance(doc, dict):
-            raise ValueError("request body must be a JSON object")
-        return doc
-
-    def _handle_ingest(self) -> None:
-        service = self.server.service
-        try:
-            doc = self._read_body()
-            delta = DatabaseDelta(
-                add_text=str(doc.get("add", "")),
-                remove_ids=tuple(int(g) for g in doc.get("remove", ())),
-            )
-            wait = bool(doc.get("wait", False))
-        except ReproError as exc:
-            self._send(400, {"error": str(exc)})
-            return
-        except (ValueError, TypeError, KeyError) as exc:
-            self._send(400, {"error": f"malformed ingest request: {exc!r}"})
-            return
-        if delta.is_empty:
-            self._send(400, {"error": "ingest delta is empty"})
-            return
-        status, payload = service.ingest(delta, wait=wait)
-        if status == 429:
-            self.send_response(429)
-            self.send_header("Retry-After", "1")
-            body = json.dumps(payload, indent=2).encode("utf-8")
-            self.send_header("Content-Type", "application/json")
-            self.send_header("Content-Length", str(len(body)))
-            self.end_headers()
-            self.wfile.write(body)
-            return
-        self._send(status, payload)
-
-    def _handle_flush(self) -> None:
-        service = self.server.service
-        try:
-            applied = service.flush()
-        except ReproError as exc:
-            self._send(503, {"error": str(exc)})
-            return
-        if not applied:
-            self._send(504, {"error": "flush timed out"})
-            return
-        self._send(200, {"applied_seq": service.applier.applied_seq})
 
 
 class IngestHTTPServer(StoreHTTPServer):
@@ -149,7 +90,7 @@ class IngestHTTPServer(StoreHTTPServer):
         self,
         address: tuple[str, int],
         reader: StoreReader,
-        service: "IngestService",
+        service: "IngestCore",
         handler: "type[StoreRequestHandler] | None" = None,
     ) -> None:
         super().__init__(
@@ -160,37 +101,35 @@ class IngestHTTPServer(StoreHTTPServer):
         self.service = service
 
     def health_extras(self) -> dict:
-        applier = self.service.applier
-        return {
-            "applier_alive": applier.error is None,
-            "applied_seq": applier.applied_seq,
-            "journaled_seq": self.service.wal.last_seq,
-            "lag": applier.lag,
-        }
+        return self.service.health_extras()
+
+    def build_routes(self) -> RouteTable:
+        routes = super().build_routes()
+        routes.merge(ingest_routes(self.service))
+        extra = self.service.extra_routes()
+        if extra is not None:
+            routes.merge(extra)
+        return routes
 
 
-class IngestService:
-    """WAL + applier + HTTP server over one pattern store directory.
+class IngestCore:
+    """WAL + applier + reader over one pattern store directory.
 
-    Construction recovers the store (crash repair), replays any
-    journaled-but-unapplied records' bookkeeping, binds the socket and
-    — once :meth:`start` is called — applies in the background.
-    :meth:`close` drains pending records and releases everything; it is
-    what SIGTERM handling calls for a graceful exit.
-
-    ``handler_class`` is the request handler the server is built with;
-    :class:`~repro.replication.shipper.PrimaryService` overrides it to
-    add the segment-publishing endpoints on the same socket.
+    Construction recovers the store (crash repair) and replays any
+    journaled-but-unapplied records' bookkeeping; once :meth:`start` is
+    called the applier folds batches in the background.  :meth:`close`
+    drains pending records and releases everything; it is what SIGTERM
+    handling calls for a graceful exit.  The core is transport-free —
+    front-ends mount it via :meth:`routes` or
+    :class:`IngestHTTPServer`.
     """
 
-    handler_class: "type[IngestRequestHandler]" = IngestRequestHandler
+    role = "primary"
 
     def __init__(
         self,
         store_dir: str | Path,
         wal_dir: str | Path,
-        host: str = "127.0.0.1",
-        port: int = 0,
         options: IngestOptions | None = None,
         applier_options: ApplierOptions | None = None,
         metrics: MetricsRegistry | None = None,
@@ -210,33 +149,47 @@ class IngestService:
             tracer=self.tracer,
         )
         self.reader = StoreReader(store_dir, tracer=self.tracer)
-        self.server = IngestHTTPServer(
-            (host, port), self.reader, self, handler=type(self).handler_class
-        )
         self._closed = False
 
     # -- lifecycle ------------------------------------------------------------
 
-    @property
-    def address(self) -> tuple[str, int]:
-        return self.server.server_address[0], self.server.server_address[1]
-
     def start(self) -> None:
-        """Start the background applier (the caller drives the server)."""
+        """Start the background applier."""
         self.applier.start()
 
-    def serve_forever(self) -> None:
-        self.server.serve_forever()
-
     def close(self, drain: bool = True) -> None:
-        """Stop accepting, optionally drain the backlog, release files."""
+        """Optionally drain the backlog, then release WAL and applier."""
         if self._closed:
             return
         self._closed = True
-        self.server.server_close()
         if drain and self.applier.error is None:
             self.applier.stop()
         self.wal.close()
+
+    # -- transport hooks ------------------------------------------------------
+
+    def routes(self) -> RouteTable:
+        """The full endpoint table for mounting on any front-end."""
+        table = serving_routes(
+            self.reader, role=self.role, health_extras=self.health_extras
+        )
+        table.merge(ingest_routes(self))
+        extra = self.extra_routes()
+        if extra is not None:
+            table.merge(extra)
+        return table
+
+    def extra_routes(self) -> RouteTable | None:
+        """Extra endpoints (the replication primary adds its surface)."""
+        return None
+
+    def health_extras(self) -> dict:
+        return {
+            "applier_alive": self.applier.error is None,
+            "applied_seq": self.applier.applied_seq,
+            "journaled_seq": self.wal.last_seq,
+            "lag": self.applier.lag,
+        }
 
     # -- ingest path ----------------------------------------------------------
 
@@ -285,3 +238,52 @@ class IngestService:
             "applier_alive": error is None,
             "error": None if error is None else str(error),
         }
+
+
+class IngestService(IngestCore):
+    """An :class:`IngestCore` bound to the threaded HTTP server.
+
+    ``handler_class`` is the request handler the server is built with;
+    :class:`~repro.replication.shipper.PrimaryService` overrides
+    :meth:`extra_routes` to add the segment-publishing endpoints on the
+    same socket.
+    """
+
+    handler_class: "type[IngestRequestHandler]" = IngestRequestHandler
+
+    def __init__(
+        self,
+        store_dir: str | Path,
+        wal_dir: str | Path,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        options: IngestOptions | None = None,
+        applier_options: ApplierOptions | None = None,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        super().__init__(
+            store_dir,
+            wal_dir,
+            options=options,
+            applier_options=applier_options,
+            metrics=metrics,
+            tracer=tracer,
+        )
+        self.server = IngestHTTPServer(
+            (host, port), self.reader, self, handler=type(self).handler_class
+        )
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.server.server_address[0], self.server.server_address[1]
+
+    def serve_forever(self) -> None:
+        self.server.serve_forever()
+
+    def close(self, drain: bool = True) -> None:
+        """Stop accepting, optionally drain the backlog, release files."""
+        if self._closed:
+            return
+        self.server.server_close()
+        super().close(drain=drain)

@@ -50,6 +50,7 @@ from repro.observability.metrics import (
     LockingMetricsRegistry,
     MetricsRegistry,
 )
+from repro.util.faultpoints import Faultpoints
 
 __all__ = ["SegmentView", "WALRecord", "WriteAheadLog", "decode_frames"]
 
@@ -199,6 +200,8 @@ class WriteAheadLog:
         self.metrics = (
             metrics if metrics is not None else LockingMetricsRegistry()
         )
+        # None unless REPRO_FAULTPOINTS_FILE is set (chaos harness).
+        self._faultpoints = Faultpoints.from_env()
         self._lock = threading.Lock()
         self._appended = threading.Condition(self._lock)
         self._segments: list[int] = []  # start seqs, ascending
@@ -325,6 +328,8 @@ class WriteAheadLog:
                 raise WALError(f"WAL {self.directory} is closed")
             self._active_file.write(frame)
             self._active_file.flush()
+            if self._faultpoints is not None:
+                self._faultpoints.fire("wal.fsync")
             if self.fsync:
                 os.fsync(self._active_file.fileno())
             seq = self._next_seq

@@ -1,0 +1,73 @@
+"""Cooperative fault points for the chaos harness.
+
+A fault point is a named hook compiled into a hot path (today:
+``wal.fsync``) that normally costs nothing — the hook object only
+exists when ``REPRO_FAULTPOINTS_FILE`` is set in the environment, so
+production and ordinary test runs skip even the attribute check's
+branch body.
+
+When the variable *is* set it names a JSON file mapping fault-point
+names to actions::
+
+    {"wal.fsync": {"sleep_ms": 75}}
+
+The file is re-read whenever its mtime changes, so the load harness can
+switch a fault on and off *mid-run* from outside the process (write the
+file, let the ingest path stall, truncate the file to lift it) — which
+is exactly how "stall the WAL fsync under load" is injected without any
+test-only code path in the WAL itself.  A missing, empty or malformed
+file means "no faults", never an error: the instrumented process must
+not change behavior because the injector crashed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+__all__ = ["Faultpoints"]
+
+ENV_VAR = "REPRO_FAULTPOINTS_FILE"
+
+
+class Faultpoints:
+    """Actions read from a control file, keyed by fault-point name."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._mtime_ns: int | None = None
+        self._config: dict = {}
+
+    @classmethod
+    def from_env(cls) -> "Faultpoints | None":
+        """The process-wide instance, or ``None`` when not injecting."""
+        path = os.environ.get(ENV_VAR)
+        return cls(path) if path else None
+
+    def _refresh(self) -> None:
+        try:
+            stat = os.stat(self.path)
+        except OSError:
+            self._config = {}
+            self._mtime_ns = None
+            return
+        if stat.st_mtime_ns == self._mtime_ns:
+            return
+        try:
+            with open(self.path, encoding="utf-8") as handle:
+                loaded = json.load(handle)
+            self._config = loaded if isinstance(loaded, dict) else {}
+        except (OSError, ValueError):
+            self._config = {}
+        self._mtime_ns = stat.st_mtime_ns
+
+    def fire(self, name: str) -> None:
+        """Run the configured action for ``name`` (no-op when absent)."""
+        self._refresh()
+        spec = self._config.get(name)
+        if not isinstance(spec, dict):
+            return
+        sleep_ms = spec.get("sleep_ms", 0)
+        if isinstance(sleep_ms, (int, float)) and sleep_ms > 0:
+            time.sleep(float(sleep_ms) / 1000.0)

@@ -4,6 +4,10 @@ from __future__ import annotations
 
 import os
 import random
+import subprocess
+import sys
+import time
+from pathlib import Path
 
 import pytest
 
@@ -14,17 +18,74 @@ from repro.util.interner import LabelInterner
 
 
 def pytest_collection_modifyitems(config, items):
-    """Skip ``slow``-marked tests unless ``RUN_SLOW=1`` is set.
+    """Apply the environment gates to marked tests.
 
-    The default (tier-1) run keeps the differential matrix small; the
-    wide matrix rides behind the environment gate.
+    ``slow`` (wide randomized matrices) runs only under ``RUN_SLOW=1``;
+    ``chaos`` (fault-injection sweeps over real process trees) runs
+    only under ``RUN_CHAOS=1``.  The default (tier-1) run keeps both
+    small; CI's ``chaos`` job and the nightly cron set the gates.
     """
-    if os.environ.get("RUN_SLOW"):
-        return
-    skip_slow = pytest.mark.skip(reason="slow test; set RUN_SLOW=1 to run")
-    for item in items:
-        if "slow" in item.keywords:
-            item.add_marker(skip_slow)
+    if not os.environ.get("RUN_SLOW"):
+        skip_slow = pytest.mark.skip(
+            reason="slow test; set RUN_SLOW=1 to run"
+        )
+        for item in items:
+            if "slow" in item.keywords:
+                item.add_marker(skip_slow)
+    if not os.environ.get("RUN_CHAOS"):
+        skip_chaos = pytest.mark.skip(
+            reason="chaos test; set RUN_CHAOS=1 to run"
+        )
+        for item in items:
+            if "chaos" in item.keywords:
+                item.add_marker(skip_chaos)
+
+
+def wait_until(
+    predicate,
+    timeout: float = 30.0,
+    interval: float = 0.02,
+    message: str = "condition",
+):
+    """Deadline-based polling — the replacement for bare ``time.sleep``
+    in every subprocess/service test.
+
+    Calls ``predicate()`` until it returns a truthy value (returned) or
+    the deadline passes (``TimeoutError``).  Exceptions propagate: a
+    predicate that must tolerate transient errors (connection refused
+    during a restart) catches them itself and returns falsy.
+    """
+    deadline = time.monotonic() + timeout
+    while True:
+        value = predicate()
+        if value:
+            return value
+        if time.monotonic() >= deadline:
+            raise TimeoutError(
+                f"timed out after {timeout:g}s waiting for {message}"
+            )
+        time.sleep(interval)
+
+
+def spawn_cli(args, cwd):
+    """Spawn ``python -u -m repro.cli <args>`` with ``src/`` importable.
+
+    One definition for every subprocess test (serving, streaming,
+    replication, chaos): unbuffered stdout so ready banners arrive,
+    text pipes, and the repo's ``src`` prepended to ``PYTHONPATH``.
+    """
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(
+        Path(__file__).resolve().parents[1] / "src"
+    ) + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, "-u", "-m", "repro.cli", *args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        cwd=cwd,
+        env=env,
+    )
 
 
 @pytest.fixture

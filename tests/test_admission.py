@@ -1,0 +1,224 @@
+"""Property tests for the admission policy, in isolation.
+
+The policy is pure — ``(kind, depth, lag) -> shed probability`` plus a
+seeded RNG for the probabilistic admit and the retry jitter — so its
+contracts are checkable exhaustively with Hypothesis, independent of
+any HTTP front:
+
+* shedding is monotone non-decreasing in queue depth and in lag;
+* ``control`` traffic (health, metrics, lag, flush) is *never* shed,
+  whatever the pressure — an overloaded server stays observable and
+  drainable;
+* below the concurrency limit and the soft lag, nothing is shed;
+  at the queue bound (or hard lag), everything is;
+* every ``Retry-After`` hint is strictly positive and capped.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serving.admission import (
+    ENDPOINT_KINDS,
+    AdmissionController,
+    AdmissionLimits,
+    AdmissionPolicy,
+)
+
+LIMITS = st.builds(
+    AdmissionLimits,
+    query_concurrency=st.integers(min_value=1, max_value=64),
+    ingest_concurrency=st.integers(min_value=1, max_value=64),
+    control_concurrency=st.integers(min_value=1, max_value=64),
+    queue_factor=st.floats(min_value=1.5, max_value=16.0),
+    soft_lag=st.integers(min_value=0, max_value=512),
+    hard_lag=st.integers(min_value=513, max_value=4096),
+    retry_after_base=st.floats(min_value=0.01, max_value=2.0),
+    retry_after_max=st.floats(min_value=2.0, max_value=30.0),
+)
+KINDS = st.sampled_from(ENDPOINT_KINDS)
+DEPTHS = st.integers(min_value=0, max_value=1024)
+LAGS = st.integers(min_value=0, max_value=8192)
+
+
+class TestShedProbability:
+    @given(LIMITS, KINDS, DEPTHS, DEPTHS, LAGS)
+    def test_monotone_in_depth(self, limits, kind, d1, d2, lag):
+        lo, hi = sorted((d1, d2))
+        policy = AdmissionPolicy(limits)
+        assert policy.shed_probability(kind, lo, lag) <= (
+            policy.shed_probability(kind, hi, lag)
+        )
+
+    @given(LIMITS, KINDS, DEPTHS, LAGS, LAGS)
+    def test_monotone_in_lag(self, limits, kind, depth, l1, l2):
+        lo, hi = sorted((l1, l2))
+        policy = AdmissionPolicy(limits)
+        assert policy.shed_probability(kind, depth, lo) <= (
+            policy.shed_probability(kind, depth, hi)
+        )
+
+    @given(LIMITS, DEPTHS, LAGS, st.integers())
+    def test_control_never_shed(self, limits, depth, lag, seed):
+        """Flush/health/metrics must survive any overload."""
+        policy = AdmissionPolicy(limits)
+        assert policy.shed_probability("control", depth, lag) == 0.0
+        decision = policy.decide(
+            "control", depth, lag, random.Random(seed)
+        )
+        assert decision.admitted
+        assert decision.retry_after is None
+
+    @given(LIMITS, KINDS)
+    def test_unloaded_never_shed(self, limits, kind):
+        policy = AdmissionPolicy(limits)
+        for depth in range(limits.concurrency(kind) + 1):
+            assert policy.shed_probability(kind, depth, 0) == 0.0
+
+    @given(LIMITS, st.sampled_from(("query", "ingest")), st.integers())
+    def test_queue_bound_always_sheds(self, limits, kind, seed):
+        policy = AdmissionPolicy(limits)
+        depth = limits.queue_limit(kind)
+        assert policy.shed_probability(kind, depth, 0) == 1.0
+        decision = policy.decide(kind, depth, 0, random.Random(seed))
+        assert not decision.admitted
+        assert decision.reason == "queue_depth"
+
+    @given(LIMITS, st.integers())
+    def test_hard_lag_sheds_ingest_only(self, limits, seed):
+        policy = AdmissionPolicy(limits)
+        lag = limits.hard_lag
+        assert policy.shed_probability("ingest", 0, lag) == 1.0
+        assert policy.shed_probability("query", 0, lag) == 0.0
+        decision = policy.decide("ingest", 0, lag, random.Random(seed))
+        assert not decision.admitted
+        assert decision.reason == "lag"
+
+    @given(LIMITS, KINDS, DEPTHS, LAGS)
+    def test_probability_is_a_probability(self, limits, kind, depth, lag):
+        probability = AdmissionPolicy(limits).shed_probability(
+            kind, depth, lag
+        )
+        assert 0.0 <= probability <= 1.0
+
+
+class TestRetryAfter:
+    @given(
+        LIMITS,
+        st.floats(min_value=0.0, max_value=1.0),
+        st.integers(),
+    )
+    def test_positive_and_bounded(self, limits, probability, seed):
+        policy = AdmissionPolicy(limits)
+        hint = policy.retry_after(probability, random.Random(seed))
+        assert hint > 0.0
+        assert hint <= limits.retry_after_max
+
+    @given(LIMITS, KINDS, DEPTHS, LAGS, st.integers())
+    def test_every_shed_carries_a_hint(
+        self, limits, kind, depth, lag, seed
+    ):
+        decision = AdmissionPolicy(limits).decide(
+            kind, depth, lag, random.Random(seed)
+        )
+        if decision.admitted:
+            assert decision.retry_after is None
+        else:
+            assert decision.retry_after is not None
+            assert 0.0 < decision.retry_after <= limits.retry_after_max
+
+    @settings(max_examples=20)
+    @given(LIMITS)
+    def test_jitter_spreads_retries(self, limits):
+        """Two shed clients should not be told the same instant."""
+        policy = AdmissionPolicy(limits)
+        rng = random.Random(42)
+        hints = {policy.retry_after(0.5, rng) for _ in range(16)}
+        # All equal only if every hint hit the cap.
+        if len(hints) == 1:
+            assert hints == {limits.retry_after_max}
+
+
+class TestLimitsValidation:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            AdmissionLimits(query_concurrency=0)
+        with pytest.raises(ValueError):
+            AdmissionLimits(queue_factor=1.0)
+        with pytest.raises(ValueError):
+            AdmissionLimits(soft_lag=8, hard_lag=8)
+        with pytest.raises(ValueError):
+            AdmissionLimits(retry_after_base=0.0)
+
+    def test_for_max_lag_brackets_the_cli_bound(self):
+        limits = AdmissionLimits.for_max_lag(1024)
+        assert limits.hard_lag == 1024
+        assert limits.soft_lag == 256
+        # Degenerate CLI values still yield a valid ramp.
+        tiny = AdmissionLimits.for_max_lag(1)
+        assert tiny.soft_lag < tiny.hard_lag
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            AdmissionLimits().concurrency("websocket")
+        with pytest.raises(ValueError):
+            AdmissionPolicy().shed_probability("websocket", 0, 0)
+
+
+class TestController:
+    def test_admit_release_bookkeeping(self):
+        controller = AdmissionController(seed=0)
+        assert controller.try_admit("query").admitted
+        assert controller.depth("query") == 1
+        controller.release("query")
+        assert controller.depth("query") == 0
+        with pytest.raises(RuntimeError):
+            controller.release("query")
+
+    def test_saturation_sheds_with_metrics(self):
+        from repro.observability.metrics import MetricsRegistry
+
+        limits = AdmissionLimits(
+            query_concurrency=2, queue_factor=2.0
+        )
+        metrics = MetricsRegistry()
+        controller = AdmissionController(
+            AdmissionPolicy(limits), seed=0, metrics=metrics
+        )
+        decisions = [controller.try_admit("query") for _ in range(32)]
+        admitted = sum(1 for d in decisions if d.admitted)
+        # In-flight never releases here, so depth hits the queue bound
+        # (4) and every later decision is a guaranteed shed.
+        assert admitted == controller.depth("query") <= 4
+        assert metrics.counter("admission.shed") == 32 - admitted
+        assert metrics.counter("admission.shed.query") == 32 - admitted
+
+    def test_seeded_controllers_agree(self):
+        limits = AdmissionLimits(query_concurrency=1, queue_factor=3.0)
+
+        def outcomes(seed: int) -> list[bool]:
+            controller = AdmissionController(
+                AdmissionPolicy(limits), seed=seed
+            )
+            out = []
+            for _ in range(64):
+                decision = controller.try_admit("query")
+                out.append(decision.admitted)
+            return out
+
+        assert outcomes(7) == outcomes(7)
+
+    def test_lag_fn_feeds_ingest_decisions(self):
+        limits = AdmissionLimits(soft_lag=0, hard_lag=1)
+        controller = AdmissionController(
+            AdmissionPolicy(limits), seed=0, lag_fn=lambda: 5
+        )
+        decision = controller.try_admit("ingest")
+        assert not decision.admitted
+        assert decision.reason == "lag"
+        # Queries ignore lag entirely.
+        assert controller.try_admit("query").admitted

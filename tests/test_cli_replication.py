@@ -12,7 +12,7 @@ from __future__ import annotations
 import json
 import os
 import signal
-import time
+import urllib.error
 import urllib.request
 from pathlib import Path
 
@@ -21,6 +21,7 @@ import pytest
 from repro.cli import main
 from repro.incremental import DatabaseDelta
 from repro.streaming import WriteAheadLog
+from tests.conftest import wait_until
 from tests.test_cli_streaming import (
     _PORT,
     _check_golden,
@@ -136,10 +137,10 @@ class TestPipeline:
             # A write that propagates: ingest, then read-your-writes
             # through the router with min_applied_seq.
             ack = _post(pport, "/ingest", {"add": ADD_ONE})
-            deadline = time.monotonic() + 30
-            while True:
+
+            def _routed_fresh():
                 try:
-                    routed = _post(
+                    return _post(
                         rport,
                         "/query",
                         {
@@ -148,11 +149,14 @@ class TestPipeline:
                             "min_applied_seq": ack["seq"],
                         },
                     )
-                    break
                 except urllib.error.HTTPError as exc:
                     assert exc.code == 429
-                    assert time.monotonic() < deadline
-                    time.sleep(0.05)
+                    return None
+
+            routed = wait_until(
+                _routed_fresh, interval=0.05,
+                message="follower to reach the acked seq",
+            )
             assert routed["value"] == direct["value"] + 1
         finally:
             for proc in (router, follower, primary):

@@ -15,9 +15,6 @@ import json
 import os
 import re
 import signal
-import subprocess
-import sys
-import time
 import urllib.request
 from pathlib import Path
 
@@ -30,6 +27,7 @@ from repro.incremental import DatabaseDelta
 from repro.streaming import WriteAheadLog
 from repro.taxonomy.builders import taxonomy_from_parent_names
 from repro.taxonomy.io import write_taxonomy
+from tests.conftest import spawn_cli, wait_until
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
 REGEN = bool(os.environ.get("REGEN_GOLDENS"))
@@ -116,19 +114,8 @@ class TestIngestDrain:
         assert "applied 0 journaled records" in out
 
 
-def _spawn_cli(args, cwd):
-    env = dict(os.environ)
-    env["PYTHONPATH"] = str(
-        Path(__file__).resolve().parents[1] / "src"
-    ) + os.pathsep + env.get("PYTHONPATH", "")
-    return subprocess.Popen(
-        [sys.executable, "-u", "-m", "repro.cli", *args],
-        stdout=subprocess.PIPE,
-        stderr=subprocess.PIPE,
-        text=True,
-        cwd=cwd,
-        env=env,
-    )
+# Shared with the other subprocess suites (replication, chaos).
+_spawn_cli = spawn_cli
 
 
 class TestGracefulShutdown:
@@ -165,7 +152,16 @@ class TestGracefulShutdown:
             )
             with urllib.request.urlopen(request, timeout=10) as response:
                 assert response.status == 202
-            time.sleep(0.1)
+
+            def _applied() -> bool:
+                with urllib.request.urlopen(
+                    f"http://127.0.0.1:{port}/lag", timeout=10
+                ) as lag_response:
+                    return json.loads(lag_response.read())[
+                        "applied_seq"
+                    ] >= 0
+
+            wait_until(_applied, message="acked record applied")
             process.send_signal(signal.SIGTERM)
             out, err = process.communicate(timeout=30)
         finally:

@@ -1,0 +1,262 @@
+"""Unit tests for the load harness itself.
+
+The chaos suite trusts the harness's bookkeeping, so that bookkeeping
+gets its own tests: plan determinism (same seed, same schedule),
+outcome classification, report math (latency histograms, acked-seq
+watermark, version-regression detection), and envelope judgement —
+all without subprocesses.  One in-process
+:class:`~repro.serving.aserver.AsyncHTTPFront` with canned endpoints
+stands in for the real service where a live socket is needed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.loadtest.harness import (
+    Envelope,
+    LoadReport,
+    LoadRunner,
+    RequestOutcome,
+    classify,
+)
+from repro.loadtest.workload import (
+    LoadOptions,
+    WorkloadMix,
+    build_plan,
+)
+from repro.serving.aserver import AsyncHTTPFront
+from repro.serving.endpoints import Endpoint, RouteTable
+
+ADD_ONE = "t # 0\nv 0 b\nv 1 c\ne 0 1 x\n"
+
+
+class TestWorkloadPlan:
+    def test_same_seed_same_plan(self):
+        options = LoadOptions(duration_seconds=3.0, rate=80.0, seed=17)
+        first = build_plan(options, [ADD_ONE], [ADD_ONE])
+        second = build_plan(options, [ADD_ONE], [ADD_ONE])
+        assert first == second
+        assert len(first) > 100
+
+    def test_different_seeds_differ(self):
+        base = LoadOptions(duration_seconds=3.0, rate=80.0, seed=1)
+        other = LoadOptions(duration_seconds=3.0, rate=80.0, seed=2)
+        assert build_plan(base, [], [ADD_ONE]) != build_plan(
+            other, [], [ADD_ONE]
+        )
+
+    def test_arrivals_sorted_and_inside_window(self):
+        options = LoadOptions(duration_seconds=2.0, rate=100.0, seed=5)
+        plan = build_plan(options, [], [ADD_ONE])
+        times = [r.at for r in plan]
+        assert times == sorted(times)
+        assert all(0.0 < t < 2.0 for t in times)
+
+    def test_mix_respected_roughly(self):
+        options = LoadOptions(
+            duration_seconds=20.0,
+            rate=100.0,
+            seed=3,
+            mix=WorkloadMix(50, 50, 0),
+        )
+        plan = build_plan(options, [], [ADD_ONE])
+        kinds = [r.kind for r in plan]
+        assert not any(k == "flush" for k in kinds)
+        ingest_share = kinds.count("ingest") / len(kinds)
+        assert 0.4 < ingest_share < 0.6
+
+    def test_no_add_texts_degrades_to_query_only(self):
+        options = LoadOptions(duration_seconds=2.0, rate=100.0, seed=5)
+        plan = build_plan(options, [ADD_ONE], [])
+        assert all(r.kind == "query" for r in plan)
+
+    def test_mix_parse(self):
+        mix = WorkloadMix.parse("80:15:5")
+        assert mix.weights() == (80.0, 15.0, 5.0)
+        with pytest.raises(ValueError):
+            WorkloadMix.parse("80:15")
+        with pytest.raises(ValueError):
+            WorkloadMix.parse("a:b:c")
+        with pytest.raises(ValueError):
+            WorkloadMix(0, 0, 0)
+
+    def test_options_validated(self):
+        with pytest.raises(ValueError):
+            LoadOptions(duration_seconds=0)
+        with pytest.raises(ValueError):
+            LoadOptions(rate=-1)
+        with pytest.raises(ValueError):
+            LoadOptions(wait_fraction=2.0)
+
+
+class TestClassify:
+    @pytest.mark.parametrize(
+        ("status", "timed_out", "expected"),
+        [
+            (200, False, "ok"),
+            (202, False, "ok"),
+            (429, False, "shed"),
+            (400, False, "rejected"),
+            (404, False, "rejected"),
+            (500, False, "server_error"),
+            (503, False, "server_error"),
+            (504, False, "server_error"),
+            (None, False, "transport"),
+            (None, True, "timeout"),
+        ],
+    )
+    def test_classes(self, status, timed_out, expected):
+        assert classify(status, timed_out) == expected
+
+
+def _outcome(**kwargs) -> RequestOutcome:
+    defaults = dict(
+        worker=0,
+        at=0.0,
+        kind="query",
+        op="top",
+        status=200,
+        outcome="ok",
+        latency_seconds=0.01,
+    )
+    defaults.update(kwargs)
+    return RequestOutcome(**defaults)
+
+
+class TestLoadReport:
+    def test_acked_watermark(self):
+        report = LoadReport(
+            [
+                _outcome(kind="ingest", op="ingest", status=202,
+                         acked_seq=4),
+                _outcome(kind="ingest", op="ingest", status=202,
+                         acked_seq=9),
+                _outcome(kind="ingest", op="ingest", status=429,
+                         outcome="shed"),
+            ],
+            wall_seconds=1.0,
+        )
+        assert report.acked_seqs == [4, 9]
+        assert report.max_acked_seq == 9
+
+    def test_version_regression_detected_per_worker(self):
+        report = LoadReport(
+            [
+                _outcome(worker=0, at=0.1, store_version=5),
+                _outcome(worker=1, at=0.2, store_version=9),
+                _outcome(worker=0, at=0.3, store_version=4),
+            ],
+            wall_seconds=1.0,
+        )
+        regressions = report.version_regressions()
+        assert len(regressions) == 1
+        assert "worker 0" in regressions[0]
+        # Worker 1 seeing a lower version than worker 0 is fine —
+        # monotonicity is per client connection.
+        clean = LoadReport(
+            [
+                _outcome(worker=0, at=0.1, store_version=9),
+                _outcome(worker=1, at=0.2, store_version=5),
+            ],
+            wall_seconds=1.0,
+        )
+        assert clean.version_regressions() == []
+
+    def test_counts_and_throughput(self):
+        report = LoadReport(
+            [
+                _outcome(),
+                _outcome(status=429, outcome="shed"),
+                _outcome(status=None, outcome="transport"),
+            ],
+            wall_seconds=2.0,
+        )
+        assert report.total == 3
+        assert report.completed == 1
+        assert report.throughput == pytest.approx(0.5)
+        assert report.fraction("shed") == pytest.approx(1 / 3)
+        doc = report.as_dict()
+        assert doc["statuses"] == {"200": 1, "429": 1}
+        assert doc["latency"]["query"]["count"] == 3
+
+    def test_json_roundtrip(self, tmp_path):
+        import json
+
+        report = LoadReport([_outcome()], wall_seconds=1.0)
+        path = tmp_path / "report.json"
+        report.write_json(path)
+        assert json.loads(path.read_text())["total"] == 1
+
+
+class TestEnvelope:
+    def test_sheds_allowed_errors_not(self):
+        shed_heavy = LoadReport(
+            [_outcome(status=429, outcome="shed")] * 9 + [_outcome()],
+            wall_seconds=1.0,
+        )
+        assert Envelope().violations(shed_heavy) == []
+        with_errors = LoadReport(
+            [_outcome(status=500, outcome="server_error")]
+            + [_outcome()] * 9,
+            wall_seconds=1.0,
+        )
+        violations = Envelope().violations(with_errors)
+        assert len(violations) == 1
+        assert "server_error" in violations[0]
+        with pytest.raises(AssertionError):
+            Envelope().check(with_errors)
+
+    def test_transport_budget_for_chaos(self):
+        flaky = LoadReport(
+            [_outcome(status=None, outcome="transport")] * 3
+            + [_outcome()] * 7,
+            wall_seconds=1.0,
+        )
+        assert Envelope().violations(flaky)
+        assert Envelope(max_transport_fraction=0.5).violations(
+            flaky
+        ) == []
+
+
+class TestLoadRunnerLive:
+    """One short plan against an in-process canned service."""
+
+    @pytest.fixture
+    def front(self):
+        versions = iter(range(100, 1000))
+        seqs = iter(range(1000))
+
+        def top(request):
+            return 200, {"op": "top_k", "store_version": next(versions),
+                         "value": []}, {}
+
+        def ingest(request):
+            return 202, {"seq": next(seqs), "applied": False}, {}
+
+        def flush(request):
+            return 200, {"applied_seq": 0}, {}
+
+        routes = RouteTable([
+            Endpoint("GET", "/top", "top", "query", top),
+            Endpoint("POST", "/ingest", "ingest", "ingest", ingest),
+            Endpoint("POST", "/flush", "flush", "control", flush),
+        ])
+        front = AsyncHTTPFront(routes)
+        host, port = front.start_background()
+        try:
+            yield f"http://{host}:{port}"
+        finally:
+            front.stop_background()
+
+    def test_every_planned_request_is_accounted(self, front):
+        options = LoadOptions(
+            duration_seconds=1.0, rate=60.0, seed=2, workers=4
+        )
+        plan = build_plan(options, [], [ADD_ONE])
+        report = LoadRunner(front, plan, workers=4).run()
+        assert report.total == len(plan)
+        assert report.counts["ok"] == len(plan)
+        ingests = [r for r in plan if r.kind == "ingest"]
+        assert len(report.acked_seqs) == len(ingests)
+        assert report.version_regressions() == []

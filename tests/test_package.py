@@ -51,7 +51,10 @@ class TestPublicAPI:
         public = {
             name for name in dir(repro.serving) if not name.startswith("_")
         }
-        modules = {"batch", "cache", "reader", "server"}
+        modules = {
+            "admission", "aserver", "batch", "cache", "endpoints",
+            "reader", "server",
+        }
         assert public - modules == set(repro.serving.__all__)
 
     def test_incremental_exports_fence_state(self):

@@ -468,3 +468,128 @@ def test_router_survives_sigkilled_follower_and_rejoin(tmp_path):
         p_service.server.shutdown()
         p_thread.join(timeout=10)
         p_service.close()
+
+
+class TestEvictionBackoff:
+    """A flapping replica must not cost one probe per eviction window
+    forever: consecutive failures double the down window up to
+    ``eviction_backoff_cap``, and a single healthy answer resets the
+    streak.  Driven with explicit clock values — no sleeps."""
+
+    class _Flapper:
+        name = "flapper"
+
+        def __init__(self):
+            self.broken = True
+
+        def health(self):
+            if self.broken:
+                raise OSError("connection refused")
+            return {"applied_seq": 0, "store_version": 1}
+
+        def query(self, *args, **kwargs):
+            raise OSError("connection refused")
+
+    def _router(self, **options):
+        flapper = self._Flapper()
+        router = QueryRouter(
+            [flapper],
+            options=RouterOptions(
+                health_max_age_seconds=0.0,
+                eviction_seconds=2.0,
+                **options,
+            ),
+        )
+        return router, flapper, router._states[0]
+
+    def test_down_window_doubles_up_to_the_cap(self):
+        router, _flapper, state = self._router(eviction_backoff_cap=8.0)
+        now = 0.0
+        for expected in (1.0, 2.0, 4.0, 8.0, 8.0, 8.0):
+            now = max(now, state.down_until)
+            router._refresh_health(state, now)
+            assert state.down_until - now == pytest.approx(
+                2.0 * expected
+            )
+        router.close()
+
+    def test_one_healthy_answer_resets_the_streak(self):
+        router, flapper, state = self._router(eviction_backoff_cap=8.0)
+        now = 0.0
+        for _ in range(4):
+            now = max(now, state.down_until)
+            router._refresh_health(state, now)
+        assert state.failures == 4
+        flapper.broken = False
+        now = state.down_until
+        router._refresh_health(state, now)
+        assert state.failures == 0
+        assert state.up(now)
+        # The next outage starts the ladder over at 1x.
+        flapper.broken = True
+        state.health_at = float("-inf")
+        router._refresh_health(state, now)
+        assert state.down_until - now == pytest.approx(2.0)
+        router.close()
+
+    def test_cap_of_one_disables_the_ladder(self):
+        router, _flapper, state = self._router(eviction_backoff_cap=1.0)
+        now = 0.0
+        for _ in range(5):
+            now = max(now, state.down_until)
+            router._refresh_health(state, now)
+            assert state.down_until - now == pytest.approx(2.0)
+        router.close()
+
+    def test_flapping_follower_readmitted_live(self, tmp_path, store):
+        """Public-path version: evictions during query() while a healthy
+        replica keeps serving, then recovery re-admits the flapper."""
+        from tests.conftest import wait_until
+
+        healthy = _replicas(tmp_path, store, 1)[0]
+        flapper_reader = LocalReplica(store, name="flappy")
+
+        class GatedReplica:
+            name = "flappy"
+
+            def __init__(self):
+                self.broken = True
+
+            def health(self):
+                if self.broken:
+                    raise OSError("connection refused")
+                return flapper_reader.health()
+
+            def query(self, *args, **kwargs):
+                if self.broken:
+                    raise OSError("connection refused")
+                return flapper_reader.query(*args, **kwargs)
+
+        gated = GatedReplica()
+        router = QueryRouter(
+            [gated, healthy],
+            options=RouterOptions(
+                health_max_age_seconds=0.0, eviction_seconds=0.05
+            ),
+        )
+        try:
+            for _ in range(4):
+                assert router.query("support", GENERAL)["replica"] == "r0"
+            assert (
+                router.metrics.counter("replication.router_evictions") >= 1
+            )
+            gated.broken = False
+
+            def flapper_serves():
+                return any(
+                    router.query("support", GENERAL)["replica"] == "flappy"
+                    for _ in range(4)
+                )
+
+            wait_until(
+                flapper_serves,
+                interval=0.05,
+                message="recovered replica to rejoin the pool",
+            )
+        finally:
+            router.close()

@@ -355,3 +355,44 @@ class TestTutorial:
             primary.server.shutdown()
             thread.join(timeout=10)
             primary.close()
+
+    def test_step16_loadtest(self, tmp_path):
+        taxonomy, db = _setup()
+        import json
+
+        from repro.cli import main as taxogram
+        from repro.graphs.io import write_graph_database
+        from repro.taxonomy.io import write_taxonomy
+
+        store_dir = tmp_path / "pathways.store"
+        options = TaxogramOptions(min_support=0.5, store_out=str(store_dir))
+        Taxogram(options).mine(db, taxonomy)
+        write_taxonomy(taxonomy, str(tmp_path / "tax.txt"))
+        write_graph_database(db, str(tmp_path / "pathways.graphs"))
+        add_file = tmp_path / "new_pathways.graphs"
+        add_file.write_text(
+            "t # 0\nv 0 carrier\nv 1 dna_helicase\ne 0 1 interacts\n"
+        )
+
+        # The console snippet, miniaturised: a seeded 2.5s mixed load
+        # with a mid-run SIGKILL + same-port restart of the server.
+        report_path = tmp_path / "report.json"
+        assert taxogram([
+            "loadtest", str(store_dir),
+            "--wal", str(tmp_path / "pathways.wal"),
+            "--duration", "2.5", "--rate", "25", "--seed", "7",
+            "--fault", "kill-applier",
+            "--add-file", str(add_file),
+            "--report-out", str(report_path),
+        ]) == 0
+
+        # The audited invariants made it into the persisted report.
+        report = json.loads(report_path.read_text())
+        assert report["total"] > 0
+        assert report["outcomes"]["ok"] > 0
+        assert report["outcomes"]["server_error"] == 0
+        assert report["outcomes"]["timeout"] == 0
+        assert report["faults_fired"] == ["kill_applier"]
+        assert set(report["latency"]) <= {"query", "ingest", "flush"}
+        for histogram in report["latency"].values():
+            assert histogram["p50_ms"] <= histogram["p99_ms"]
