@@ -257,6 +257,58 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_observability_arguments(query)
 
+    similar = sub.add_parser(
+        "similar",
+        help="similarity queries against a pattern store: MCS-based "
+        "scores and similarity-thresholded containment",
+    )
+    similar.add_argument(
+        "store", type=Path, help="pattern store directory"
+    )
+    similar.add_argument(
+        "--pattern",
+        type=Path,
+        required=True,
+        metavar="FILE",
+        help="graph-db file holding exactly one query pattern",
+    )
+    similar.add_argument(
+        "--op",
+        choices=("similar", "similarity_score", "fuzzy_contains"),
+        default="similar",
+        help="what to compute (default: similar = rank graphs by "
+        "MCS-based score)",
+    )
+    similar.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        metavar="T",
+        help="similarity threshold in (0, 1] (default: 0.5 for "
+        "similar, 1.0 = exact for fuzzy_contains)",
+    )
+    similar.add_argument(
+        "--k",
+        type=int,
+        default=None,
+        metavar="K",
+        help="with --op similar, keep only the K best-scoring graphs",
+    )
+    similar.add_argument(
+        "--semantics",
+        choices=("isomorphism", "homomorphism"),
+        default=None,
+        help="match semantics for fuzzy_contains (default: isomorphism)",
+    )
+    similar.add_argument(
+        "--graph-id",
+        type=int,
+        default=None,
+        metavar="G",
+        help="with --op similarity_score, the database graph to score",
+    )
+    _add_observability_arguments(similar)
+
     serve = sub.add_parser(
         "serve",
         help="expose a pattern store over a JSON/HTTP endpoint",
@@ -648,6 +700,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_update(args)
         if args.command == "query":
             return _cmd_query(args)
+        if args.command == "similar":
+            return _cmd_similar(args)
         if args.command == "serve":
             return _cmd_serve(args)
         if args.command == "ingest":
@@ -903,6 +957,54 @@ def _cmd_query(args: argparse.Namespace) -> int:
             )
             for spec in patterns:
                 print(" ", reader.render(spec))
+    if _wants_report(args):
+        report = RunReport(
+            algorithm="serving",
+            counters=dict(reader.metrics.counters),
+            gauges=dict(reader.metrics.gauges),
+        )
+        if tracer is not None and tracer.enabled:
+            report.spans = tracer.root
+        _emit_report(args, report)
+    return 0
+
+
+def _cmd_similar(args: argparse.Namespace) -> int:
+    from repro.serving import StoreReader
+
+    tracer = Tracer() if _wants_report(args) else None
+    reader = StoreReader(args.store, tracer=tracer)
+    database_size = reader.database_size
+    pattern = reader.parse_pattern(args.pattern.read_text())
+    answer = reader.query(
+        args.op,
+        pattern,
+        sim_threshold=args.threshold,
+        semantics=args.semantics,
+        k=args.k,
+        graph_id=args.graph_id,
+    )
+    if args.op == "similar":
+        scored = answer.value
+        print(
+            f"{len(scored)} similar graphs "
+            f"[store version {answer.store_version}]"
+        )
+        for entry in scored:
+            print(f"  graph {entry.graph_id}: score {entry.score:.4f}")
+    elif args.op == "similarity_score":
+        print(
+            f"similarity = {answer.value:.4f} "
+            f"[store version {answer.store_version}]"
+        )
+    else:  # fuzzy_contains
+        match = answer.value
+        gids = ", ".join(str(g) for g in sorted(match.graph_ids))
+        print(
+            f"support = {match.support_count}/{database_size} "
+            f"via {match.path} [store version {answer.store_version}]"
+        )
+        print(f"  graphs: {gids if gids else '(none)'}")
     if _wants_report(args):
         report = RunReport(
             algorithm="serving",

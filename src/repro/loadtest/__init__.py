@@ -25,7 +25,11 @@ from repro.loadtest.checks import (
     wait_for_applied,
 )
 from repro.loadtest.cluster import ManagedProcess, taxogram_argv
-from repro.loadtest.faults import FaultInjector, seeded_fault_plan
+from repro.loadtest.faults import (
+    FaultInjector,
+    seeded_fault_plan,
+    seeded_scenario_plan,
+)
 from repro.loadtest.harness import (
     Envelope,
     LoadReport,
@@ -51,6 +55,7 @@ __all__ = [
     "WorkloadMix",
     "build_plan",
     "seeded_fault_plan",
+    "seeded_scenario_plan",
     "taxogram_argv",
     "verify_no_lost_acks",
     "verify_version_monotonic",

@@ -17,13 +17,17 @@ a specific durability or liveness mechanism:
   admission control must shed with 429s rather than hang or 500.
 
 :func:`seeded_fault_plan` picks injection times deterministically from
-a seed, so a chaos failure replays exactly.
+a seed, so a chaos failure replays exactly;
+:func:`seeded_scenario_plan` additionally draws *which* fault kinds
+fire (and how many), so the nightly sweep explores the scenario space
+instead of only the kill-time axis.
 """
 
 from __future__ import annotations
 
 import json
 import random
+import struct
 import threading
 from pathlib import Path
 
@@ -32,8 +36,10 @@ from repro.loadtest.cluster import ManagedProcess
 __all__ = [
     "FaultEvent",
     "FaultInjector",
+    "append_torn_frame",
     "corrupt_segment",
     "seeded_fault_plan",
+    "seeded_scenario_plan",
     "stall_fsync",
     "truncate_segment",
 ]
@@ -115,6 +121,36 @@ def seeded_fault_plan(
     return sorted(plan)
 
 
+def seeded_scenario_plan(
+    seed: int,
+    duration_seconds: float,
+    menu: list[str],
+    *,
+    count: int | None = None,
+    margin: float = 0.2,
+    min_gap: float = 1.2,
+) -> list[tuple[float, str]]:
+    """Deterministic schedule that also draws *which* faults fire.
+
+    Where :func:`seeded_fault_plan` randomizes only the injection times
+    of a fixed kind list, this draws ``count`` scenario picks (1-2 by
+    default) from ``menu`` with replacement, then spaces the sorted
+    times at least ``min_gap`` apart so one fault's recovery window
+    (restart, WAL replay) isn't still in flight when the next lands.
+    """
+    rng = random.Random(seed)
+    if count is None:
+        count = rng.randint(1, 2)
+    kinds = [rng.choice(menu) for _ in range(count)]
+    lo = duration_seconds * margin
+    hi = duration_seconds * (1.0 - margin)
+    times = sorted(rng.uniform(lo, hi) for _ in range(count))
+    for i in range(1, len(times)):
+        if times[i] - times[i - 1] < min_gap:
+            times[i] = times[i - 1] + min_gap
+    return list(zip(times, kinds))
+
+
 # -- concrete fault actions ---------------------------------------------------
 
 
@@ -167,6 +203,23 @@ def corrupt_segment(
         byte = handle.read(1)
         handle.seek(position)
         handle.write(bytes([byte[0] ^ flip]))
+    return segment
+
+
+def append_torn_frame(wal_dir: str | Path) -> Path:
+    """Append a half-written frame to the newest segment's tail.
+
+    The junk header promises far more payload bytes than follow, the
+    way a crash mid-``write`` leaves a segment.  Recovery must truncate
+    exactly the junk — every previously acked (fsynced) frame sits
+    *before* it, so this is safe to fire against a primary's WAL
+    without breaking the no-lost-acks contract, unlike
+    :func:`truncate_segment` which eats acked bytes.
+    """
+    segment = _latest_segment(wal_dir)
+    with open(segment, "ab") as handle:
+        handle.write(struct.pack(">I", 0x00FFFFFF))
+        handle.write(b"torn")
     return segment
 
 

@@ -1,9 +1,11 @@
 """Scatter-gather query routing over replicas or shard-partitioned stores.
 
 :class:`QueryRouter` answers the serving ops (``support`` /
-``contains`` / ``graphs`` / ``specializations`` / ``top_k``) through a
-pool of :class:`ReplicaEndpoint`\\ s — HTTP servers
-(:class:`HTTPReplica`) or in-process readers (:class:`LocalReplica`).
+``contains`` / ``graphs`` / ``specializations`` / ``top_k``) and the
+similarity ops (``similar`` / ``similarity_score`` /
+``fuzzy_contains``) through a pool of :class:`ReplicaEndpoint`\\ s —
+HTTP servers (:class:`HTTPReplica`) or in-process readers
+(:class:`LocalReplica`).
 Answers are the *payload* form the HTTP layer serves
 (:func:`repro.serving.server.value_payload`), so a routed answer and a
 direct single-store answer are bit-identical after JSON encoding; the
@@ -27,12 +29,18 @@ Two modes:
   ``support`` and ``graphs`` fan out to *every* shard and merge exactly
   by re-basing per-shard graph-id sets with
   :func:`repro.parallel.merge.merge_support_sets` — the same
-  shifted-OR the parallel miner uses.  ``contains`` / ``specializations``
-  / ``top_k`` are refused: frequency and over-generalization are
-  properties of the *global* occurrence state, and per-shard mined
-  result sets cannot be merged into them exactly (the parallel runtime
-  merges occurrence fragments *before* deciding either — shard-local
-  decisions are unavoidably lossy).
+  shifted-OR the parallel miner uses.  The similarity ops merge exactly
+  too, because a similarity score depends only on ``(pattern, graph,
+  taxonomy)``, never on cross-graph state: ``fuzzy_contains`` merges
+  graph-id sets like ``graphs``, ``similar`` re-bases per-shard scored
+  lists and re-sorts by ``(-score, graph_id)`` (per-shard ``k`` must
+  stay unbounded so the global top-``k`` is exact), and
+  ``similarity_score`` routes to the single shard owning the graph id.
+  ``contains`` / ``specializations`` / ``top_k`` are refused: frequency
+  and over-generalization are properties of the *global* occurrence
+  state, and per-shard mined result sets cannot be merged into them
+  exactly (the parallel runtime merges occurrence fragments *before*
+  deciding either — shard-local decisions are unavoidably lossy).
 
 :class:`RouterService` exposes the router over HTTP: ``POST /query``
 and ``GET /top`` (both accepting ``min_applied_seq``), ``GET /health``
@@ -72,8 +80,11 @@ __all__ = [
     "StaleReplicasError",
 ]
 
-_ROUTED_OPS = ("support", "contains", "graphs", "specializations", "top_k")
-_SHARDED_OPS = ("support", "graphs")
+_SIMILARITY_OPS = ("similar", "similarity_score", "fuzzy_contains")
+_ROUTED_OPS = (
+    "support", "contains", "graphs", "specializations", "top_k",
+) + _SIMILARITY_OPS
+_SHARDED_OPS = ("support", "graphs") + _SIMILARITY_OPS
 
 
 class StaleReplicasError(ReplicationError):
@@ -119,14 +130,32 @@ class HTTPReplica:
         min_support: float | None = None,
         k: int | None = None,
         label_filter: str | None = None,
+        sim_threshold: float | None = None,
+        semantics: str | None = None,
+        graph_id: int | None = None,
     ) -> dict:
         if op == "top_k":
             path = f"/top?k={10 if k is None else int(k)}"
             if label_filter is not None:
                 path += f"&label={label_filter}"
             request = urllib.request.Request(self.base_url + path)
+        elif op in _SIMILARITY_OPS:
+            doc = {"op": op, "pattern": pattern}
+            if sim_threshold is not None:
+                doc["threshold"] = sim_threshold
+            if semantics is not None:
+                doc["semantics"] = semantics
+            if k is not None:
+                doc["k"] = k
+            if graph_id is not None:
+                doc["graph_id"] = graph_id
+            request = urllib.request.Request(
+                self.base_url + "/similar",
+                json.dumps(doc).encode("utf-8"),
+                {"Content-Type": "application/json"},
+            )
         else:
-            doc: dict = {"op": op, "pattern": pattern}
+            doc = {"op": op, "pattern": pattern}
             if min_support is not None:
                 doc["min_support"] = min_support
             request = urllib.request.Request(
@@ -196,6 +225,9 @@ class LocalReplica:
         min_support: float | None = None,
         k: int | None = None,
         label_filter: str | None = None,
+        sim_threshold: float | None = None,
+        semantics: str | None = None,
+        graph_id: int | None = None,
     ) -> dict:
         reader = self.reader
         try:
@@ -208,6 +240,9 @@ class LocalReplica:
                 min_support=min_support,
                 k=k,
                 label_filter=label_filter,
+                sim_threshold=sim_threshold,
+                semantics=semantics,
+                graph_id=graph_id,
             )
         except ReproError as exc:
             raise QueryRejected(str(exc)) from exc
@@ -354,6 +389,9 @@ class QueryRouter:
         k: int | None = None,
         label_filter: str | None = None,
         min_applied_seq: int | None = None,
+        sim_threshold: float | None = None,
+        semantics: str | None = None,
+        graph_id: int | None = None,
     ) -> dict:
         """Route one query; returns the HTTP-shaped answer payload.
 
@@ -365,12 +403,13 @@ class QueryRouter:
         with self.tracer.span(f"replication.route_{op}"):
             if self.options.sharded:
                 payload = self._query_sharded(
-                    op, pattern, min_support, min_applied_seq
+                    op, pattern, min_support, min_applied_seq,
+                    sim_threshold, semantics, graph_id, k,
                 )
             else:
                 payload = self._query_replicated(
                     op, pattern, min_support, k, label_filter,
-                    min_applied_seq,
+                    min_applied_seq, sim_threshold, semantics, graph_id,
                 )
         self.metrics.add("replication.router_queries", 1)
         return payload
@@ -405,7 +444,8 @@ class QueryRouter:
         return eligible, bool(live)
 
     def _query_replicated(
-        self, op, pattern, min_support, k, label_filter, min_applied_seq
+        self, op, pattern, min_support, k, label_filter, min_applied_seq,
+        sim_threshold, semantics, graph_id,
     ) -> dict:
         now = time.monotonic()
         eligible, any_live = self._eligible(now, min_applied_seq)
@@ -435,6 +475,9 @@ class QueryRouter:
                     min_support=min_support,
                     k=k,
                     label_filter=label_filter,
+                    sim_threshold=sim_threshold,
+                    semantics=semantics,
+                    graph_id=graph_id,
                 )
             except QueryRejected:
                 raise
@@ -474,7 +517,8 @@ class QueryRouter:
         return starts
 
     def _query_sharded(
-        self, op, pattern, min_support, min_applied_seq
+        self, op, pattern, min_support, min_applied_seq,
+        sim_threshold, semantics, graph_id, k,
     ) -> dict:
         if op not in _SHARDED_OPS:
             raise QueryRejected(
@@ -490,9 +534,21 @@ class QueryRouter:
             )
         now = time.monotonic()
         starts = self._shard_starts(now)
+        if op == "similarity_score":
+            return self._score_sharded(starts, pattern, graph_id)
+        if op in ("similar", "fuzzy_contains"):
+            # Per-shard k must stay unbounded: the globally k-th best
+            # score may rank below a shard's local top-k cut.
+            kwargs = {
+                "sim_threshold": sim_threshold, "semantics": semantics,
+            }
+            fan_op = op
+        else:
+            kwargs = {"min_support": min_support}
+            fan_op = "graphs"
         futures = [
             self._pool.submit(
-                state.replica.query, "graphs", pattern, min_support
+                state.replica.query, fan_op, pattern, **kwargs
             )
             for state in self._states
         ]
@@ -508,30 +564,83 @@ class QueryRouter:
                     f"shard {state.replica.name} failed; sharded answers "
                     f"need every shard: {exc}"
                 ) from exc
-        merged = merge_support_sets(
-            [answer["value"]["graph_ids"] for answer in answers], starts
-        )
         self.metrics.add("replication.router_shard_merges", 1)
-        if op == "support":
-            value: object = len(merged)
+        if op == "similar":
+            # Scores depend only on (pattern, graph, taxonomy), so
+            # re-basing shard-local ids and re-sorting is an exact merge.
+            scored = [
+                [int(gid) + start, score]
+                for answer, start in zip(answers, starts)
+                for gid, score in answer["value"]
+            ]
+            scored.sort(key=lambda entry: (-entry[1], entry[0]))
+            value: object = scored if k is None else scored[:k]
         else:
-            value = {
-                "support": len(merged),
-                "graph_ids": sorted(merged),
-                # Cross-shard occurrence ids live in different class-
-                # local spaces; exact occurrence merging is the parallel
-                # miner's job, not the router's.
-                "occurrences": None,
-                "path": "sharded:" + ",".join(
-                    str(answer["value"]["path"]) for answer in answers
-                ),
-            }
+            merged = merge_support_sets(
+                [answer["value"]["graph_ids"] for answer in answers],
+                starts,
+            )
+            if op == "support":
+                value = len(merged)
+            else:
+                value = {
+                    "support": len(merged),
+                    "graph_ids": sorted(merged),
+                    # Cross-shard occurrence ids live in different class-
+                    # local spaces; exact occurrence merging is the
+                    # parallel miner's job, not the router's.
+                    "occurrences": None,
+                    "path": "sharded:" + ",".join(
+                        str(answer["value"]["path"]) for answer in answers
+                    ),
+                }
         return {
             "op": op,
             "sharded": True,
             "shards": len(answers),
             "store_versions": [a["store_version"] for a in answers],
             "value": value,
+        }
+
+    def _score_sharded(self, starts, pattern, graph_id) -> dict:
+        """Route ``similarity_score`` to the one shard owning the id."""
+        if graph_id is None:
+            raise QueryRejected("similarity_score requires a graph_id")
+        sizes = [
+            int(state.health["database_size"]) for state in self._states
+        ]
+        total = starts[-1] + sizes[-1] if starts else 0
+        if not 0 <= graph_id < total:
+            raise QueryRejected(
+                f"graph id {graph_id} is out of range for a database of "
+                f"{total} graphs"
+            )
+        shard = max(
+            index for index, start in enumerate(starts)
+            if start <= graph_id
+        )
+        state = self._states[shard]
+        try:
+            answer = state.replica.query(
+                "similarity_score",
+                pattern,
+                graph_id=graph_id - starts[shard],
+            )
+        except QueryRejected:
+            raise
+        except (ReproError, OSError, ValueError) as exc:
+            self._evict(state, time.monotonic(), str(exc))
+            raise ReplicationError(
+                f"shard {state.replica.name} failed; sharded answers "
+                f"need every shard: {exc}"
+            ) from exc
+        self.metrics.add("replication.router_shard_merges", 1)
+        return {
+            "op": "similarity_score",
+            "sharded": True,
+            "shards": 1,
+            "store_versions": [answer["store_version"]],
+            "value": answer["value"],
         }
 
 
@@ -624,7 +733,8 @@ class RouterRequestHandler(BaseHTTPRequestHandler):
         self._send(404, {"error": f"unknown path {parsed.path!r}"})
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
-        if urlparse(self.path).path != "/query":
+        path = urlparse(self.path).path
+        if path not in ("/query", "/similar"):
             self._send(404, {"error": f"unknown path {self.path!r}"})
             return
         try:
@@ -632,23 +742,43 @@ class RouterRequestHandler(BaseHTTPRequestHandler):
             doc = json.loads(self.rfile.read(length) or b"{}")
             if not isinstance(doc, dict):
                 raise ValueError("request body must be a JSON object")
-            op = str(doc.get("op", "support"))
+            op = str(doc.get("op", "similar" if path == "/similar" else
+                             "support"))
             pattern = doc.get("pattern")
             min_support = doc.get("min_support")
             min_applied = doc.get("min_applied_seq")
+            threshold = doc.get("threshold")
+            semantics = doc.get("semantics")
+            k = doc.get("k")
+            graph_id = doc.get("graph_id")
+            kwargs = {
+                "op": op,
+                "pattern": None if pattern is None else str(pattern),
+                "min_support": (
+                    None if min_support is None else float(min_support)
+                ),
+                "min_applied_seq": (
+                    None if min_applied is None else int(min_applied)
+                ),
+                "sim_threshold": (
+                    None if threshold is None else float(threshold)
+                ),
+                "semantics": (
+                    None if semantics is None else str(semantics)
+                ),
+                "k": None if k is None else int(k),
+                "graph_id": None if graph_id is None else int(graph_id),
+            }
         except (ValueError, TypeError, KeyError) as exc:
             self._send(400, {"error": f"malformed query request: {exc!r}"})
             return
-        self._routed(
-            op=op,
-            pattern=None if pattern is None else str(pattern),
-            min_support=(
-                None if min_support is None else float(min_support)
-            ),
-            min_applied_seq=(
-                None if min_applied is None else int(min_applied)
-            ),
-        )
+        if path == "/similar" and op not in _SIMILARITY_OPS:
+            self._send(400, {
+                "error": f"op {op!r} is not a similarity op; expected "
+                f"one of {', '.join(_SIMILARITY_OPS)}"
+            })
+            return
+        self._routed(**kwargs)
 
 
 class RouterService:

@@ -21,6 +21,12 @@ answers from those bit-sets:
 * :func:`serve` / :class:`StoreHTTPServer` — a stdlib JSON/HTTP
   front-end (``taxogram serve``).
 
+Similarity queries (``similar`` / ``similarity_score`` /
+``fuzzy_contains``) ride the same reader, cache, batch executor and
+HTTP fronts (``POST /similar``), backed by the
+:mod:`repro.similarity` engine; exact-threshold fuzzy containment
+(``threshold=1.0``) is bit-identical to the exact ``graphs`` path.
+
 Typical use::
 
     from repro.serving import StoreReader
@@ -38,7 +44,7 @@ from repro.serving.admission import (
 )
 from repro.serving.aserver import AsyncHTTPFront, serve_async
 from repro.serving.batch import BatchExecutor, Query
-from repro.serving.cache import VersionedResultCache
+from repro.serving.cache import VersionedResultCache, query_key
 from repro.serving.endpoints import (
     Endpoint,
     HTTPRequest,
@@ -47,8 +53,15 @@ from repro.serving.endpoints import (
     replication_routes,
     serving_routes,
 )
-from repro.serving.reader import MatchResult, ServingAnswer, StoreReader
+from repro.serving.reader import (
+    DEFAULT_SIMILAR_THRESHOLD,
+    SIMILARITY_OPS,
+    MatchResult,
+    ServingAnswer,
+    StoreReader,
+)
 from repro.serving.server import StoreHTTPServer, serve, value_payload
+from repro.similarity.engine import ScoredGraph, SimilarityEngine
 
 __all__ = [
     "AdmissionController",
@@ -57,16 +70,21 @@ __all__ = [
     "AdmissionPolicy",
     "AsyncHTTPFront",
     "BatchExecutor",
+    "DEFAULT_SIMILAR_THRESHOLD",
     "Endpoint",
     "HTTPRequest",
     "MatchResult",
     "Query",
     "RouteTable",
+    "SIMILARITY_OPS",
+    "ScoredGraph",
     "ServingAnswer",
+    "SimilarityEngine",
     "StoreHTTPServer",
     "StoreReader",
     "VersionedResultCache",
     "ingest_routes",
+    "query_key",
     "replication_routes",
     "serve",
     "serve_async",

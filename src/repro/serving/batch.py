@@ -23,7 +23,11 @@ from dataclasses import dataclass
 
 from repro.exceptions import ReproError
 from repro.graphs.graph import Graph
-from repro.serving.reader import ServingAnswer, StoreReader
+from repro.serving.reader import (
+    SIMILARITY_OPS,
+    ServingAnswer,
+    StoreReader,
+)
 
 __all__ = ["BatchExecutor", "Query"]
 
@@ -43,8 +47,11 @@ class Query:
     """One declarative query: an op plus its arguments.
 
     ``op`` is one of ``support``, ``contains``, ``graphs``,
-    ``specializations`` (which take ``pattern``) or ``top_k`` (which
-    takes ``k`` and optionally ``label_filter``).
+    ``specializations`` (which take ``pattern``), ``top_k`` (which
+    takes ``k`` and optionally ``label_filter``), or a similarity op —
+    ``similar`` / ``similarity_score`` / ``fuzzy_contains`` — which
+    take ``pattern`` plus ``sim_threshold`` / ``graph_id`` /
+    ``semantics`` as applicable.
     """
 
     op: str
@@ -52,6 +59,9 @@ class Query:
     min_support: float | None = None
     k: int | None = None
     label_filter: str | None = None
+    sim_threshold: float | None = None
+    semantics: str | None = None
+    graph_id: int | None = None
 
 
 class BatchExecutor:
@@ -88,6 +98,9 @@ class BatchExecutor:
                         min_support=query.min_support,
                         k=query.k,
                         label_filter=query.label_filter,
+                        sim_threshold=query.sim_threshold,
+                        semantics=query.semantics,
+                        graph_id=query.graph_id,
                     )
                 except Exception as exc:
                     results[index] = _as_repro_error(exc)
@@ -108,4 +121,10 @@ class BatchExecutor:
             return ("top_k",)
         if query.pattern is None:
             raise ReproError(f"op {query.op!r} requires a pattern")
+        if query.op in SIMILARITY_OPS:
+            # Similarity ops share a per-version engine (and treelet
+            # index), not per-class rows — group them together so the
+            # first query pays the index build and the rest reuse it
+            # without racing class-row loads for pool slots.
+            return ("similarity", self.reader.class_key(query.pattern))
         return ("class", self.reader.class_key(query.pattern))

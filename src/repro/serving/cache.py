@@ -7,6 +7,12 @@ version; :class:`~repro.serving.reader.StoreReader` then calls
 :meth:`VersionedResultCache.clear` and the whole cache is invalidated
 wholesale — per-entry invalidation is pointless when every stored
 bit-set may have changed.
+
+Query keys are built with :func:`query_key`, which namespaces every
+entry by query kind *and* its full resolved parameter set.  Two ops
+over the same DFS code (an exact ``graphs`` and a similarity
+``fuzzy_contains``, say), or one op at two thresholds, therefore can
+never collide — the regression suite pins this.
 """
 
 from __future__ import annotations
@@ -15,7 +21,20 @@ import threading
 from collections import OrderedDict
 from typing import Any, Hashable
 
-__all__ = ["VersionedResultCache"]
+__all__ = ["VersionedResultCache", "query_key"]
+
+
+def query_key(op: str, structure_key: Hashable, **params: Hashable) -> tuple:
+    """A collision-proof cache key: ``(op, structure, sorted params)``.
+
+    ``params`` must be the *resolved* query parameters (defaults
+    already applied) — keying unresolved ``None`` against an explicit
+    default value would split one logical query across two entries,
+    while omitting a parameter entirely would merge two different
+    queries into one.  Parameters are sorted by name so call sites can
+    pass them in any order.
+    """
+    return (op, structure_key, tuple(sorted(params.items())))
 
 _MISS = object()
 

@@ -144,7 +144,12 @@ def value_payload(reader, op: str, value) -> object:
     """
     from repro.serving.reader import MatchResult
 
-    if op == "graphs":
+    if op == "similar":
+        # [[graph_id, score], ...] already ordered (-score, graph_id);
+        # scores are plain floats so shard-routed and direct answers
+        # JSON-encode identically.
+        return [[scored.graph_id, scored.score] for scored in value]
+    if op in ("graphs", "fuzzy_contains"):
         assert isinstance(value, MatchResult)
         return {
             "support": value.support_count,
@@ -169,7 +174,8 @@ def serving_routes(
     role: str = "standalone",
     health_extras: Callable[[], dict] | None = None,
 ) -> RouteTable:
-    """The PR-4 read-only surface: /health, /metrics, /top, /query."""
+    """The read-only surface: /health, /metrics, /top, /query, /similar."""
+    from repro.serving.reader import SIMILARITY_OPS
 
     def handle_health(request: HTTPRequest) -> HTTPResult:
         applied = reader.app_state.get("wal_applied_seq")
@@ -222,11 +228,48 @@ def serving_routes(
             "value": value_payload(reader, op, answer.value),
         }, {}
 
+    def handle_similar(request: HTTPRequest) -> HTTPResult:
+        try:
+            doc = request.json()
+            op = doc.get("op", "similar")
+            if op not in SIMILARITY_OPS:
+                return 400, {
+                    "error": f"op {op!r} is not a similarity op; expected "
+                    f"one of {', '.join(SIMILARITY_OPS)}"
+                }, {}
+            pattern = reader.parse_pattern(doc["pattern"])
+            threshold = doc.get("threshold")
+            answer = reader.query(
+                op,
+                pattern,
+                sim_threshold=(
+                    None if threshold is None else float(threshold)
+                ),
+                semantics=doc.get("semantics"),
+                k=None if doc.get("k") is None else int(doc["k"]),
+                graph_id=(
+                    None
+                    if doc.get("graph_id") is None
+                    else int(doc["graph_id"])
+                ),
+            )
+        except ReproError as exc:
+            return 400, {"error": str(exc)}, {}
+        except (KeyError, ValueError, TypeError) as exc:
+            return 400, {"error": f"malformed similar request: {exc!r}"}, {}
+        return 200, {
+            "op": op,
+            "store_version": answer.store_version,
+            "cached": answer.cached,
+            "value": value_payload(reader, op, answer.value),
+        }, {}
+
     return RouteTable([
         Endpoint("GET", "/health", "health", "control", handle_health),
         Endpoint("GET", "/metrics", "metrics", "control", handle_metrics),
         Endpoint("GET", "/top", "top", "query", handle_top),
         Endpoint("POST", "/query", "query", "query", handle_query),
+        Endpoint("POST", "/similar", "similar", "query", handle_similar),
     ])
 
 

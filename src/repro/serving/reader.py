@@ -63,15 +63,30 @@ from repro.mining.dfs_code import (
 from repro.mining.gspan import min_support_count
 from repro.observability.metrics import LockingMetricsRegistry
 from repro.observability.trace import NOOP_TRACER, Tracer
-from repro.serving.cache import VersionedResultCache
+from repro.serving.cache import VersionedResultCache, query_key
+from repro.similarity.engine import ScoredGraph, SimilarityEngine
 
-__all__ = ["MatchResult", "ServingAnswer", "StoreReader"]
+__all__ = [
+    "DEFAULT_SIMILAR_THRESHOLD",
+    "MatchResult",
+    "ServingAnswer",
+    "StoreReader",
+]
 
 _CODE_KEY = cmp_to_key(
     lambda a, b: -1 if code_lt(a, b) else (1 if code_lt(b, a) else 0)
 )
 
 _QUERY_OPS = ("support", "contains", "graphs", "specializations")
+
+# The approximate regime (repro.similarity): ranked MCS scores, one
+# graph's score, and similarity-thresholded containment.
+SIMILARITY_OPS = ("similar", "similarity_score", "fuzzy_contains")
+
+# ``similar`` needs a permissive default (1.0 would re-answer the exact
+# query); ``fuzzy_contains`` defaults to the exact fixed point so a
+# caller only gets fuzzy answers by asking for them.
+DEFAULT_SIMILAR_THRESHOLD = 0.5
 
 
 @dataclass(frozen=True)
@@ -126,6 +141,8 @@ class _ReaderState:
         self.rows: dict[str, OccurrenceIndex] = {}
         self.patterns: tuple[TaxonomyPattern, ...] | None = None
         self.patterns_lock = threading.Lock()
+        self.similarity: SimilarityEngine | None = None
+        self.similarity_lock = threading.Lock()
         self._row_locks: dict[str, threading.Lock] = {}
         self._row_locks_guard = threading.Lock()
 
@@ -245,6 +262,42 @@ class StoreReader:
             self.query("top_k", k=k, label_filter=label_filter).value
         )
 
+    def similar_patterns(
+        self,
+        pattern: Graph,
+        threshold: float = DEFAULT_SIMILAR_THRESHOLD,
+        k: int | None = None,
+    ) -> tuple[ScoredGraph, ...]:
+        """Database graphs whose MCS-based similarity to ``pattern``
+        reaches ``threshold``, ranked by ``(-score, graph_id)``."""
+        return self.query(
+            "similar", pattern, sim_threshold=threshold, k=k
+        ).value
+
+    def similarity_score(self, pattern: Graph, graph_id: int) -> float:
+        """The MCS-based graph-to-pattern similarity of one graph
+        (``1.0`` iff the graph contains ``pattern`` exactly)."""
+        return self.query(
+            "similarity_score", pattern, graph_id=graph_id
+        ).value
+
+    def fuzzy_contains(
+        self,
+        pattern: Graph,
+        threshold: float = 1.0,
+        semantics: str = "isomorphism",
+    ) -> MatchResult:
+        """Similarity-thresholded containment; at the default
+        ``threshold=1.0`` with isomorphism semantics the answer equals
+        :meth:`graphs_matching`'s graph-id set (the differential suite
+        pins this bit-for-bit)."""
+        return self.query(
+            "fuzzy_contains",
+            pattern,
+            sim_threshold=threshold,
+            semantics=semantics,
+        ).value
+
     def query(
         self,
         op: str,
@@ -253,6 +306,9 @@ class StoreReader:
         min_support: float | None = None,
         k: int | None = None,
         label_filter: str | None = None,
+        sim_threshold: float | None = None,
+        semantics: str | None = None,
+        graph_id: int | None = None,
     ) -> ServingAnswer:
         """Generic entry point; returns the value fenced to a version."""
         start = time.perf_counter()
@@ -260,9 +316,15 @@ class StoreReader:
             for _attempt in range(self._max_retries):
                 state = self._ensure_state()
                 try:
-                    value, cached = self._dispatch(
-                        state, op, pattern, min_support, k, label_filter
-                    )
+                    if op in SIMILARITY_OPS:
+                        value, cached = self._dispatch_similarity(
+                            state, op, pattern, sim_threshold, semantics,
+                            graph_id, k,
+                        )
+                    else:
+                        value, cached = self._dispatch(
+                            state, op, pattern, min_support, k, label_filter
+                        )
                     break
                 except _StaleStore:
                     continue
@@ -435,7 +497,23 @@ class StoreReader:
             raise MiningError(f"unknown query op {op!r}")
         if pattern is None:
             raise MiningError(f"op {op!r} requires a pattern")
-        key = self._query_key(op, pattern, min_support)
+        structure = self._structure_key(pattern)
+        if op == "specializations":
+            # Key by the *resolved* absolute count so an explicit
+            # min_support equal to the store's default shares an entry
+            # with the default-argument phrasing.
+            min_count = (
+                state.min_count
+                if min_support is None
+                else min_support_count(
+                    min_support, len(state.store.database)
+                )
+            )
+            key = query_key(op, structure, min_count=min_count)
+        else:
+            # support and graphs share the underlying match; keep
+            # separate entries (one is an int, one a MatchResult).
+            key = query_key(op, structure)
         value = self._cache.get(state.version, key)
         if not self._cache.is_miss(value):
             self.metrics.add("serving.cache_hits", 1)
@@ -451,19 +529,91 @@ class StoreReader:
         self._cache.put(state.version, key, value)
         return value, False
 
-    def _query_key(self, op, pattern, min_support):
-        """Cache key: op + the pattern's own canonical DFS code, so
-        automorphic phrasings of one query share an entry."""
+    def _structure_key(self, pattern):
+        """The pattern's canonical DFS code (or single node label), so
+        automorphic phrasings of one query share a cache entry."""
         code = min_dfs_code(pattern)  # validates connectivity too
         if code.edges:
-            structure_key: tuple = code.edges
+            return code.edges
+        return ("node", pattern.node_label(0))
+
+    # -- similarity ops --------------------------------------------------------
+
+    def _similarity_engine(self, state: _ReaderState) -> SimilarityEngine:
+        """The similarity engine for one store version, built lazily.
+
+        Labels present only in the *working* taxonomy are the repair
+        layer's artificial roots; excluding them from the similarity
+        measure keeps labels from unrelated taxonomy components at
+        similarity ``0.0`` instead of meeting under a fake ancestor.
+        """
+        with state.similarity_lock:
+            if state.similarity is None:
+                exclude = frozenset(state.working.labels()) - frozenset(
+                    state.store.taxonomy.labels()
+                )
+                state.similarity = SimilarityEngine(
+                    state.store.database,
+                    state.working,
+                    exclude_labels=exclude,
+                    metrics=self.metrics,
+                    tracer=self._tracer,
+                )
+            return state.similarity
+
+    def _dispatch_similarity(
+        self, state, op, pattern, sim_threshold, semantics, graph_id, k
+    ):
+        if pattern is None:
+            raise MiningError(f"op {op!r} requires a pattern")
+        if semantics is None:
+            semantics = "isomorphism"
+        elif op != "fuzzy_contains" and semantics != "isomorphism":
+            raise MiningError(
+                f"op {op!r} supports only isomorphism semantics"
+            )
+        self._validated_labels(state, pattern)
+        structure = self._structure_key(pattern)
+        if op == "similar":
+            threshold = (
+                DEFAULT_SIMILAR_THRESHOLD
+                if sim_threshold is None
+                else sim_threshold
+            )
+            key = query_key(op, structure, threshold=threshold, k=k)
+        elif op == "similarity_score":
+            if sim_threshold is not None:
+                raise MiningError(
+                    "similarity_score does not take a threshold"
+                )
+            if graph_id is None:
+                raise MiningError("similarity_score requires a graph_id")
+            key = query_key(op, structure, graph_id=graph_id)
+        else:  # fuzzy_contains
+            threshold = 1.0 if sim_threshold is None else sim_threshold
+            key = query_key(
+                op, structure, threshold=threshold, semantics=semantics
+            )
+        value = self._cache.get(state.version, key)
+        if not self._cache.is_miss(value):
+            self.metrics.add("serving.cache_hits", 1)
+            return value, True
+        self.metrics.add("serving.cache_misses", 1)
+        engine = self._similarity_engine(state)
+        if op == "similar":
+            value = engine.similar(pattern, threshold, k=k)
+        elif op == "similarity_score":
+            value = engine.score(pattern, graph_id)
         else:
-            structure_key = ("node", pattern.node_label(0))
-        # support and graphs share the underlying match; keep separate
-        # entries (one is an int, one a MatchResult) for simplicity.
-        if op == "specializations":
-            return (op, structure_key, min_support)
-        return (op, structure_key)
+            gids = engine.fuzzy_match(pattern, threshold, semantics)
+            value = MatchResult(
+                support_count=len(gids),
+                graph_ids=gids,
+                occurrences=None,
+                path=f"similarity:{semantics}",
+            )
+        self._cache.put(state.version, key, value)
+        return value, False
 
     # -- query computations ---------------------------------------------------
 

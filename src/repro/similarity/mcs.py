@@ -1,0 +1,145 @@
+"""Maximum common subgraph scoring (McGregor-style branch and bound).
+
+The *weight* of a partial injective mapping ``m`` of a pattern ``P``
+into a graph ``G`` is::
+
+    W(m) =   sum over mapped pattern nodes u of sim(label(u), label(m(u)))
+           + |{pattern edges (u, v, e) : both endpoints mapped,
+               G has edge (m(u), m(v)) with label e}|
+
+with node pairs only mappable at positive similarity.  The solver finds
+the maximum-weight mapping and normalizes it into a graph-to-pattern
+similarity score::
+
+    score(P, G) = max W(m) / (|V(P)| + |E(P)|)  in  [0, 1]
+
+``score == 1.0`` iff every pattern node maps at similarity ``1.0`` and
+every pattern edge is preserved — i.e. iff ``G`` contains ``P`` under
+the exact generalized semantics, aligning the score's top end with the
+containment predicate (glypy's ``MaximumCommonSubgraphSolver`` /
+``commutative_similarity`` uses the same normalization shape).
+
+The search assigns pattern nodes in descending-degree order, each
+either to an unused compatible graph node or to "skipped", and prunes
+with an admissible optimistic bound: the best possible similarity of
+every unassigned node plus one per pattern edge not yet fully decided.
+Candidates are visited in ascending graph-node order and a new best
+must be *strictly* heavier, so results are deterministic — a routed
+replica and a local reader compute identical floats.
+
+Connectivity of the common subgraph is **not** required (the score
+rewards every preserved fragment); the brute-force oracle in the
+differential suite enumerates all partial mappings to pin exactness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graphs.graph import Graph
+from repro.similarity.measure import TaxonomySimilarity
+
+__all__ = ["MCSResult", "MaximumCommonSubgraphSolver"]
+
+
+@dataclass(frozen=True)
+class MCSResult:
+    """The heaviest common-subgraph mapping found.
+
+    ``mapping[u]`` is the graph node pattern node ``u`` maps to, or
+    ``-1`` when ``u`` is left out of the common subgraph.
+    """
+
+    weight: float
+    mapping: tuple[int, ...]
+    score: float
+
+
+class MaximumCommonSubgraphSolver:
+    """Exact maximum-weight common subgraph under one measure."""
+
+    __slots__ = ("_measure",)
+
+    def __init__(self, measure: TaxonomySimilarity) -> None:
+        self._measure = measure
+
+    def solve(self, pattern: Graph, graph: Graph) -> MCSResult:
+        np = pattern.num_nodes
+        size = np + pattern.num_edges
+        if np == 0:
+            return MCSResult(0.0, (), 0.0 if size else 1.0)
+
+        measure = self._measure
+        # Descending degree keeps edge bonuses (and thus pruning) early.
+        order = sorted(
+            pattern.nodes(), key=lambda u: (-pattern.degree(u), u)
+        )
+        position_of = {u: i for i, u in enumerate(order)}
+
+        # Per pattern node: compatible graph nodes (sim > 0), ascending.
+        candidates: list[list[tuple[int, float]]] = []
+        for u in order:
+            label = pattern.node_label(u)
+            pairs = []
+            for g in graph.nodes():
+                sim = measure.node_similarity(label, graph.node_label(g))
+                if sim > 0.0:
+                    pairs.append((g, sim))
+            candidates.append(pairs)
+
+        # Admissible suffix bounds: best node sim per remaining position,
+        # plus one per pattern edge whose later endpoint is remaining.
+        node_bound = [0.0] * (np + 1)
+        for i in range(np - 1, -1, -1):
+            best = max((sim for _g, sim in candidates[i]), default=0.0)
+            node_bound[i] = node_bound[i + 1] + best
+        edge_bound = [0] * (np + 2)
+        edge_close = [0] * np  # edges whose later-ordered endpoint is i
+        for u, v, _label in pattern.edges():
+            edge_close[max(position_of[u], position_of[v])] += 1
+        for i in range(np - 1, -1, -1):
+            edge_bound[i] = edge_bound[i + 1] + edge_close[i]
+
+        mapping = [-1] * np
+        used = [False] * graph.num_nodes
+        best_weight = -1.0
+        best_mapping = tuple(mapping)
+
+        def edge_gain(u: int, g: int) -> int:
+            gain = 0
+            for q, elabel in pattern.neighbor_items(u):
+                gq = mapping[q]
+                if (
+                    gq >= 0
+                    and graph.has_edge(g, gq)
+                    and graph.edge_label(g, gq) == elabel
+                ):
+                    gain += 1
+            return gain
+
+        def search(i: int, weight: float) -> None:
+            nonlocal best_weight, best_mapping
+            if weight + node_bound[i] + edge_bound[i] <= best_weight:
+                return
+            if i == np:
+                best_weight = weight
+                best_mapping = tuple(mapping)
+                return
+            u = order[i]
+            for g, sim in candidates[i]:
+                if used[g]:
+                    continue
+                mapping[u] = g
+                used[g] = True
+                search(i + 1, weight + sim + edge_gain(u, g))
+                used[g] = False
+                mapping[u] = -1
+            search(i + 1, weight)  # leave u out of the common subgraph
+
+        search(0, 0.0)
+        weight = max(best_weight, 0.0)
+        return MCSResult(
+            weight=weight,
+            mapping=best_mapping,
+            score=weight / size if size else 1.0,
+        )

@@ -1,0 +1,117 @@
+"""Taxonomy-derived node and edge similarity.
+
+The measure is a Wu–Palmer-style normalized distance in the taxonomy
+DAG, with one invariant the whole similarity subsystem leans on:
+
+    ``node_similarity(l, g) == 1.0``  *iff*  ``l`` matches ``g`` under
+    the exact generalized semantics (``l == g``, or ``l`` is an
+    ancestor-or-self of ``g``; labels outside the taxonomy only match
+    themselves).
+
+That makes a similarity threshold of ``1.0`` *definitionally* the exact
+:class:`~repro.isomorphism.matchers.GeneralizedMatcher` — no special
+casing anywhere downstream — which is what lets the differential suite
+pin ``sim_threshold=1.0`` against the exact serving path meaningfully.
+
+For a non-matching pair the similarity is the depth of their deepest
+common ancestor normalized by the deeper of the two labels::
+
+    sim(a, b) = max over common ancestors c of
+                (1 + depth(c)) / (1 + max(depth(a), depth(b)))
+
+Under longest-path depths a strict ancestor is always strictly
+shallower than its descendant, so this is provably ``< 1.0`` whenever
+the exact match fails, and ``0.0`` when the labels share no (real)
+ancestor.  Artificial repair roots (multi-root taxonomies get one per
+conflict component, paper Step 1) can be excluded so that labels from
+unrelated components keep similarity ``0.0`` instead of picking up a
+phantom resemblance through the synthetic root.
+
+Edge labels are not taxonomy concepts, so edge similarity is binary:
+``1.0`` on equality, ``0.0`` otherwise.  Any threshold in ``(0, 1]``
+therefore demands exact edge-label equality, matching the VF2 engine's
+edge feasibility check.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.taxonomy.taxonomy import Taxonomy
+
+__all__ = ["TaxonomySimilarity"]
+
+
+class TaxonomySimilarity:
+    """Node/edge similarity over one (working) taxonomy, memoized."""
+
+    __slots__ = ("_taxonomy", "_exclude", "_cache", "_depths")
+
+    def __init__(
+        self,
+        taxonomy: Taxonomy,
+        exclude_labels: Iterable[int] = (),
+    ) -> None:
+        self._taxonomy = taxonomy
+        self._exclude = frozenset(exclude_labels)
+        self._cache: dict[tuple[int, int], float] = {}
+        self._depths: dict[int, int] = {}
+
+    @property
+    def taxonomy(self) -> Taxonomy:
+        return self._taxonomy
+
+    def _depth(self, label: int) -> int:
+        depth = self._depths.get(label)
+        if depth is None:
+            depth = self._depths[label] = self._taxonomy.depth_of(label)
+        return depth
+
+    def node_similarity(self, pattern_label: int, graph_label: int) -> float:
+        """Similarity of mapping a pattern node onto a graph node.
+
+        Directional: ``1.0`` exactly when the pattern label *generalizes*
+        the graph label (the exact-match semantics); a pattern label
+        strictly below the graph label scores high but below ``1.0``.
+        """
+        if pattern_label == graph_label:
+            return 1.0
+        key = (pattern_label, graph_label)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        taxonomy = self._taxonomy
+        if pattern_label not in taxonomy or graph_label not in taxonomy:
+            value = 0.0  # non-taxonomy labels only match themselves
+        elif taxonomy.is_ancestor_or_self(pattern_label, graph_label):
+            value = 1.0
+        else:
+            common = (
+                taxonomy.ancestors_or_self(pattern_label)
+                & taxonomy.ancestors_or_self(graph_label)
+            ) - self._exclude
+            if not common:
+                value = 0.0
+            else:
+                deepest = max(self._depth(c) for c in common)
+                norm = 1 + max(
+                    self._depth(pattern_label), self._depth(graph_label)
+                )
+                value = (1 + deepest) / norm
+        self._cache[key] = value
+        return value
+
+    def edge_similarity(self, pattern_label: int, graph_label: int) -> float:
+        """Edge labels are not taxonomized: equality or nothing."""
+        return 1.0 if pattern_label == graph_label else 0.0
+
+    def compatible_labels(
+        self, pattern_label: int, labels: Iterable[int], threshold: float
+    ) -> tuple[int, ...]:
+        """The subset of ``labels`` within ``threshold`` of the pattern
+        label (the treelet prefilter's per-fragment expansion)."""
+        return tuple(
+            label
+            for label in labels
+            if self.node_similarity(pattern_label, label) >= threshold
+        )

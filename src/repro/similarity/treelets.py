@@ -1,0 +1,162 @@
+"""Treelet (fragment) decomposition index: a sound candidate prefilter.
+
+Every database graph is decomposed into tiny canonical fragments —
+single nodes, single edges, and 2-edge *wedges* (paths ``u - c - v``)
+— the same shape family glypy's treelet enrichment uses for glycan
+screening.  The index stores, per fragment key, the bit-set of graphs
+containing it, plus a per-graph *fingerprint* bit-set over interned
+fragment ids for fast profile comparison
+(:meth:`TreeletIndex.profile_jaccard`, built on
+:meth:`~repro.util.bitset.BitSet.jaccard`).
+
+Soundness (never drops a true match — pinned by differential tests
+against a brute-force VF2 oracle): if a pattern ``P`` embeds in ``G``
+at similarity threshold ``t`` via an *injective* mapping ``m``, then
+
+* every pattern node ``u`` witnesses a node fragment of ``G`` whose
+  label is within ``t`` of ``u``'s;
+* every pattern edge maps onto a graph edge fragment with equal edge
+  label and endpoint labels within ``t``;
+* every pattern wedge ``u - c - v`` maps (injectively, so ``m(u) !=
+  m(v)``) onto a graph wedge with compatible center/arms;
+* ``G`` has at least as many nodes and edges as ``P``.
+
+A graph failing any of these cannot contain the pattern, so AND-ing
+the per-fragment graph sets never eliminates a true match.  Under
+**homomorphism** semantics two wedge arms may collapse onto one graph
+node, so wedge and size constraints would be unsound — the engine
+restricts homomorphism prefiltering to node and edge fragments only.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.graph import Graph
+from repro.util.bitset import BitSet
+
+__all__ = ["TreeletIndex", "pattern_fragments"]
+
+
+def _node_key(label: int) -> tuple:
+    return ("n", label)
+
+
+def _edge_key(elabel: int, la: int, lb: int) -> tuple:
+    a, b = (la, lb) if la <= lb else (lb, la)
+    return ("e", elabel, a, b)
+
+
+def _wedge_key(center: int, arm_a: tuple, arm_b: tuple) -> tuple:
+    # An arm is (edge_label, endpoint_label); sort for canonicality.
+    a, b = (arm_a, arm_b) if arm_a <= arm_b else (arm_b, arm_a)
+    return ("w", center, a, b)
+
+
+def pattern_fragments(graph: Graph) -> list[tuple]:
+    """The distinct fragment keys of a graph, node/edge/wedge order."""
+    seen: dict[tuple, None] = {}
+    for v in graph.nodes():
+        seen.setdefault(_node_key(graph.node_label(v)), None)
+    for u, v, elabel in graph.edges():
+        seen.setdefault(
+            _edge_key(elabel, graph.node_label(u), graph.node_label(v)),
+            None,
+        )
+    for c in graph.nodes():
+        arms = sorted(
+            (elabel, graph.node_label(q), q)
+            for q, elabel in graph.neighbor_items(c)
+        )
+        center = graph.node_label(c)
+        for i in range(len(arms)):
+            for j in range(i + 1, len(arms)):
+                seen.setdefault(
+                    _wedge_key(center, arms[i][:2], arms[j][:2]), None
+                )
+    return list(seen)
+
+
+class TreeletIndex:
+    """Fragment -> graph bit-sets plus per-graph fragment fingerprints."""
+
+    def __init__(self, database) -> None:
+        self.num_graphs = len(database)
+        self._ids: dict[tuple, int] = {}
+        self._graphs_with: list[BitSet] = []
+        self._fingerprints: list[BitSet] = []
+        self._node_counts: list[int] = []
+        self._edge_counts: list[int] = []
+        self.all_graphs = BitSet.full(self.num_graphs)
+        # Fragment keys grouped by kind so query-time compatibility
+        # expansion only walks fragments of the right shape.
+        self._by_kind: dict[str, list[tuple[tuple, int]]] = {
+            "n": [], "e": [], "w": []
+        }
+        for gid, graph in enumerate(database):
+            fingerprint = BitSet()
+            for key in pattern_fragments(graph):
+                fid = self._ids.get(key)
+                if fid is None:
+                    fid = self._ids[key] = len(self._graphs_with)
+                    self._graphs_with.append(BitSet())
+                    self._by_kind[key[0]].append((key, fid))
+                self._graphs_with[fid].add(gid)
+                fingerprint.add(fid)
+            self._fingerprints.append(fingerprint)
+            self._node_counts.append(graph.num_nodes)
+            self._edge_counts.append(graph.num_edges)
+
+    @property
+    def num_fragments(self) -> int:
+        return len(self._graphs_with)
+
+    def keys_of_kind(self, kind: str) -> list[tuple[tuple, int]]:
+        """``(fragment key, fragment id)`` pairs for one shape kind."""
+        return self._by_kind[kind]
+
+    def graphs_with(self, fragment_id: int) -> BitSet:
+        return self._graphs_with[fragment_id]
+
+    def fingerprint(self, gid: int) -> BitSet:
+        return self._fingerprints[gid]
+
+    def node_count(self, gid: int) -> int:
+        return self._node_counts[gid]
+
+    def edge_count(self, gid: int) -> int:
+        return self._edge_counts[gid]
+
+    def candidates(
+        self,
+        fragment_id_sets: list[BitSet],
+        min_nodes: int | None = None,
+        min_edges: int | None = None,
+    ) -> BitSet:
+        """Graphs containing, for every entry, at least one of the
+        listed (compatibility-expanded) fragments — plus size floors
+        when the match semantics is injective."""
+        bits = self.all_graphs.copy()
+        for fragment_ids in fragment_id_sets:
+            group = BitSet()
+            for fid in fragment_ids:
+                group.union_update(self._graphs_with[fid])
+            bits = bits & group
+            if not bits:
+                return bits
+        if min_nodes is not None or min_edges is not None:
+            floor_nodes = min_nodes or 0
+            floor_edges = min_edges or 0
+            keep = BitSet()
+            for gid in bits:
+                if (
+                    self._node_counts[gid] >= floor_nodes
+                    and self._edge_counts[gid] >= floor_edges
+                ):
+                    keep.add(gid)
+            bits = keep
+        return bits
+
+    def profile_jaccard(self, fragment_ids: BitSet, gid: int) -> float:
+        """Jaccard between a (compatibility-expanded) pattern fragment
+        profile and one graph's fingerprint — the cheap treelet score
+        used to order candidate evaluation."""
+        return fragment_ids.jaccard(self._fingerprints[gid])

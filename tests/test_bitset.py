@@ -244,3 +244,22 @@ class TestHypothesis:
     def test_compact_identity_map_roundtrips(self, a):
         identity = {i: i for i in a}
         assert BitSet(a).compact(identity).to_set() == a
+
+    @given(id_sets, id_sets)
+    def test_overlap_matches_intersection_size(self, a, b):
+        assert BitSet(a).overlap(BitSet(b)) == len(a & b)
+
+    @given(id_sets, id_sets)
+    def test_jaccard_matches_set_definition(self, a, b):
+        expected = 1.0 if not (a | b) else len(a & b) / len(a | b)
+        assert BitSet(a).jaccard(BitSet(b)) == expected
+
+    @given(id_sets, id_sets)
+    def test_jaccard_bounds_and_symmetry(self, a, b):
+        left = BitSet(a).jaccard(BitSet(b))
+        assert 0.0 <= left <= 1.0
+        assert left == BitSet(b).jaccard(BitSet(a))
+
+    @given(id_sets)
+    def test_jaccard_self_is_one(self, a):
+        assert BitSet(a).jaccard(BitSet(a)) == 1.0

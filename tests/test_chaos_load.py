@@ -30,7 +30,6 @@ from repro.loadtest import (
     LoadOptions,
     LoadRunner,
     build_plan,
-    seeded_fault_plan,
     verify_no_lost_acks,
     verify_version_monotonic,
 )
@@ -41,7 +40,9 @@ from repro.loadtest.cluster import (
 )
 from repro.loadtest.faults import (
     FaultEvent,
+    append_torn_frame,
     kill_and_restart,
+    seeded_scenario_plan,
     stall_fsync,
     truncate_segment,
 )
@@ -301,27 +302,63 @@ class TestChaosSweeps:
 
 @pytest.mark.slow
 class TestRandomizedSweep:
-    """Nightly: seed-randomized kill times; failures print the seed."""
+    """Nightly: seed-randomized fault *scenarios*, not just kill times.
 
-    def test_randomized_applier_crash_sweep(self, tmp_path):
+    Each run draws 1-2 scenarios from the menu — applier SIGKILL, fsync
+    stall, torn-WAL-tail damage — so successive nightlies explore
+    scenario combinations; a failure prints the seed that replays the
+    exact draw.
+    """
+
+    def test_randomized_fault_scenario_sweep(self, tmp_path):
         seed = int(os.environ.get("CHAOS_SEED", "0"))
         if not seed:
             seed = int.from_bytes(os.urandom(4), "little") or 1
         print(f"CHAOS_SEED={seed} (export to reproduce this sweep)")
         store = _mined_store(tmp_path)
-        process = spawn_ingest(store, tmp_path / "wal", cwd=tmp_path)
+        wal_dir = tmp_path / "wal"
+        faultpoints = tmp_path / "faultpoints.json"
+        stall_fsync(faultpoints, 0)
+        process = spawn_ingest(
+            store, wal_dir, cwd=tmp_path, max_lag=8,
+            env={"REPRO_FAULTPOINTS_FILE": str(faultpoints)},
+        )
         process.start()
+
+        def damage_wal_and_restart() -> None:
+            # Torn tail on the *primary* WAL: append_torn_frame adds
+            # junk after the last fsynced frame, so recovery truncates
+            # only the junk and no acked write is at risk.
+            process.sigkill()
+            append_torn_frame(wal_dir)
+            process.restart()
+
         try:
             options = LoadOptions(
                 duration_seconds=6.0, rate=30.0, seed=seed, workers=4
             )
             plan = build_plan(options, [PATTERN], [ADD])
-            events = [
-                FaultEvent(at, kind, lambda: kill_and_restart(process))
-                for at, kind in seeded_fault_plan(
-                    seed, options.duration_seconds, ["kill_applier"]
-                )
-            ]
+            menu = ["kill_applier", "stall_fsync", "wal_damage"]
+            events = []
+            for at, kind in seeded_scenario_plan(
+                seed, options.duration_seconds, menu
+            ):
+                if kind == "kill_applier":
+                    events.append(FaultEvent(
+                        at, kind, lambda: kill_and_restart(process)
+                    ))
+                elif kind == "stall_fsync":
+                    events.append(FaultEvent(
+                        at, kind, lambda: stall_fsync(faultpoints, 180)
+                    ))
+                    events.append(FaultEvent(
+                        at + 1.0, "clear_stall",
+                        lambda: stall_fsync(faultpoints, 0),
+                    ))
+                else:
+                    events.append(FaultEvent(
+                        at, kind, damage_wal_and_restart
+                    ))
             injector = FaultInjector(events)
             injector.start()
             try:
@@ -332,6 +369,9 @@ class TestRandomizedSweep:
             Envelope(max_transport_fraction=0.75).check(report)
             verify_no_lost_acks(process.url, report)
             verify_version_monotonic(report)
-            _record("randomized-sweep", report, seed=seed)
+            _record(
+                "randomized-sweep", report, seed=seed,
+                scenarios=[e.name for e in injector.events],
+            )
         finally:
             process.terminate()

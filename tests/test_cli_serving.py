@@ -146,6 +146,51 @@ class TestQueryCommand:
         assert "exactly one of --pattern or --top-k" in err
 
 
+class TestSimilarCommand:
+    def test_ranked_golden(self, store, pattern_file, capsys):
+        code = main(
+            ["similar", str(store), "--pattern", str(pattern_file),
+             "--threshold", "0.2"]
+        )
+        assert code == 0
+        _check_golden("similar_ranked.txt", capsys.readouterr().out)
+
+    def test_score_golden(self, store, pattern_file, capsys):
+        code = main(
+            ["similar", str(store), "--pattern", str(pattern_file),
+             "--op", "similarity_score", "--graph-id", "3"]
+        )
+        assert code == 0
+        _check_golden("similar_score.txt", capsys.readouterr().out)
+
+    def test_fuzzy_contains_golden(self, store, pattern_file, capsys):
+        code = main(
+            ["similar", str(store), "--pattern", str(pattern_file),
+             "--op", "fuzzy_contains", "--threshold", "0.5",
+             "--semantics", "homomorphism"]
+        )
+        assert code == 0
+        _check_golden("similar_fuzzy.txt", capsys.readouterr().out)
+
+    def test_trace_golden(self, store, pattern_file, capsys):
+        code = main(
+            ["similar", str(store), "--pattern", str(pattern_file),
+             "--threshold", "0.2", "--k", "2", "--trace"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        section = out[out.index("== run report:"):]
+        _check_golden("similar_trace.txt", _normalize_text(section))
+
+    def test_bad_threshold_is_an_error(self, store, pattern_file, capsys):
+        code = main(
+            ["similar", str(store), "--pattern", str(pattern_file),
+             "--threshold", "2.0"]
+        )
+        assert code == 1
+        assert "threshold must be in (0, 1]" in capsys.readouterr().err
+
+
 class TestServeCommand:
     def test_one_request_roundtrip(self, store):
         """Boot the real server on an ephemeral port, make one HTTP

@@ -90,6 +90,74 @@ class TestWorkloadPlan:
             LoadOptions(wait_fraction=2.0)
 
 
+class TestScenarioPlan:
+    MENU = ["kill_applier", "stall_fsync", "wal_damage"]
+
+    def test_same_seed_same_scenarios(self):
+        from repro.loadtest.faults import seeded_scenario_plan
+
+        first = seeded_scenario_plan(12, 6.0, self.MENU)
+        second = seeded_scenario_plan(12, 6.0, self.MENU)
+        assert first == second
+
+    def test_draws_kinds_from_the_menu(self):
+        from repro.loadtest.faults import seeded_scenario_plan
+
+        seen = set()
+        for seed in range(1, 60):
+            plan = seeded_scenario_plan(seed, 6.0, self.MENU)
+            assert 1 <= len(plan) <= 2
+            for _at, kind in plan:
+                assert kind in self.MENU
+                seen.add(kind)
+        # Across seeds the whole menu gets exercised.
+        assert seen == set(self.MENU)
+
+    def test_times_sorted_spaced_and_inside_margin(self):
+        from repro.loadtest.faults import seeded_scenario_plan
+
+        for seed in range(1, 40):
+            plan = seeded_scenario_plan(
+                seed, 10.0, self.MENU, count=2, min_gap=1.2
+            )
+            times = [at for at, _kind in plan]
+            assert times == sorted(times)
+            assert times[0] >= 10.0 * 0.2
+            assert times[1] - times[0] >= 1.2 - 1e-9
+
+    def test_count_override(self):
+        from repro.loadtest.faults import seeded_scenario_plan
+
+        plan = seeded_scenario_plan(3, 6.0, self.MENU, count=4)
+        assert len(plan) == 4
+
+
+class TestAppendTornFrame:
+    def test_appends_junk_header_to_newest_segment(self, tmp_path):
+        import struct
+
+        from repro.loadtest.faults import append_torn_frame
+
+        old = tmp_path / "wal-000.seg"
+        new = tmp_path / "wal-001.seg"
+        old.write_bytes(b"older")
+        new.write_bytes(b"acked-frames")
+        touched = append_torn_frame(tmp_path)
+        assert touched == new
+        assert old.read_bytes() == b"older"  # acked bytes untouched
+        tail = new.read_bytes()
+        assert tail.startswith(b"acked-frames")
+        assert tail[len(b"acked-frames"):] == (
+            struct.pack(">I", 0x00FFFFFF) + b"torn"
+        )
+
+    def test_no_segments_is_an_error(self, tmp_path):
+        from repro.loadtest.faults import append_torn_frame
+
+        with pytest.raises(FileNotFoundError):
+            append_torn_frame(tmp_path)
+
+
 class TestClassify:
     @pytest.mark.parametrize(
         ("status", "timed_out", "expected"),

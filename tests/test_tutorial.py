@@ -396,3 +396,38 @@ class TestTutorial:
         assert set(report["latency"]) <= {"query", "ingest", "flush"}
         for histogram in report["latency"].values():
             assert histogram["p50_ms"] <= histogram["p99_ms"]
+
+    def test_step17_similarity(self, tmp_path):
+        taxonomy, db = _setup()
+        from repro import StoreReader
+
+        store_dir = tmp_path / "pathways.store"
+        options = TaxogramOptions(min_support=0.5, store_out=str(store_dir))
+        Taxogram(options).mine(db, taxonomy)
+
+        reader = StoreReader(store_dir)
+        pattern = reader.parse_pattern(
+            "t # 0\nv 0 carrier\nv 1 dna_helicase\ne 0 1 interacts\n"
+        )
+
+        # Exactly one pathway contains the pattern...
+        assert reader.fuzzy_contains(pattern).graph_ids == frozenset({0})
+
+        # ...but every pathway is *similar* to it, with the scores the
+        # tutorial prints (carrier matches graph 2 exactly; helicase is
+        # one taxonomy hop from dna_helicase).
+        ranked = reader.similar_patterns(pattern, threshold=0.2)
+        assert [
+            (s.graph_id, round(s.score, 4)) for s in ranked
+        ] == [(0, 1.0), (2, 0.9167), (1, 0.8056)]
+
+        assert round(reader.similarity_score(pattern, 1), 4) == 0.8056
+
+        # Homomorphism semantics fold injectivity away: hom ⊇ iso.
+        hom = reader.fuzzy_contains(
+            pattern, threshold=0.6, semantics="homomorphism"
+        )
+        assert hom.graph_ids == frozenset({0, 1, 2})
+        assert hom.path == "similarity:homomorphism"
+
+        assert reader.metrics.counter("similarity.queries") > 0
