@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""Compare two REPRO_BENCH_JSON_DIR snapshots and fail on regressions.
+
+Usage::
+
+    python scripts/bench_regression.py BASELINE_DIR CURRENT_DIR \
+        [--threshold 0.20] [--min-seconds 0.02]
+
+Both directories hold ``BENCH_*.json`` files as written by
+``benchmarks/_common.record_bench_point`` — a list of points, each with
+a ``label`` and wall ``seconds``.  For every benchmark file present in
+*both* directories, points are matched by label and the best (minimum)
+seconds per label is compared; a current best more than ``threshold``
+slower than the baseline best is a regression and the script exits 1
+with a report.  This is what CI's ``bench-regression`` job runs against
+the previous nightly's artifacts, gating the PR 9 perf claims
+(specialize-phase bit-set time, serving warm-cache latency).
+
+Deliberately forgiving where forgiveness is correct:
+
+* a missing baseline directory or an empty one exits 0 with a note —
+  the first run after this job lands has nothing to compare against;
+* labels or files present on only one side are reported but never
+  fail — benchmarks come and go across PRs;
+* points faster than ``--min-seconds`` on both sides are skipped —
+  relative noise dominates sub-hundredth-second measurements.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_best(directory: Path) -> dict[tuple[str, str], float]:
+    """``(benchmark, label) -> best seconds`` over every point file."""
+    best: dict[tuple[str, str], float] = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        bench = path.stem[len("BENCH_"):]
+        try:
+            points = json.loads(path.read_text())
+        except ValueError as exc:
+            print(f"note: skipping unreadable {path.name}: {exc}")
+            continue
+        for point in points:
+            try:
+                label = str(point["label"])
+                seconds = float(point["seconds"])
+            except (KeyError, TypeError, ValueError):
+                continue
+            key = (bench, label)
+            if key not in best or seconds < best[key]:
+                best[key] = seconds
+    return best
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path)
+    parser.add_argument("current", type=Path)
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="relative slowdown that counts as a regression "
+        "(default 0.20 = 20%%)",
+    )
+    parser.add_argument(
+        "--min-seconds",
+        type=float,
+        default=0.02,
+        help="skip comparisons where both sides are faster than this",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.baseline.is_dir():
+        print(f"note: no baseline at {args.baseline}; nothing to compare")
+        return 0
+    baseline = load_best(args.baseline)
+    current = load_best(args.current)
+    if not baseline:
+        print(f"note: baseline {args.baseline} holds no points; skipping")
+        return 0
+    if not current:
+        print(f"error: current {args.current} holds no points", file=sys.stderr)
+        return 2
+
+    regressions = []
+    compared = 0
+    for key in sorted(baseline.keys() & current.keys()):
+        base, cur = baseline[key], current[key]
+        if base < args.min_seconds and cur < args.min_seconds:
+            continue
+        compared += 1
+        change = (cur - base) / base if base > 0 else float("inf")
+        marker = ""
+        if change > args.threshold:
+            regressions.append((key, base, cur, change))
+            marker = "  << REGRESSION"
+        print(
+            f"{key[0]}/{key[1]}: {base * 1e3:.1f}ms -> {cur * 1e3:.1f}ms "
+            f"({change:+.1%}){marker}"
+        )
+    for key in sorted(baseline.keys() - current.keys()):
+        print(f"note: {key[0]}/{key[1]} only in baseline")
+    for key in sorted(current.keys() - baseline.keys()):
+        print(f"note: {key[0]}/{key[1]} only in current (new benchmark)")
+
+    if regressions:
+        print(
+            f"\n{len(regressions)} of {compared} compared points regressed "
+            f"beyond {args.threshold:.0%}:",
+            file=sys.stderr,
+        )
+        for (bench, label), base, cur, change in regressions:
+            print(
+                f"  {bench}/{label}: {base * 1e3:.1f}ms -> "
+                f"{cur * 1e3:.1f}ms ({change:+.1%})",
+                file=sys.stderr,
+            )
+        return 1
+    print(f"\n{compared} compared points within {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

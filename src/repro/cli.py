@@ -156,6 +156,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="persist the mining result as a pattern store in DIR, "
         "enabling later `taxogram update` runs (taxogram/baseline only)",
     )
+    mine.add_argument(
+        "--compress",
+        nargs="?",
+        const="auto",
+        default=None,
+        metavar="CODEC",
+        help="compress the pattern store written by --store-out "
+        "('auto' picks the best codec available: zstd when the optional "
+        "zstandard package is installed, zlib otherwise)",
+    )
     _add_observability_arguments(mine)
 
     update = sub.add_parser(
@@ -412,6 +422,17 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="with --serve, use the thread-per-request front-end "
         "instead of the asyncio front (A/B aid for the load harness)",
+    )
+    ingest.add_argument(
+        "--compress",
+        nargs="?",
+        const="auto",
+        default=None,
+        metavar="CODEC",
+        help="compress sealed WAL segments with CODEC ('zlib', 'zstd' "
+        "when available, or bare --compress for the best codec); the "
+        "active segment and all replication offsets stay in raw frame "
+        "bytes, so mixed compressed/raw fleets replicate unchanged",
     )
 
     replicate = sub.add_parser(
@@ -764,6 +785,22 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.compress is not None and args.store_out is None:
+        print(
+            "error: --compress requires --store-out (it names the "
+            "pattern-store codec)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.compress is not None:
+        from repro.exceptions import CompressionError
+        from repro.util.compression import normalize_codec
+
+        try:
+            normalize_codec(args.compress)
+        except CompressionError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     taxonomy = read_taxonomy(args.taxonomy)
     if args.directed:
         return _cmd_mine_directed(args, taxonomy)
@@ -791,7 +828,11 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         if args.workers > 1:
             options = replace(options, workers=args.workers)
         if args.store_out is not None:
-            options = replace(options, store_out=str(args.store_out))
+            options = replace(
+                options,
+                store_out=str(args.store_out),
+                store_compression=args.compress,
+            )
         result = Taxogram(options).mine(database, taxonomy, tracer)
         if args.store_out is not None:
             print(f"pattern store written to {args.store_out}")
@@ -1169,9 +1210,19 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     if args.secret is not None and not args.publish:
         print("error: --secret requires --publish", file=sys.stderr)
         return 2
+    from repro.exceptions import CompressionError
+    from repro.util.compression import normalize_codec
+
+    try:
+        wal_compress = normalize_codec(args.compress)
+    except CompressionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if not args.serve:
         metrics = MetricsRegistry()
-        with WriteAheadLog(args.wal, metrics=metrics) as wal:
+        with WriteAheadLog(
+            args.wal, metrics=metrics, compress=wal_compress
+        ) as wal:
             applier = StreamApplier(
                 args.store, wal, applier_options, metrics=metrics
             )
@@ -1187,7 +1238,7 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
         return 0
 
     if not args.legacy_threads:
-        return _cmd_ingest_async(args, applier_options)
+        return _cmd_ingest_async(args, applier_options, wal_compress)
 
     if args.publish:
         from repro.replication import PrimaryService
@@ -1198,7 +1249,10 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
             secret=args.secret,
             host=args.host,
             port=args.port,
-            options=IngestOptions(max_lag_records=args.max_lag),
+            options=IngestOptions(
+                max_lag_records=args.max_lag,
+                wal_compress=wal_compress,
+            ),
             applier_options=applier_options,
         )
     else:
@@ -1207,7 +1261,10 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
             args.wal,
             host=args.host,
             port=args.port,
-            options=IngestOptions(max_lag_records=args.max_lag),
+            options=IngestOptions(
+                max_lag_records=args.max_lag,
+                wal_compress=wal_compress,
+            ),
             applier_options=applier_options,
         )
     stopped = (
@@ -1247,7 +1304,9 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_ingest_async(args: argparse.Namespace, applier_options) -> int:
+def _cmd_ingest_async(
+    args: argparse.Namespace, applier_options, wal_compress: str | None
+) -> int:
     from repro.serving import (
         AdmissionController,
         AdmissionLimits,
@@ -1263,14 +1322,20 @@ def _cmd_ingest_async(args: argparse.Namespace, applier_options) -> int:
             args.store,
             args.wal,
             secret=args.secret,
-            options=IngestOptions(max_lag_records=args.max_lag),
+            options=IngestOptions(
+                max_lag_records=args.max_lag,
+                wal_compress=wal_compress,
+            ),
             applier_options=applier_options,
         )
     else:
         core = IngestCore(
             args.store,
             args.wal,
-            options=IngestOptions(max_lag_records=args.max_lag),
+            options=IngestOptions(
+                max_lag_records=args.max_lag,
+                wal_compress=wal_compress,
+            ),
             applier_options=applier_options,
         )
     admission = AdmissionController(
@@ -1642,6 +1707,40 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _print_store_compression(store_dir: Path) -> None:
+    """Report the manifest's ``compression`` block, when present.
+
+    Legacy (raw) stores have no such block and print nothing, keeping
+    the pre-compression ``info`` output byte-identical.
+    """
+    import json
+
+    try:
+        manifest = json.loads(
+            (store_dir / "manifest.json").read_text(encoding="utf-8")
+        )
+    except (OSError, ValueError):
+        return
+    block = manifest.get("compression")
+    if not isinstance(block, dict):
+        return
+    files = block.get("files", {})
+    raw = sum(int(s.get("raw", 0)) for s in files.values())
+    stored = sum(int(s.get("stored", 0)) for s in files.values())
+    print(f"compression: {block.get('codec')}")
+    if raw:
+        print(
+            f"compression ratio: {stored / raw:.3f} "
+            f"({raw} -> {stored} bytes)"
+        )
+    for name in sorted(files):
+        stats = files[name]
+        print(
+            f"  {name}: {int(stats.get('raw', 0))} -> "
+            f"{int(stats.get('stored', 0))} bytes"
+        )
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     from repro.incremental.store import FORMAT_VERSION
     from repro.serving import StoreReader
@@ -1660,6 +1759,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
     print(f"pattern classes: {reader.num_classes}")
     print(f"mined patterns: {reader.num_patterns}")
     print(f"border entries: {reader.num_border_entries}")
+    _print_store_compression(args.store)
     applied = reader.app_state.get("wal_applied_seq")
     if applied is not None:
         print(f"applied wal seq: {applied}")

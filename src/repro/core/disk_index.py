@@ -44,6 +44,7 @@ from repro.core.results import MiningCounters
 from repro.exceptions import MiningError
 from repro.mining.gspan import Embedding
 from repro.taxonomy.taxonomy import Taxonomy
+from repro.util.compression import decode_container, encode_container
 
 __all__ = ["DiskOccurrenceIndex", "build_disk_occurrence_index"]
 
@@ -61,8 +62,14 @@ class DiskOccurrenceIndex:
         max_resident_entries: int = _DEFAULT_RESIDENT,
         reset: bool = True,
         read_only: bool = False,
+        codec: str | None = None,
     ) -> None:
         self._num_positions = num_positions
+        # Occurrence-set blob codec.  The owning pattern store records
+        # one codec per store in its manifest, so whether blobs are
+        # compressed is configuration, not per-blob sniffing (a raw
+        # little-endian mask could collide with any magic bytes).
+        self._codec = codec
         if read_only and reset:
             raise MiningError(
                 "a read-only occurrence index cannot reset its rows"
@@ -146,6 +153,32 @@ class DiskOccurrenceIndex:
                 "that opened the index"
             )
 
+    # -- blob codec -----------------------------------------------------------
+
+    # With a codec configured, every blob carries a one-byte tag: 0x00
+    # for raw little-endian mask bytes, 0x01 for a compression
+    # container.  Small masks (the overwhelmingly common case) stay raw
+    # — container framing alone would *grow* them — and only blobs the
+    # codec genuinely shrinks get compressed.  Legacy stores (no codec
+    # in the manifest) keep bare untagged blobs, so old indices read
+    # unchanged.
+
+    def _enc(self, bits: int) -> bytes:
+        raw = bits.to_bytes((bits.bit_length() + 7) // 8 or 1, "little")
+        if self._codec is None:
+            return raw
+        packed = encode_container(raw, self._codec)
+        if len(packed) < len(raw):
+            return b"\x01" + packed
+        return b"\x00" + raw
+
+    def _dec(self, blob: bytes) -> int:
+        if self._codec is not None:
+            tag, blob = blob[0], blob[1:]
+            if tag == 1:
+                blob, _ = decode_container(blob)
+        return int.from_bytes(blob, "little")
+
     # -- construction ---------------------------------------------------------
 
     def insert(self, position: int, label: int, occurrence_bit: int) -> None:
@@ -169,11 +202,11 @@ class DiskOccurrenceIndex:
                 (position, label),
             ).fetchone()
             if row is not None:
-                bits |= int.from_bytes(row[0], "little")
+                bits |= self._dec(row[0])
             cursor.execute(
                 "INSERT OR REPLACE INTO entries (position, label, bits) "
                 "VALUES (?, ?, ?)",
-                (position, label, _encode(bits)),
+                (position, label, self._enc(bits)),
             )
         self._connection.commit()
         with self._lock:
@@ -206,14 +239,14 @@ class DiskOccurrenceIndex:
         for position, label, blob in cursor.execute(
             "SELECT position, label, bits FROM entries"
         ).fetchall():
-            bits = int.from_bytes(blob, "little")
+            bits = self._dec(blob)
             cleared = bits & ~mask
             if cleared == bits:
                 continue
             if cleared == 0:
                 dead.append((position, label))
             else:
-                updates.append((_encode(cleared), position, label))
+                updates.append((self._enc(cleared), position, label))
         if updates:
             cursor.executemany(
                 "UPDATE entries SET bits = ? WHERE position = ? AND label = ?",
@@ -246,12 +279,12 @@ class DiskOccurrenceIndex:
         for position, label, blob in cursor.execute(
             "SELECT position, label, bits FROM entries"
         ).fetchall():
-            bits = BitSet.from_bits(int.from_bytes(blob, "little"))
+            bits = BitSet.from_bits(self._dec(blob))
             remapped = bits.compact(id_map).bits
             if remapped == 0:
                 dead.append((position, label))
             else:
-                updates.append((_encode(remapped), position, label))
+                updates.append((self._enc(remapped), position, label))
         if updates:
             cursor.executemany(
                 "UPDATE entries SET bits = ? WHERE position = ? AND label = ?",
@@ -283,7 +316,7 @@ class DiskOccurrenceIndex:
         answers all later queries for that class from memory.
         """
         merged: dict[tuple[int, int], int] = {
-            (position, label): int.from_bytes(blob, "little")
+            (position, label): self._dec(blob)
             for position, label, blob in self._read_connection().execute(
                 "SELECT position, label, bits FROM entries"
             )
@@ -317,7 +350,7 @@ class DiskOccurrenceIndex:
             "SELECT bits FROM entries WHERE position = ? AND label = ?",
             key,
         ).fetchone()
-        value = int.from_bytes(row[0], "little") if row is not None else 0
+        value = self._dec(row[0]) if row is not None else 0
         with self._lock:
             self._lru[key] = value
             if len(self._lru) > _LRU_SIZE:
@@ -406,7 +439,3 @@ def build_disk_occurrence_index(
         counters.occurrence_index_updates += updates
         counters.oie_entries += index.covered_entry_count()
     return store, index.finish()
-
-
-def _encode(bits: int) -> bytes:
-    return bits.to_bytes((bits.bit_length() + 7) // 8 or 1, "little")

@@ -59,6 +59,16 @@ class ReplicationError(StoreError):
     """
 
 
+class CompressionError(ReproError):
+    """A compression codec is unknown, unavailable, or produced bad data.
+
+    Raised by :mod:`repro.util.compression` when a store or WAL names a
+    codec this installation cannot decode (e.g. ``zstd`` without the
+    optional ``zstandard`` package) or when a compressed container fails
+    to parse.
+    """
+
+
 class MemoryBudgetExceeded(ReproError):
     """A mining run exceeded its configured memory budget.
 

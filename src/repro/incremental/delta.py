@@ -126,10 +126,26 @@ class OccurrenceColumns:
         return ((1 << len(self._columns)) - 1) & ~self._dead_bits
 
     def support_count(self, bits: int) -> int:
+        # Adaptive kernel, mirroring OccurrenceStore.support_count:
+        # sparse candidate sets walk their own bits instead of scanning
+        # every graph mask.  Dead columns are never set in incoming
+        # masks (OIE rows only cover live occurrences), but guard with
+        # the all_bits clamp anyway so stale bits cannot crash on None.
         if bits == 0:
             return 0
         if bits == self.all_bits:
             return len(self._graph_masks)
+        if bits.bit_count() * 4 < len(self._graph_masks):
+            columns = self._columns
+            graphs: set[int] = set()
+            probe = bits & self.all_bits
+            while probe:
+                low = probe & -probe
+                column = columns[low.bit_length() - 1]
+                if column is not None:
+                    graphs.add(column[0])
+                probe ^= low
+            return len(graphs)
         return sum(1 for mask in self._graph_masks.values() if mask & bits)
 
     def support_set(self, bits: int) -> frozenset[int]:

@@ -46,7 +46,8 @@ from repro.mining.gspan import Embedding, GSpanMiner, MinedPattern, min_support_
 from repro.observability.metrics import MetricsRegistry
 from repro.observability.trace import NOOP_TRACER, Tracer
 from repro.taxonomy.taxonomy import Taxonomy
-from repro.util.bitset import BitSet
+from repro.util.bitset import BitSet, kernel_counters, kernel_delta
+from repro.util.compression import normalize_codec
 from repro.util.timing import Stopwatch
 
 __all__ = ["mine_to_store"]
@@ -86,6 +87,7 @@ def _mine_sequential(
     counters = MiningCounters()
     metrics = MetricsRegistry()
     stage_seconds: dict[str, float] = {}
+    kernel_before = kernel_counters()
 
     prepare = Stopwatch()
     with prepare, tracer.span("relabel"):
@@ -102,6 +104,9 @@ def _mine_sequential(
         options.min_support,
         options.max_edges,
         options.artificial_root_name,
+        compression=normalize_codec(
+            getattr(options, "store_compression", None)
+        ),
     )
     border: dict[_Code, BitSet] = {}
 
@@ -164,6 +169,7 @@ def _mine_sequential(
     store.save()
     metrics.set_gauge("store.classes", len(store.classes))
     metrics.set_gauge("store.border_size", len(store.border))
+    _record_store_metrics(store, metrics, kernel_before)
 
     from repro.core.taxogram import _any_enhancement, _build_report
 
@@ -180,6 +186,26 @@ def _mine_sequential(
         ),
     )
     return result, store
+
+
+def _record_store_metrics(
+    store: PatternStore,
+    metrics: MetricsRegistry,
+    kernel_before: dict[str, int],
+) -> None:
+    """Surface bit-set kernel work and compression ratio on the report.
+
+    Kernel counters are process-cumulative, so only the delta since the
+    run started is attributed; the compression gauge is the store-wide
+    stored/raw ratio from the manifest block (absent on raw stores).
+    """
+    for name, value in kernel_delta(kernel_before).items():
+        metrics.add(name, value)
+    stats = store.compression_stats
+    raw = sum(s["raw"] for s in stats.values())
+    stored_bytes = sum(s["stored"] for s in stats.values())
+    if raw:
+        metrics.set_gauge("store.compression_ratio", stored_bytes / raw)
 
 
 def _persist_entries(
@@ -218,6 +244,7 @@ def _mine_parallel(
     from repro.parallel.runtime import ParallelTaxogram
 
     kept_sink: list = []
+    kernel_before = kernel_counters()
     forced = replace(
         options,
         store_out=None,
@@ -238,6 +265,9 @@ def _mine_parallel(
         options.min_support,
         options.max_edges,
         options.artificial_root_name,
+        compression=normalize_codec(
+            getattr(options, "store_compression", None)
+        ),
     )
     for merged in kept_sink:
         stored = store.add_class(
@@ -251,6 +281,19 @@ def _mine_parallel(
     if result.report is not None:
         result.report.gauges["store.classes"] = float(len(store.classes))
         result.report.gauges["store.border_size"] = float(len(store.border))
+        # Driver-side bit-set work only: workers are separate processes
+        # and account for their own kernels.
+        for name, value in kernel_delta(kernel_before).items():
+            result.report.counters[name] = (
+                result.report.counters.get(name, 0) + value
+            )
+        stats = store.compression_stats
+        raw = sum(s["raw"] for s in stats.values())
+        stored_bytes = sum(s["stored"] for s in stats.values())
+        if raw:
+            result.report.gauges["store.compression_ratio"] = (
+                stored_bytes / raw
+            )
     return result, store
 
 

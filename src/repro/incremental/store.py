@@ -24,6 +24,14 @@ instead of producing silently wrong supports.  OIE directory names are
 allocated from a monotonic counter, so class reordering across updates
 never renames directories.
 
+Stores may optionally be *compressed*: when ``PatternStore.initialize``
+is given a codec name (see :mod:`repro.util.compression`), every store
+file and every OIE occurrence blob is written as a self-describing
+compressed container, and the manifest records a ``compression`` block
+(codec plus per-file raw/stored sizes).  The block is simply absent on
+legacy stores, so old stores open unchanged and the format version stays
+1; checksums always cover the on-disk (compressed) bytes.
+
 Concurrency contract (the serving read path relies on it): every
 :meth:`PatternStore.save` bumps a monotonic ``store_version`` in the
 manifest, and :class:`~repro.incremental.updater.IncrementalTaxogram`
@@ -43,7 +51,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.core.disk_index import DiskOccurrenceIndex
-from repro.exceptions import StoreError
+from repro.exceptions import CompressionError, StoreError
 from repro.graphs.database import GraphDatabase
 from repro.graphs.io import parse_graph_database, serialize_graph_database
 from repro.incremental.delta import OccurrenceColumns
@@ -51,6 +59,7 @@ from repro.mining.dfs_code import DFSCode, DFSEdge
 from repro.taxonomy.io import serialize_taxonomy
 from repro.taxonomy.taxonomy import Taxonomy
 from repro.util.bitset import BitSet
+from repro.util.compression import decode_container, encode_container
 from repro.util.interner import LabelInterner
 
 __all__ = [
@@ -139,6 +148,7 @@ class PatternStore:
         min_support: float,
         max_edges: int | None,
         artificial_root_name: str,
+        compression: str | None = None,
     ) -> None:
         self.directory = Path(directory)
         self.database = database
@@ -146,6 +156,13 @@ class PatternStore:
         self.min_support = min_support
         self.max_edges = max_edges
         self.artificial_root_name = artificial_root_name
+        # Codec name for the store files and OIE blobs, or None for the
+        # legacy raw layout.  Recorded in the manifest on save, restored
+        # on open, so an updater re-saving a compressed store keeps its
+        # codec without the caller re-negotiating.
+        self.compression = compression
+        # name -> {"raw": n, "stored": n} sizes from the last save/open.
+        self.compression_stats: dict[str, dict[str, int]] = {}
         self.classes: list[StoredClass] = []
         self.border: dict[_Code, BitSet] = {}
         self.store_version = 0
@@ -168,6 +185,7 @@ class PatternStore:
         min_support: float,
         max_edges: int | None,
         artificial_root_name: str,
+        compression: str | None = None,
     ) -> "PatternStore":
         """Prepare ``directory`` for a fresh store, wiping a previous one.
 
@@ -192,6 +210,7 @@ class PatternStore:
             min_support,
             max_edges,
             artificial_root_name,
+            compression=compression,
         )
 
     # -- class management ------------------------------------------------------------
@@ -226,6 +245,7 @@ class PatternStore:
             stored.num_positions,
             directory=path,
             max_resident_entries=max_resident_entries,
+            codec=self.compression,
         )
 
     def load_index(
@@ -252,6 +272,7 @@ class PatternStore:
             max_resident_entries=max_resident_entries,
             reset=False,
             read_only=read_only,
+            codec=self.compression,
         )
 
     # -- update fencing ---------------------------------------------------------------
@@ -353,10 +374,21 @@ class PatternStore:
             _BORDER: json.dumps(border_doc),
         }
         checksums: dict[str, str] = {}
+        compression_stats: dict[str, dict[str, int]] = {}
         for name, text in files.items():
             data = text.encode("utf-8")
+            if self.compression is not None:
+                raw_len = len(data)
+                data = encode_container(data, self.compression)
+                compression_stats[name] = {
+                    "raw": raw_len,
+                    "stored": len(data),
+                }
             (self.directory / name).write_bytes(data)
+            # Checksums always cover the on-disk bytes, so integrity
+            # verification on open never needs to decompress first.
             checksums[name] = hashlib.sha256(data).hexdigest()
+        self.compression_stats = compression_stats
         oie_rows: dict[str, int] = {}
         for stored in self.classes:
             index = self.load_index(stored)
@@ -378,6 +410,14 @@ class PatternStore:
             "checksums": checksums,
             "oie_rows": oie_rows,
         }
+        if self.compression is not None:
+            # Key absent entirely on legacy stores: old readers (which
+            # ignore unknown keys) stay compatible, and new readers take
+            # its absence as "raw layout".
+            manifest["compression"] = {
+                "codec": self.compression,
+                "files": compression_stats,
+            }
         manifest_path = self.directory / _MANIFEST
         tmp_path = manifest_path.with_name(_MANIFEST + ".tmp")
         tmp_path.write_text(json.dumps(manifest, indent=2), encoding="utf-8")
@@ -403,6 +443,8 @@ class PatternStore:
                 f"unsupported store format version {version!r} "
                 f"(this build reads version {FORMAT_VERSION})"
             )
+        compression_doc = manifest.get("compression")
+        codec = compression_doc["codec"] if compression_doc else None
         texts: dict[str, str] = {}
         for name, expected in manifest["checksums"].items():
             path = directory / name
@@ -415,6 +457,11 @@ class PatternStore:
                     f"store file {name} failed its integrity check "
                     f"(expected {expected[:12]}..., got {actual[:12]}...)"
                 )
+            if codec is not None:
+                try:
+                    data, _ = decode_container(data)
+                except CompressionError as exc:
+                    raise StoreError(f"store file {name}: {exc}") from exc
             texts[name] = data.decode("utf-8")
 
         labels_doc = json.loads(texts[_LABELS])
@@ -443,7 +490,13 @@ class PatternStore:
             manifest["min_support"],
             manifest["max_edges"],
             manifest["artificial_root"],
+            compression=codec,
         )
+        if compression_doc:
+            store.compression_stats = {
+                name: dict(sizes)
+                for name, sizes in compression_doc.get("files", {}).items()
+            }
         if store._taxonomy_sha != manifest["taxonomy_sha256"]:
             raise StoreError(
                 "store taxonomy does not reproduce the fingerprint in "

@@ -21,6 +21,7 @@ This module provides:
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Iterable, Sequence
 
 from repro.exceptions import MiningError
@@ -28,6 +29,8 @@ from repro.graphs.graph import Graph
 
 __all__ = [
     "DFSEdge",
+    "canonical_cache_info",
+    "clear_canonical_caches",
     "dfs_edge_lt",
     "DFSCode",
     "graph_from_code",
@@ -327,12 +330,8 @@ class _MinCodeBuilder:
         return best, best_states
 
 
-def is_min_code(code: DFSCode | Sequence[DFSEdge]) -> bool:
-    """gSpan's minimality test: is ``code`` the minimum DFS code of the
-    graph it describes?"""
-    edges = code.edges if isinstance(code, DFSCode) else tuple(code)
-    if not edges:
-        return True
+@lru_cache(maxsize=1 << 16)
+def _is_min_code_cached(edges: tuple[DFSEdge, ...]) -> bool:
     graph = graph_from_code(edges)
     builder = _min_code_steps(graph)
     if builder.code[0] != edges[0]:
@@ -344,6 +343,31 @@ def is_min_code(code: DFSCode | Sequence[DFSEdge]) -> bool:
     return True
 
 
+def is_min_code(code: DFSCode | Sequence[DFSEdge]) -> bool:
+    """gSpan's minimality test: is ``code`` the minimum DFS code of the
+    graph it describes?
+
+    Memoized on the edge tuple: the specializer and the streaming
+    updater re-test the same candidate codes across taxonomy levels and
+    deltas, and minimality is a pure function of the code.  Parallel
+    workers are separate processes, so each keeps a private cache and
+    the counter/differential invariants are unaffected.
+    """
+    edges = code.edges if isinstance(code, DFSCode) else tuple(code)
+    if not edges:
+        return True
+    return _is_min_code_cached(edges)
+
+
+# structure_key -> canonical code; bounded by wholesale clearing, which
+# beats lru_cache bookkeeping here because hits vastly outnumber
+# evictions during a mining run.
+_MIN_CODE_CACHE: dict[tuple, DFSCode] = {}
+_MIN_CODE_CACHE_MAX = 1 << 15
+_min_code_hits = 0
+_min_code_misses = 0
+
+
 def min_dfs_code(graph: Graph) -> DFSCode:
     """The canonical (minimum) DFS code of a connected labeled graph.
 
@@ -351,17 +375,55 @@ def min_dfs_code(graph: Graph) -> DFSCode:
     single-vertex graph yields the empty code; since frequent patterns
     always contain an edge this is only relevant to callers using codes
     as general-purpose canonical keys.
+
+    Memoized on :meth:`Graph.structure_key` — equal keys mean identical
+    labeled graphs, hence identical canonical codes.  gSpan enumerates
+    the same candidate graph through many extension orders, so the
+    canonicalization in the specializer's ``finalize`` step hits the
+    cache heavily.
     """
+    global _min_code_hits, _min_code_misses
     if graph.num_edges == 0:
         if graph.num_nodes > 1:
             raise MiningError("graph is not connected")
         return DFSCode(())
+    key = graph.structure_key()
+    cached = _MIN_CODE_CACHE.get(key)
+    if cached is not None:
+        _min_code_hits += 1
+        return cached
     if not graph.is_connected():
         raise MiningError("graph is not connected")
     builder = _min_code_steps(graph)
     while builder.step() is not None:
         pass
-    return DFSCode(builder.code)
+    code = DFSCode(builder.code)
+    _min_code_misses += 1
+    if len(_MIN_CODE_CACHE) >= _MIN_CODE_CACHE_MAX:
+        _MIN_CODE_CACHE.clear()
+    _MIN_CODE_CACHE[key] = code
+    return code
+
+
+def canonical_cache_info() -> dict[str, int]:
+    """Hit/miss/size statistics for both canonicality caches."""
+    info = _is_min_code_cached.cache_info()
+    return {
+        "is_min_code_hits": info.hits,
+        "is_min_code_misses": info.misses,
+        "is_min_code_size": info.currsize,
+        "min_dfs_code_hits": _min_code_hits,
+        "min_dfs_code_misses": _min_code_misses,
+        "min_dfs_code_size": len(_MIN_CODE_CACHE),
+    }
+
+
+def clear_canonical_caches() -> None:
+    global _min_code_hits, _min_code_misses
+    _is_min_code_cached.cache_clear()
+    _MIN_CODE_CACHE.clear()
+    _min_code_hits = 0
+    _min_code_misses = 0
 
 
 def min_code_with_embeddings(

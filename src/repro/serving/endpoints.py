@@ -193,7 +193,16 @@ def serving_routes(
         return 200, payload, {}
 
     def handle_metrics(request: HTTPRequest) -> HTTPResult:
-        return 200, reader.metrics.as_dict(), {}
+        from repro.util.bitset import kernel_counters
+
+        payload = reader.metrics.as_dict()
+        # Process-cumulative bit-set kernel work: similarity scoring
+        # (overlap/jaccard over fragment fingerprints) runs on BitSet
+        # kernels, so operators can watch block-skipping pay off.
+        payload.setdefault("counters", {}).update(
+            {k: v for k, v in kernel_counters().items() if v}
+        )
+        return 200, payload, {}
 
     def handle_top(request: HTTPRequest) -> HTTPResult:
         try:

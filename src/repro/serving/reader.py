@@ -414,6 +414,13 @@ class StoreReader:
                     self._state = new_state
                     self._cache.clear()
                     self.metrics.add("serving.reloads", 1)
+                    stats = store.compression_stats
+                    raw = sum(s["raw"] for s in stats.values())
+                    if raw:
+                        self.metrics.set_gauge(
+                            "serving.store_compression_ratio",
+                            sum(s["stored"] for s in stats.values()) / raw,
+                        )
                     return new_state
                 time.sleep(self._retry_wait)
             if last_error is not None and state is None:

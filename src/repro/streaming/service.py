@@ -69,10 +69,15 @@ class IngestOptions:
     with 429 (the asyncio front-end additionally sheds probabilistically
     *before* this bound via :mod:`repro.serving.admission`).
     ``wait_timeout_seconds`` caps ``"wait": true`` blocking.
+    ``wal_compress`` names the codec sealed WAL segments are rewritten
+    with at rotation (None keeps the raw frame layout; see
+    :mod:`repro.streaming.wal` for the logical-byte contract that keeps
+    replication digests stable either way).
     """
 
     max_lag_records: int = 1024
     wait_timeout_seconds: float = 60.0
+    wal_compress: str | None = None
 
 
 class IngestRequestHandler(StoreRequestHandler):
@@ -140,7 +145,11 @@ class IngestCore:
             metrics if metrics is not None else LockingMetricsRegistry()
         )
         self.tracer = tracer if tracer is not None else NOOP_TRACER
-        self.wal = WriteAheadLog(wal_dir, metrics=self.metrics)
+        self.wal = WriteAheadLog(
+            wal_dir,
+            metrics=self.metrics,
+            compress=self.options.wal_compress,
+        )
         self.applier = StreamApplier(
             store_dir,
             self.wal,

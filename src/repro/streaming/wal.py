@@ -28,6 +28,19 @@ the tail is a bit flip and raises :class:`~repro.exceptions.WALError`
 instead of dropping acknowledged data.  Earlier segments are verified
 lazily as they are read back.
 
+With ``compress`` set, a segment is rewritten as a compressed container
+(:mod:`repro.util.compression`) the moment rotation seals it; the active
+segment always stays raw so appends remain append-only.  Compression is
+invisible above the file layer: every sequence-and-offset API —
+:meth:`WriteAheadLog.segment_views`, :meth:`~WriteAheadLog.
+read_segment_chunk`, :func:`decode_frames` — keeps speaking *logical*
+(uncompressed) frame bytes, so replication shippers hash and followers
+replay identical byte streams whether any primary, follower, or old
+segment in the same fleet is compressed or not.  If a crash lands
+between sealing and creating the next segment, reopening detects the
+compressed tail file and treats it as sealed (it is complete by
+construction) rather than appending raw frames into a container.
+
 The log is thread-safe: HTTP handler threads append while the applier
 thread reads, coordinated by one lock and a condition variable
 (:meth:`WriteAheadLog.wait_for`).  Readers only ever see frames whose
@@ -44,11 +57,18 @@ import threading
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro.exceptions import WALError
+from repro.exceptions import CompressionError, WALError
 from repro.incremental.delta import DatabaseDelta
 from repro.observability.metrics import (
     LockingMetricsRegistry,
     MetricsRegistry,
+)
+from repro.util.compression import (
+    container_raw_length,
+    decode_container,
+    encode_container,
+    is_container,
+    normalize_codec,
 )
 from repro.util.faultpoints import Faultpoints
 
@@ -188,10 +208,16 @@ class WriteAheadLog:
         fsync: bool = True,
         metrics: MetricsRegistry | None = None,
         initial_seq: int = 0,
+        compress: str | None = None,
     ) -> None:
         self.directory = Path(directory)
         self.segment_max_bytes = max(1, segment_max_bytes)
         self.fsync = fsync
+        # Codec for sealed segments ("auto"/"none" accepted); the active
+        # segment is always raw.  A log opened without compression still
+        # reads compressed segments left by an earlier configuration,
+        # and vice versa — the container header is self-describing.
+        self.compress = normalize_codec(compress)
         # First sequence number of a brand-new log.  Ignored when the
         # directory already holds segments; a replication follower that
         # bootstrapped its store from a snapshot uses it to start its
@@ -207,6 +233,10 @@ class WriteAheadLog:
         self._segments: list[int] = []  # start seqs, ascending
         self._next_seq = 0
         self._active_file = None
+        # start seq -> (logical size, compressed?) for sealed segments,
+        # and a one-slot decompressed-segment cache for chunk reads.
+        self._sealed_info: dict[int, tuple[int, bool]] = {}
+        self._chunk_cache: tuple[int, bytes] | None = None
         self.directory.mkdir(parents=True, exist_ok=True)
         self._open_segments()
 
@@ -231,17 +261,40 @@ class WriteAheadLog:
         # read-back.  Scanning the tail both repairs it and recovers
         # next_seq.
         last_start = starts[-1]
-        records, truncate_at, torn = self._scan_segment(
-            self._segment_path(last_start), last_start, repair=True
-        )
-        if truncate_at is not None:
-            with open(self._segment_path(last_start), "r+b") as handle:
-                handle.truncate(truncate_at)
-                handle.flush()
-                os.fsync(handle.fileno())
-            self.metrics.add("streaming.wal_torn_records", torn)
-        self._next_seq = last_start + len(records)
-        self._active_file = open(self._segment_path(last_start), "ab")
+        last_path = self._segment_path(last_start)
+        if self._file_is_compressed(last_path):
+            # A rotation sealed and compressed this segment, then the
+            # process died before creating the next active file.  The
+            # segment is complete (compression happens only after the
+            # last frame was fsync'd), so do not tail-repair it: treat
+            # it as sealed and start a fresh active segment after it.
+            records, _truncate, _torn = self._scan_segment(
+                last_path, last_start, repair=False
+            )
+            self._next_seq = last_start + len(records)
+            self._segments.append(self._next_seq)
+            self._segment_path(self._next_seq).touch()
+            self._fsync_directory()
+        else:
+            records, truncate_at, torn = self._scan_segment(
+                last_path, last_start, repair=True
+            )
+            if truncate_at is not None:
+                with open(last_path, "r+b") as handle:
+                    handle.truncate(truncate_at)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                self.metrics.add("streaming.wal_torn_records", torn)
+            self._next_seq = last_start + len(records)
+        self._active_file = open(self._segment_path(self._segments[-1]), "ab")
+
+    @staticmethod
+    def _file_is_compressed(path: Path) -> bool:
+        try:
+            with open(path, "rb") as handle:
+                return is_container(handle.read(4))
+        except OSError:
+            return False
 
     def _scan_segment(
         self, path: Path, start_seq: int, repair: bool
@@ -252,9 +305,19 @@ class WriteAheadLog:
         torn tail yields the byte offset to truncate at and the number
         of discarded frames instead of raising.  A checksum failure that
         is *not* the final frame always raises — that is corruption, not
-        a crashed append.
+        a crashed append.  Compressed (sealed) segments decompress
+        transparently; their frames were complete before compression, so
+        any damage inside one is corruption regardless of ``repair``.
         """
         data = path.read_bytes()
+        if is_container(data[:4]):
+            try:
+                data, _ = decode_container(data)
+            except CompressionError as exc:
+                raise WALError(
+                    f"WAL segment {path.name}: {exc}"
+                ) from exc
+            repair = False
         records: list[WALRecord] = []
         offset = 0
         size = len(data)
@@ -343,12 +406,38 @@ class WriteAheadLog:
 
     def _rotate_locked(self) -> None:
         self._active_file.close()
+        if self.compress is not None:
+            self._compress_sealed_locked(self._segments[-1])
         self._segments.append(self._next_seq)
         self._active_file = open(
             self._segment_path(self._next_seq), "ab"
         )
         self._fsync_directory()
         self.metrics.add("streaming.wal_rotations", 1)
+
+    def _compress_sealed_locked(self, start_seq: int) -> None:
+        """Rewrite the just-sealed segment as a compressed container.
+
+        The rewrite goes through a temp file and an atomic replace, so a
+        crash leaves either the raw segment or the complete container —
+        never a truncated mix (``.tmp`` files do not match the segment
+        name pattern and are ignored on reopen).
+        """
+        path = self._segment_path(start_seq)
+        raw = path.read_bytes()
+        packed = encode_container(raw, self.compress)
+        tmp = path.with_name(path.name + ".tmp")
+        with open(tmp, "wb") as handle:
+            handle.write(packed)
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+        tmp.replace(path)
+        self._sealed_info[start_seq] = (len(raw), True)
+        self.metrics.add("streaming.wal_segments_compressed", 1)
+        self.metrics.add(
+            "streaming.wal_compression_saved_bytes", len(raw) - len(packed)
+        )
 
     def _fsync_directory(self) -> None:
         if not self.fsync:
@@ -410,6 +499,24 @@ class WriteAheadLog:
 
     # -- read-only segment access (replication followers) ---------------------
 
+    def _sealed_logical_locked(self, start_seq: int) -> tuple[int, bool]:
+        """(logical size, compressed?) of a sealed segment, cached.
+
+        Reads at most the container header, so reporting logical sizes
+        never decompresses a segment.
+        """
+        info = self._sealed_info.get(start_seq)
+        if info is None:
+            path = self._segment_path(start_seq)
+            with open(path, "rb") as handle:
+                head = handle.read(64)
+            if is_container(head[:4]):
+                info = (container_raw_length(head), True)
+            else:
+                info = (path.stat().st_size, False)
+            self._sealed_info[start_seq] = info
+        return info
+
     def segment_views(self) -> list[SegmentView]:
         """Point-in-time views of every segment, oldest first.
 
@@ -418,7 +525,10 @@ class WriteAheadLog:
         :meth:`read_segment_chunk` without stalling appends.  The active
         (last) segment's ``size_bytes`` is its published length; sealed
         segments are immutable until :meth:`truncate_applied` reclaims
-        them.
+        them.  ``size_bytes`` is always the *logical* (uncompressed)
+        frame-byte count — compressed sealed segments report the same
+        size they did before compression, keeping shipper manifests and
+        follower offsets identical across mixed fleets.
         """
         with self._lock:
             segments = list(self._segments)
@@ -433,7 +543,7 @@ class WriteAheadLog:
                     SegmentView(
                         start_seq=start,
                         end_seq=segments[index + 1],
-                        size_bytes=self._segment_path(start).stat().st_size,
+                        size_bytes=self._sealed_logical_locked(start)[0],
                         sealed=True,
                     )
                 )
@@ -467,16 +577,28 @@ class WriteAheadLog:
                     f"WAL segment starting at {start_seq} does not exist "
                     f"(truncated or never written)"
                 )
-            if (
+            is_active = (
                 start_seq == self._segments[-1]
                 and self._active_file is not None
-            ):
+            )
+            compressed = False
+            if is_active:
                 published = self._active_file.tell()
             else:
-                published = self._segment_path(start_seq).stat().st_size
+                try:
+                    published, compressed = self._sealed_logical_locked(
+                        start_seq
+                    )
+                except OSError as exc:
+                    raise WALError(
+                        f"WAL segment starting at {start_seq} vanished "
+                        f"while being read (truncated concurrently): {exc}"
+                    ) from exc
         end = min(published, offset + max_bytes)
         if offset >= end:
             return b""
+        if compressed:
+            return self._sealed_bytes(start_seq)[offset:end]
         try:
             with open(self._segment_path(start_seq), "rb") as handle:
                 handle.seek(offset)
@@ -486,6 +608,34 @@ class WriteAheadLog:
                 f"WAL segment starting at {start_seq} vanished while "
                 f"being read (truncated concurrently): {exc}"
             ) from exc
+
+    def _sealed_bytes(self, start_seq: int) -> bytes:
+        """Logical bytes of a compressed sealed segment.
+
+        A one-slot cache keeps the common follower access pattern —
+        many sequential chunk reads over one segment — from paying the
+        decompression once per chunk.
+        """
+        with self._lock:
+            cache = self._chunk_cache
+        if cache is not None and cache[0] == start_seq:
+            return cache[1]
+        try:
+            packed = self._segment_path(start_seq).read_bytes()
+        except OSError as exc:
+            raise WALError(
+                f"WAL segment starting at {start_seq} vanished while "
+                f"being read (truncated concurrently): {exc}"
+            ) from exc
+        try:
+            data, _ = decode_container(packed)
+        except CompressionError as exc:
+            raise WALError(
+                f"WAL segment starting at {start_seq}: {exc}"
+            ) from exc
+        with self._lock:
+            self._chunk_cache = (start_seq, data)
+        return data
 
     # -- maintenance ----------------------------------------------------------
 
@@ -500,6 +650,9 @@ class WriteAheadLog:
             while len(self._segments) > 1 and self._segments[1] <= applied_seq + 1:
                 start = self._segments.pop(0)
                 self._segment_path(start).unlink(missing_ok=True)
+                self._sealed_info.pop(start, None)
+                if self._chunk_cache and self._chunk_cache[0] == start:
+                    self._chunk_cache = None
                 removed += 1
         if removed:
             self._fsync_directory()

@@ -88,6 +88,23 @@ class TestInfoCommand:
         assert main(["info", "store", "--wal", "nowhere"]) == 2
         assert "not a directory" in capsys.readouterr().err
 
+    def test_info_compressed_golden(self, workdir, capsys):
+        # zlib is deterministic at a fixed level, so codec, ratio and
+        # per-file sizes are stable enough to golden-check.
+        assert main(
+            ["mine", "db.graphs", "tax.txt", "--support", "0.4",
+             "--store-out", "zstore", "--compress", "zlib"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["info", "zstore"]) == 0
+        out = capsys.readouterr().out
+        assert "compression: zlib" in out
+        _check_golden("info_store_compressed.txt", out)
+
+    def test_info_raw_store_reports_no_compression(self, workdir, capsys):
+        assert main(["info", "store"]) == 0
+        assert "compression" not in capsys.readouterr().out
+
 
 class TestIngestDrain:
     def test_drain_applies_and_reports(self, workdir, capsys):

@@ -227,6 +227,120 @@ class TestIncrementalStreams:
         _run_stream(tmp_path, seed, mode, steps=8)
 
 
+COMPRESSION_SEEDS = [1, 4]
+WIDE_COMPRESSION_SEEDS = [7, 9, 12, 15]
+
+
+def _mine_store_variant(tmp_path, case, name, workers, compression):
+    database, taxonomy, sigma = case
+    store_dir = tmp_path / name
+    result = Taxogram(
+        TaxogramOptions(
+            min_support=sigma,
+            max_edges=2,
+            workers=workers,
+            store_out=str(store_dir),
+            store_compression=compression,
+        )
+    ).mine(database, taxonomy)
+    return result, store_dir
+
+
+def _serving_answer(store_dir) -> str:
+    """A canonical JSON rendering of the reader's top-k answer."""
+    import json
+
+    from repro.serving.endpoints import value_payload
+    from repro.serving.reader import StoreReader
+
+    reader = StoreReader(store_dir)
+    answer = reader.query("top_k", k=100)
+    return json.dumps(
+        value_payload(reader, "top_k", answer.value), sort_keys=True
+    )
+
+
+def _check_compression_variants(tmp_path, seed: int) -> None:
+    """Store compression and parallelism are both invisible to results.
+
+    Four variants of one case — {sequential, workers=2} x {raw, zlib} —
+    must produce identical pattern sets, identical specialize-phase
+    work counters (per worker count), identical persisted class/border
+    state, and byte-identical serving answers.
+    """
+    from repro.incremental.store import PatternStore
+
+    case = make_differential_case(seed)
+    variants = {}
+    for workers in (1, 2):
+        for compression in (None, "zlib"):
+            name = f"w{workers}-{compression or 'raw'}"
+            variants[name] = _mine_store_variant(
+                tmp_path, case, name, workers, compression
+            )
+
+    codes = {
+        name: result.pattern_codes()
+        for name, (result, _dir) in variants.items()
+    }
+    reference = codes["w1-raw"]
+    for name, value in codes.items():
+        assert value == reference, name
+
+    # Compression must not perturb the work profile: same-worker pairs
+    # agree counter for counter on the specialize-phase fields.
+    for workers in (1, 2):
+        raw_c = variants[f"w{workers}-raw"][0].counters
+        z_c = variants[f"w{workers}-zlib"][0].counters
+        assert z_c.pattern_classes == raw_c.pattern_classes
+        assert z_c.embedding_extensions == raw_c.embedding_extensions
+        assert z_c.bitset_intersections == raw_c.bitset_intersections
+        assert z_c.candidates_enumerated == raw_c.candidates_enumerated
+        assert (
+            z_c.overgeneralized_eliminated == raw_c.overgeneralized_eliminated
+        )
+        assert z_c.oie_entries == raw_c.oie_entries
+
+    stores = {
+        name: PatternStore.open(store_dir)
+        for name, (_result, store_dir) in variants.items()
+    }
+    ref_store = stores["w1-raw"]
+    for name, store in stores.items():
+        assert [c.code for c in store.classes] == [
+            c.code for c in ref_store.classes
+        ], name
+        assert store.border == ref_store.border, name
+        assert store.compression == (
+            "zlib" if name.endswith("zlib") else None
+        )
+    for ref_cls, z_cls in zip(ref_store.classes, stores["w1-zlib"].classes):
+        assert (
+            ref_store.load_index(ref_cls).dump_rows()
+            == stores["w1-zlib"].load_index(z_cls).dump_rows()
+        )
+
+    answers = {
+        name: _serving_answer(store_dir)
+        for name, (_result, store_dir) in variants.items()
+    }
+    for name, answer in answers.items():
+        assert answer == answers["w1-raw"], name
+
+
+class TestCompressionDifferential:
+    """Widened matrix: compression on/off x sequential/workers=2."""
+
+    @pytest.mark.parametrize("seed", COMPRESSION_SEEDS)
+    def test_compression_invariance(self, tmp_path, seed):
+        _check_compression_variants(tmp_path, seed)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("seed", WIDE_COMPRESSION_SEEDS)
+    def test_compression_invariance_wide(self, tmp_path, seed):
+        _check_compression_variants(tmp_path, seed)
+
+
 class TestGuaranteedShard:
     def test_sigma_one_always_shards(self, go_excerpt, pathway_db):
         # |D|=2, sigma=1.0 -> min_count=2 -> shards=min(2, 2, 1)=1:

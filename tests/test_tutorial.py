@@ -431,3 +431,68 @@ class TestTutorial:
         assert hom.path == "similarity:homomorphism"
 
         assert reader.metrics.counter("similarity.queries") > 0
+
+    def test_step18_compression(self, tmp_path):
+        taxonomy, db = _setup()
+        import json
+
+        from repro import StoreReader
+        from repro.incremental.store import PatternStore
+        from repro.util.bitset import kernel_counters, kernel_delta
+        from repro.util.compression import (
+            available_codecs,
+            best_codec,
+            normalize_codec,
+        )
+
+        # "auto" resolves to the best codec available in-process; zlib
+        # is the stdlib fallback, so it is always on the menu.
+        assert "zlib" in available_codecs()
+        assert normalize_codec("auto") == best_codec()
+
+        raw_dir = tmp_path / "raw.store"
+        packed_dir = tmp_path / "pathways.store"
+        for store_out, codec in ((raw_dir, None), (packed_dir, "auto")):
+            Taxogram(
+                TaxogramOptions(
+                    min_support=1.0,
+                    store_out=str(store_out),
+                    store_compression=codec,
+                )
+            ).mine(db, taxonomy)
+
+        # Manifest-driven negotiation: the raw store has no compression
+        # block, the packed one records codec and per-file byte counts
+        # (this is what `taxogram info` prints).
+        raw_manifest = json.loads((raw_dir / "manifest.json").read_text())
+        assert "compression" not in raw_manifest
+        packed_manifest = json.loads(
+            (packed_dir / "manifest.json").read_text()
+        )
+        block = packed_manifest["compression"]
+        assert block["codec"] == best_codec()
+        assert block["files"]["classes.json"]["stored"] < (
+            block["files"]["classes.json"]["raw"]
+        )
+
+        # Both open, and answer identically.
+        raw_store = PatternStore.open(raw_dir)
+        packed_store = PatternStore.open(packed_dir)
+        assert packed_store.compression == best_codec()
+        assert raw_store.compression is None
+        assert [c.code for c in packed_store.classes] == [
+            c.code for c in raw_store.classes
+        ]
+
+        # The bit-set kernels keep process-level bitset.* counters;
+        # snapshot-and-delta attributes work to one operation.
+        reader = StoreReader(packed_dir)
+        pattern = reader.parse_pattern(
+            "t # 0\nv 0 carrier\nv 1 dna_helicase\ne 0 1 interacts\n"
+        )
+        snapshot = kernel_counters()
+        ranked = reader.similar_patterns(pattern, threshold=0.2)
+        assert [s.graph_id for s in ranked] == [0, 2, 1]
+        delta = kernel_delta(snapshot)
+        assert delta["bitset.jaccards"] > 0
+        assert delta["bitset.blocks_visited"] > 0
