@@ -319,6 +319,52 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_observability_arguments(similar)
 
+    session = sub.add_parser(
+        "session",
+        help="run an example-driven session mine against a pattern "
+        "store: candidates are seeded from the example graphs, "
+        "supports come from the store's bit-sets",
+    )
+    session.add_argument(
+        "store", type=Path, help="pattern store directory"
+    )
+    session.add_argument(
+        "--examples",
+        type=Path,
+        required=True,
+        metavar="FILE",
+        help="graph-db file holding the session's example graphs",
+    )
+    session.add_argument(
+        "--min-support",
+        type=_support_type,
+        default=None,
+        metavar="SIGMA",
+        help="session mining threshold (>= the store's sigma; "
+        "defaults to the store's sigma)",
+    )
+    session.add_argument(
+        "--semantics",
+        choices=("isomorphism", "homomorphism"),
+        default="isomorphism",
+        help="witness semantics for the example filter "
+        "(default: isomorphism)",
+    )
+    session.add_argument(
+        "--tenant",
+        default="cli",
+        metavar="NAME",
+        help="tenant the session is accounted against (default: cli)",
+    )
+    session.add_argument(
+        "--top-k",
+        type=int,
+        default=None,
+        metavar="K",
+        help="print only the K highest-support mined patterns",
+    )
+    _add_observability_arguments(session)
+
     serve = sub.add_parser(
         "serve",
         help="expose a pattern store over a JSON/HTTP endpoint",
@@ -723,6 +769,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_query(args)
         if args.command == "similar":
             return _cmd_similar(args)
+        if args.command == "session":
+            return _cmd_session(args)
         if args.command == "serve":
             return _cmd_serve(args)
         if args.command == "ingest":
@@ -1049,6 +1097,53 @@ def _cmd_similar(args: argparse.Namespace) -> int:
     if _wants_report(args):
         report = RunReport(
             algorithm="serving",
+            counters=dict(reader.metrics.counters),
+            gauges=dict(reader.metrics.gauges),
+        )
+        if tracer is not None and tracer.enabled:
+            report.spans = tracer.root
+        _emit_report(args, report)
+    return 0
+
+
+def _cmd_session(args: argparse.Namespace) -> int:
+    from repro.serving import StoreReader
+    from repro.sessions import SessionManager
+
+    tracer = Tracer() if _wants_report(args) else None
+    reader = StoreReader(args.store, tracer=tracer)
+    manager = SessionManager(reader, tracer=tracer, instance="cli")
+    session = manager.create(args.tenant)
+    manager.add_examples(session.session_id, args.examples.read_text())
+    result = manager.mine(
+        session.session_id,
+        min_support=args.min_support,
+        semantics=args.semantics,
+    )
+    print(
+        f"session {session.session_id} (tenant {session.tenant}): "
+        f"{session.num_examples} examples, "
+        f"{session.num_example_edges} edges"
+    )
+    print(
+        f"mined {len(result.patterns)} patterns from "
+        f"{result.candidates} candidates [store version "
+        f"{result.store_version}, semantics {result.semantics}, "
+        f"sigma {result.min_support}]"
+    )
+    shown = (
+        result.patterns
+        if args.top_k is None
+        else result.patterns[: max(0, args.top_k)]
+    )
+    for pattern in shown:
+        print(" ", manager.render(pattern))
+    if args.top_k is not None and len(shown) < len(result.patterns):
+        print(f"  ... and {len(result.patterns) - len(shown)} more")
+    manager.delete(session.session_id)
+    if _wants_report(args):
+        report = RunReport(
+            algorithm="sessions",
             counters=dict(reader.metrics.counters),
             gauges=dict(reader.metrics.gauges),
         )

@@ -15,6 +15,10 @@ a specific durability or liveness mechanism:
 * ``stall_fsync`` — inject latency at the ``wal.fsync`` fault point
   (:mod:`repro.util.faultpoints`): acks slow down, lag builds, and
   admission control must shed with 429s rather than hang or 500.
+* ``disk_full`` — raise ``ENOSPC`` at the ``wal.append`` fault point,
+  as if the WAL volume filled mid-run: every affected ingest must be
+  answered 429 (back-pressure, nothing acked, log untouched) — a 500
+  or a lost ack is a contract violation.
 
 :func:`seeded_fault_plan` picks injection times deterministically from
 a seed, so a chaos failure replays exactly;
@@ -38,6 +42,7 @@ __all__ = [
     "FaultInjector",
     "append_torn_frame",
     "corrupt_segment",
+    "disk_full",
     "seeded_fault_plan",
     "seeded_scenario_plan",
     "stall_fsync",
@@ -50,6 +55,7 @@ FAULT_KINDS = (
     "truncate_segment",
     "corrupt_segment",
     "stall_fsync",
+    "disk_full",
 )
 
 
@@ -163,6 +169,21 @@ def stall_fsync(faultpoints_path: str | Path, sleep_ms: int) -> None:
     """
     path = Path(faultpoints_path)
     doc = {} if sleep_ms <= 0 else {"wal.fsync": {"sleep_ms": sleep_ms}}
+    tmp = path.with_suffix(".tmp")
+    tmp.write_text(json.dumps(doc))
+    tmp.replace(path)
+
+
+def disk_full(faultpoints_path: str | Path, full: bool = True) -> None:
+    """Arm (or with ``full=False`` disarm) ENOSPC on ``wal.append``.
+
+    While armed, every WAL append in the target process raises
+    ``OSError(ENOSPC)`` *before* the frame touches the file, simulating
+    the WAL volume filling up: the log stays byte-identical, no seq is
+    acked, and the ingest surface must shed the request with 429.
+    """
+    path = Path(faultpoints_path)
+    doc = {"wal.append": {"errno": 28}} if full else {}
     tmp = path.with_suffix(".tmp")
     tmp.write_text(json.dumps(doc))
     tmp.replace(path)

@@ -45,6 +45,18 @@ Two modes:
 :class:`RouterService` exposes the router over HTTP: ``POST /query``
 and ``GET /top`` (both accepting ``min_applied_seq``), ``GET /health``
 listing per-replica liveness, and ``GET /metrics``.
+
+Interactive sessions (PR 10) are replica-local state — the scratch
+workspace and per-tenant caches live in one server's memory — so the
+router *pins* each session to the replica that created it:
+``POST /sessions`` round-robins to a healthy replica and records the
+``session_id -> replica`` binding; every later ``/sessions/...``
+request forwards to the pinned replica for the session's lifetime.
+When the pinned replica is evicted the pin is dropped and the request
+falls through to the next healthy replica, which faithfully answers
+404 (the session's state died with its replica) — clients re-create
+and re-submit.  Sessions are refused outright in sharded mode: a
+session's examples mine against one *whole* store.
 """
 
 from __future__ import annotations
@@ -181,6 +193,39 @@ class HTTPReplica:
                 f"{exc.code} {detail}"
             ) from exc
 
+    def request(
+        self, method: str, path: str, body: bytes | None = None
+    ) -> tuple[int, object, dict]:
+        """Forward a raw request (session pinning path).
+
+        Unlike :meth:`query`, *every* HTTP status is an answer to relay
+        (404 session-not-found, 429 quota breach with ``Retry-After``);
+        only transport failures raise, so the router evicts on dead
+        replicas but never on application errors.
+        """
+        request = urllib.request.Request(
+            self.base_url + path,
+            body,
+            {"Content-Type": "application/json"} if body else {},
+            method=method,
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return (
+                    response.status,
+                    json.loads(response.read()),
+                    dict(response.headers),
+                )
+        except urllib.error.HTTPError as exc:
+            detail = exc.read()
+            try:
+                payload: object = json.loads(detail)
+            except ValueError:
+                payload = {"error": detail.decode("utf-8", "replace")}
+            return exc.code, payload, dict(exc.headers)
+
 
 class LocalReplica:
     """An in-process reader presenting the same payload surface.
@@ -253,6 +298,27 @@ class LocalReplica:
             "value": value_payload(reader, op, answer.value),
         }
 
+    def request(
+        self, method: str, path: str, body: bytes | None = None
+    ) -> tuple[int, object, dict]:
+        """Dispatch a raw ``/sessions`` request against an in-process
+        session surface (built lazily over this replica's reader)."""
+        from repro.serving.endpoints import HTTPRequest, session_routes
+        from repro.sessions.manager import SessionManager
+
+        if getattr(self, "_session_routes", None) is None:
+            self._session_routes = session_routes(
+                SessionManager(self.reader)
+            )
+        endpoint, path_args = self._session_routes.match(method, path)
+        if endpoint is None:
+            return 404, {"error": f"unknown path {path!r}"}, {}
+        request = HTTPRequest(
+            method=method, path=path, body=body or b"",
+            path_args=path_args,
+        )
+        return endpoint.handler(request)
+
 
 @dataclass(frozen=True)
 class RouterOptions:
@@ -320,6 +386,10 @@ class QueryRouter:
         self._states = states
         self._lock = threading.Lock()
         self._round_robin = 0
+        # session_id -> _ReplicaState: sessions are replica-local state,
+        # so every request for a session must reach the replica that
+        # created it (see the module docstring).
+        self._session_pins: dict[str, _ReplicaState] = {}
         self._pool = (
             ThreadPoolExecutor(
                 max_workers=len(states),
@@ -490,6 +560,116 @@ class QueryRouter:
             return payload
         raise ReplicationError(
             f"every eligible replica failed the {op} query; "
+            f"last error: {last_error}"
+        )
+
+    # -- session pinning ------------------------------------------------------
+
+    @staticmethod
+    def _session_id_of(path: str) -> str | None:
+        parts = path.strip("/").split("/")
+        if len(parts) >= 2 and parts[0] == "sessions":
+            return parts[1]
+        return None
+
+    def session_pins(self) -> dict[str, str]:
+        """``session_id -> replica name`` (health snapshot surface)."""
+        with self._lock:
+            return {
+                session_id: state.replica.name
+                for session_id, state in self._session_pins.items()
+            }
+
+    def session_request(
+        self, method: str, path: str, body: bytes | None = None
+    ) -> tuple[int, object, dict]:
+        """Route one ``/sessions`` request, honoring the session's pin.
+
+        ``POST /sessions`` picks a healthy replica round-robin and pins
+        the returned session id to it; every other request forwards to
+        the pinned replica.  A pin whose replica has been evicted is
+        dropped and the request falls through to the next healthy
+        replica (which answers 404 for the dead session — faithful, the
+        state is gone).  ``DELETE`` and 404 answers unpin.
+        """
+        if self.options.sharded:
+            raise QueryRejected(
+                "sessions are not supported over shard-partitioned "
+                "stores; a session's examples mine against one whole "
+                "store"
+            )
+        session_id = self._session_id_of(path)
+        now = time.monotonic()
+        eligible, any_live = self._eligible(now, None)
+        if not eligible:
+            if any_live:
+                raise StaleReplicasError(
+                    "no replica is within the staleness bound; retry "
+                    "shortly"
+                )
+            raise ReplicationError(
+                "no healthy replica is available to route to"
+            )
+        pinned: _ReplicaState | None = None
+        if session_id is not None:
+            with self._lock:
+                pinned = self._session_pins.get(session_id)
+            if pinned is not None and not pinned.up(now):
+                # The pinned replica died; its session state died too.
+                with self._lock:
+                    self._session_pins.pop(session_id, None)
+                self.metrics.add("replication.router_session_repins", 1)
+                pinned = None
+        if pinned is not None:
+            order = [pinned]
+        else:
+            with self._lock:
+                start = self._round_robin
+                self._round_robin += 1
+            order = [
+                eligible[(start + i) % len(eligible)]
+                for i in range(len(eligible))
+            ]
+        last_error: Exception | None = None
+        for state in order:
+            try:
+                status, payload, headers = state.replica.request(
+                    method, path, body
+                )
+            except (ReproError, OSError, ValueError) as exc:
+                last_error = exc
+                self._evict(state, time.monotonic(), str(exc))
+                self.metrics.add("replication.router_retries", 1)
+                if state is pinned:
+                    with self._lock:
+                        self._session_pins.pop(session_id, None)
+                    self.metrics.add(
+                        "replication.router_session_repins", 1
+                    )
+                continue
+            self.metrics.add("replication.router_session_forwards", 1)
+            created = (
+                method == "POST"
+                and session_id is None
+                and status in (200, 201)
+                and isinstance(payload, dict)
+                and payload.get("session_id")
+            )
+            if created:
+                with self._lock:
+                    self._session_pins[str(payload["session_id"])] = state
+                self.metrics.add("replication.router_session_pins", 1)
+            if session_id is not None and (
+                status == 404 or (method == "DELETE" and status == 200)
+            ):
+                with self._lock:
+                    self._session_pins.pop(session_id, None)
+            if isinstance(payload, dict):
+                payload = dict(payload)
+                payload["replica"] = state.replica.name
+            return status, payload, headers
+        raise ReplicationError(
+            f"every eligible replica failed the session request; "
             f"last error: {last_error}"
         )
 
@@ -693,9 +873,40 @@ class RouterRequestHandler(BaseHTTPRequestHandler):
         except ReproError as exc:
             self._send(400, {"error": str(exc)})
 
+    def _forward_session(self, method: str) -> None:
+        """Relay one ``/sessions`` request through the router's pin."""
+        router = self.server.router
+        length = int(self.headers.get("Content-Length", "0"))
+        body = self.rfile.read(length) if length else None
+        try:
+            status, payload, headers = router.session_request(
+                method, urlparse(self.path).path, body
+            )
+        except QueryRejected as exc:
+            self._send(400, {"error": str(exc)})
+            return
+        except StaleReplicasError as exc:
+            self._send_shed(exc)
+            return
+        except ReplicationError as exc:
+            self._send(503, {"error": str(exc)})
+            return
+        body_out = json.dumps(payload, indent=2).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body_out)))
+        retry_after = headers.get("Retry-After")
+        if retry_after is not None:
+            self.send_header("Retry-After", str(retry_after))
+        self.end_headers()
+        self.wfile.write(body_out)
+
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         parsed = urlparse(self.path)
         router = self.server.router
+        if parsed.path.startswith("/sessions"):
+            self._forward_session("GET")
+            return
         if parsed.path == "/health":
             mode = "sharded" if router.options.sharded else "replicated"
             self._send(
@@ -705,6 +916,7 @@ class RouterRequestHandler(BaseHTTPRequestHandler):
                     "role": "router",
                     "mode": mode,
                     "replicas": router.replica_states(),
+                    "session_pins": router.session_pins(),
                 },
             )
             return
@@ -732,8 +944,17 @@ class RouterRequestHandler(BaseHTTPRequestHandler):
             return
         self._send(404, {"error": f"unknown path {parsed.path!r}"})
 
+    def do_DELETE(self) -> None:  # noqa: N802 - http.server API
+        if urlparse(self.path).path.startswith("/sessions"):
+            self._forward_session("DELETE")
+            return
+        self._send(404, {"error": f"unknown path {self.path!r}"})
+
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         path = urlparse(self.path).path
+        if path.startswith("/sessions"):
+            self._forward_session("POST")
+            return
         if path not in ("/query", "/similar"):
             self._send(404, {"error": f"unknown path {self.path!r}"})
             return

@@ -7,13 +7,19 @@ bound, and stampedes every shed client back at the same instant
 (``Retry-After: 1``).  This module replaces that cliff with a policy
 that is *probabilistic*, *monotone* and *jittered*:
 
-* every endpoint belongs to a kind — ``query``, ``ingest`` or
-  ``control`` — with its own concurrency limit and queue bound;
+* every endpoint belongs to a kind — one of
+  :data:`~repro.serving.endpoints.ENDPOINT_KINDS` — with its own
+  concurrency limit and queue bound;
 * the shed probability ramps linearly from 0 to 1 as the in-flight
   depth climbs from the concurrency limit to the queue bound, and (for
   ingest) as the applier lag climbs from ``soft_lag`` to ``hard_lag``;
-* ``control`` endpoints (health, metrics, lag, flush) are never shed,
-  so operators can always observe — and drain — an overloaded server;
+* the kinds in :data:`~repro.serving.endpoints.NEVER_SHED_KINDS`
+  (control-plane: health, metrics, lag, flush, session lifecycle) are
+  never shed, so operators can always observe — and drain — an
+  overloaded server.  The set is imported from
+  :mod:`repro.serving.endpoints`, the module that registers the routes,
+  so a newly added control-plane kind cannot silently miss the
+  exemption (this used to be a hardcoded tuple here);
 * the ``Retry-After`` hint grows with the shed probability and carries
   seeded jitter, so shed clients retry spread out instead of in lock
   step.  It is always positive and never exceeds ``retry_after_max``.
@@ -32,15 +38,18 @@ from dataclasses import dataclass
 
 from repro.observability.metrics import MetricsRegistry
 
+# The kind registry lives next to the route tables; re-exported here
+# for back-compat with callers that import it from the admission module.
+from repro.serving.endpoints import ENDPOINT_KINDS, NEVER_SHED_KINDS
+
 __all__ = [
     "ENDPOINT_KINDS",
+    "NEVER_SHED_KINDS",
     "AdmissionController",
     "AdmissionDecision",
     "AdmissionLimits",
     "AdmissionPolicy",
 ]
-
-ENDPOINT_KINDS = ("query", "ingest", "control")
 
 
 @dataclass(frozen=True)
@@ -57,6 +66,7 @@ class AdmissionLimits:
     query_concurrency: int = 16
     ingest_concurrency: int = 8
     control_concurrency: int = 8
+    session_concurrency: int = 4
     queue_factor: float = 4.0
     soft_lag: int = 256
     hard_lag: int = 1024
@@ -65,7 +75,8 @@ class AdmissionLimits:
 
     def __post_init__(self) -> None:
         for name in (
-            "query_concurrency", "ingest_concurrency", "control_concurrency"
+            "query_concurrency", "ingest_concurrency",
+            "control_concurrency", "session_concurrency",
         ):
             if getattr(self, name) < 1:
                 raise ValueError(f"{name} must be at least 1")
@@ -87,7 +98,11 @@ class AdmissionLimits:
             return self.query_concurrency
         if kind == "ingest":
             return self.ingest_concurrency
-        if kind == "control":
+        if kind == "session":
+            return self.session_concurrency
+        if kind in NEVER_SHED_KINDS:
+            # Control-plane kinds share one pool: they are cheap,
+            # never shed, and must not starve each other.
             return self.control_concurrency
         raise ValueError(f"unknown endpoint kind {kind!r}")
 
@@ -136,9 +151,10 @@ class AdmissionPolicy:
         """Chance a request of ``kind`` is shed at this depth and lag.
 
         Monotone non-decreasing in both ``depth`` and ``lag``; exactly
-        0 for ``control`` whatever the pressure.
+        0 for every :data:`NEVER_SHED_KINDS` member whatever the
+        pressure.
         """
-        if kind == "control":
+        if kind in NEVER_SHED_KINDS:
             self.limits.concurrency(kind)  # still validate the kind
             return 0.0
         p_depth = _ramp(

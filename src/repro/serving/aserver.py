@@ -33,6 +33,7 @@ against either.
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 import json
 import threading
 from concurrent.futures import ThreadPoolExecutor
@@ -338,9 +339,11 @@ class AsyncHTTPFront:
         return request, keep_alive
 
     async def _process(self, request: HTTPRequest):
-        endpoint = self.routes.resolve(request.method, request.path)
+        endpoint, path_args = self.routes.match(request.method, request.path)
         if endpoint is None:
             return not_found(request.path)
+        if path_args:
+            request = dataclasses.replace(request, path_args=path_args)
         if self.admission is not None:
             decision = self.admission.try_admit(endpoint.kind)
             if not decision.admitted:
@@ -414,14 +417,29 @@ def serve_async(
     *,
     admission: AdmissionController | None = None,
     max_requests: int | None = None,
+    sessions=True,
 ) -> tuple[AsyncHTTPFront, StoreReader]:
     """An async front over a read-only store (``taxogram serve``).
 
     The async counterpart of :func:`repro.serving.server.serve`;
-    returns the (unstarted) front and its reader.
+    returns the (unstarted) front and its reader.  ``sessions`` mounts
+    the interactive-session surface: ``True`` builds a default
+    :class:`~repro.sessions.manager.SessionManager` over the reader, a
+    manager instance is used as-is, and ``False``/``None`` disables the
+    surface.  The manager (if any) is exposed as ``front.sessions``.
     """
+    from repro.serving.endpoints import session_routes
+    from repro.sessions.manager import SessionManager
+
     reader = StoreReader(store_dir)
     routes = serving_routes(reader, role="standalone")
+    manager = None
+    if sessions is True:
+        manager = SessionManager(reader)
+    elif sessions:
+        manager = sessions
+    if manager is not None:
+        routes.merge(session_routes(manager))
     front = AsyncHTTPFront(
         routes,
         host,
@@ -429,4 +447,5 @@ def serve_async(
         admission=admission,
         max_requests=max_requests,
     )
+    front.sessions = manager
     return front, reader

@@ -13,6 +13,15 @@ entry by query kind *and* its full resolved parameter set.  Two ops
 over the same DFS code (an exact ``graphs`` and a similarity
 ``fuzzy_contains``, say), or one op at two thresholds, therefore can
 never collide — the regression suite pins this.
+
+Multi-tenant serving (PR 10, ``repro.sessions``) adds *tenant
+buckets*: ``get``/``put`` take an optional ``tenant``, and every tenant
+owns a private LRU of ``maxsize`` entries.  Isolation is structural,
+not key-prefixed — a lookup only ever searches the caller's bucket, so
+one tenant's results can neither leak into another tenant's answers
+nor evict another tenant's hot set.  ``drop_tenant`` releases a
+tenant's whole bucket (session-manager TTL eviction calls it);
+``clear`` still invalidates everything on a version bump.
 """
 
 from __future__ import annotations
@@ -38,41 +47,77 @@ def query_key(op: str, structure_key: Hashable, **params: Hashable) -> tuple:
 
 _MISS = object()
 
+# The shared (tenant-less) bucket every pre-PR-10 caller lands in.
+_SHARED = None
+
 
 class VersionedResultCache:
-    """A thread-safe LRU mapping ``(version, key) -> result``."""
+    """A thread-safe LRU mapping ``(version, key) -> result``.
+
+    With a ``tenant`` argument, the mapping is
+    ``tenant -> (version, key) -> result`` and each tenant's bucket is
+    an independent LRU of ``maxsize`` entries.
+    """
 
     def __init__(self, maxsize: int = 1024) -> None:
         self._maxsize = max(1, maxsize)
         self._lock = threading.Lock()
-        self._entries: OrderedDict[tuple[int, Hashable], Any] = OrderedDict()
+        self._buckets: dict[
+            Hashable, OrderedDict[tuple[int, Hashable], Any]
+        ] = {}
 
-    def get(self, version: int, key: Hashable) -> Any:
+    def get(
+        self, version: int, key: Hashable, tenant: Hashable = _SHARED
+    ) -> Any:
         """The cached result, or the :data:`MISS` sentinel (see
         :meth:`is_miss`)."""
         full_key = (version, key)
         with self._lock:
-            value = self._entries.get(full_key, _MISS)
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                return _MISS
+            value = bucket.get(full_key, _MISS)
             if value is not _MISS:
-                self._entries.move_to_end(full_key)
+                bucket.move_to_end(full_key)
             return value
 
-    def put(self, version: int, key: Hashable, value: Any) -> None:
+    def put(
+        self,
+        version: int,
+        key: Hashable,
+        value: Any,
+        tenant: Hashable = _SHARED,
+    ) -> None:
         full_key = (version, key)
         with self._lock:
-            self._entries[full_key] = value
-            self._entries.move_to_end(full_key)
-            while len(self._entries) > self._maxsize:
-                self._entries.popitem(last=False)
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = self._buckets[tenant] = OrderedDict()
+            bucket[full_key] = value
+            bucket.move_to_end(full_key)
+            while len(bucket) > self._maxsize:
+                bucket.popitem(last=False)
+
+    def drop_tenant(self, tenant: Hashable) -> int:
+        """Release one tenant's whole bucket; returns entries dropped."""
+        with self._lock:
+            bucket = self._buckets.pop(tenant, None)
+            return 0 if bucket is None else len(bucket)
+
+    def tenants(self) -> tuple[Hashable, ...]:
+        """Tenants currently holding entries (the shared bucket shows
+        as ``None``)."""
+        with self._lock:
+            return tuple(self._buckets)
 
     def clear(self) -> None:
         """Wholesale invalidation (a store update bumped the version)."""
         with self._lock:
-            self._entries.clear()
+            self._buckets.clear()
 
     def __len__(self) -> int:
         with self._lock:
-            return len(self._entries)
+            return sum(len(bucket) for bucket in self._buckets.values())
 
     @staticmethod
     def is_miss(value: Any) -> bool:

@@ -14,14 +14,24 @@ to keep that true over time is to write each endpoint exactly once:
   transfers);
 * a :class:`RouteTable` maps ``(method, path)`` to an
   :class:`Endpoint`, which also carries the endpoint's admission
-  *kind* (``query`` / ``ingest`` / ``control``) so a front-end can
-  apply :mod:`repro.serving.admission` without knowing the routes.
+  *kind* (one of :data:`ENDPOINT_KINDS`) so a front-end can apply
+  :mod:`repro.serving.admission` without knowing the routes.
+
+The endpoint-kind registry lives *here*, next to the routes that use
+it: :data:`ENDPOINT_KINDS` is the closed set of admission kinds and
+:data:`NEVER_SHED_KINDS` the subset admission control must never shed.
+:mod:`repro.serving.admission` imports both, so adding a control-plane
+kind in this module automatically exempts it from shedding on every
+front-end — the registry replaced a hardcoded tuple in the admission
+module that silently missed newly added control routes.
 
 ``serving_routes`` builds the read-only surface over a
 :class:`~repro.serving.reader.StoreReader`; ``ingest_routes`` adds the
 streaming surface over an ingest service/core; ``replication_routes``
 adds the primary's segment-publishing surface over a
-:class:`~repro.replication.shipper.SegmentShipper`.
+:class:`~repro.replication.shipper.SegmentShipper`; ``session_routes``
+adds the interactive-session surface over a
+:class:`~repro.sessions.manager.SessionManager`.
 """
 
 from __future__ import annotations
@@ -34,6 +44,8 @@ from repro.exceptions import ReproError
 from repro.incremental.delta import DatabaseDelta
 
 __all__ = [
+    "ENDPOINT_KINDS",
+    "NEVER_SHED_KINDS",
     "Endpoint",
     "HTTPRequest",
     "HTTPResult",
@@ -41,7 +53,21 @@ __all__ = [
     "ingest_routes",
     "replication_routes",
     "serving_routes",
+    "session_routes",
 ]
+
+# Every admission kind an Endpoint may carry.  ``session`` is the
+# example-driven mine path (expensive, sheddable under load);
+# ``session_control`` is session lifecycle (create / inspect / submit
+# examples / fetch results), which must stay reachable so a client can
+# always observe and tear down its sessions — like ``control``, it is
+# never shed.
+ENDPOINT_KINDS = (
+    "query", "ingest", "control", "session", "session_control",
+)
+
+# Kinds admission control must never shed, whatever the pressure.
+NEVER_SHED_KINDS = frozenset({"control", "session_control"})
 
 # (status, payload, extra headers); payload is JSON-encodable or bytes.
 HTTPResult = tuple[int, object, dict]
@@ -55,6 +81,9 @@ class HTTPRequest:
     path: str
     params: Mapping[str, list] = field(default_factory=dict)
     body: bytes = b""
+    # Values bound by a templated route (``/sessions/{id}`` matched
+    # against ``/sessions/abc`` yields ``{"id": "abc"}``).
+    path_args: Mapping[str, str] = field(default_factory=dict)
 
     def param(self, name: str, default: str | None = None) -> str | None:
         values = self.params.get(name)
@@ -86,7 +115,13 @@ class Endpoint:
 
 
 class RouteTable:
-    """``(method, path)`` -> :class:`Endpoint` with merge support."""
+    """``(method, path)`` -> :class:`Endpoint` with merge support.
+
+    Paths may contain ``{name}`` template segments; :meth:`match`
+    resolves exact paths first (a dict lookup, the hot path) and falls
+    back to template matching, binding the matched segments as
+    ``path_args``.
+    """
 
     def __init__(self, endpoints: list[Endpoint] | None = None) -> None:
         self._routes: dict[tuple[str, str], Endpoint] = {}
@@ -103,6 +138,32 @@ class RouteTable:
 
     def resolve(self, method: str, path: str) -> Endpoint | None:
         return self._routes.get((method, path))
+
+    def match(
+        self, method: str, path: str
+    ) -> tuple[Endpoint | None, dict[str, str]]:
+        """Resolve ``path`` against exact and templated routes."""
+        endpoint = self._routes.get((method, path))
+        if endpoint is not None:
+            return endpoint, {}
+        parts = path.split("/")
+        for (route_method, template), candidate in self._routes.items():
+            if route_method != method or "{" not in template:
+                continue
+            segments = template.split("/")
+            if len(segments) != len(parts):
+                continue
+            args: dict[str, str] = {}
+            for segment, part in zip(segments, parts):
+                if segment.startswith("{") and segment.endswith("}"):
+                    if not part:
+                        break
+                    args[segment[1:-1]] = part
+                elif segment != part:
+                    break
+            else:
+                return candidate, args
+        return None, {}
 
     def endpoints(self) -> list[Endpoint]:
         return list(self._routes.values())
@@ -369,5 +430,143 @@ def replication_routes(shipper) -> RouteTable:
         Endpoint(
             "GET", "/replication/snapshot", "replication_snapshot",
             "query", handle_snapshot,
+        ),
+    ])
+
+
+def session_routes(manager) -> RouteTable:
+    """The interactive-session surface over a
+    :class:`~repro.sessions.manager.SessionManager` (PR 10).
+
+    Lifecycle endpoints carry the ``session_control`` kind (never
+    shed); the mine endpoint carries ``session`` (sheddable).  Quota
+    breaches surface as 429 with the manager's ``Retry-After`` hint,
+    matching the streaming tier's shedding convention.
+    """
+    from repro.sessions.manager import QuotaExceeded, SessionNotFound
+
+    def _failed(exc: Exception) -> HTTPResult:
+        if isinstance(exc, QuotaExceeded):
+            retry = exc.retry_after
+            return 429, {
+                "error": str(exc),
+                "retry_after": round(retry, 3),
+            }, {"Retry-After": f"{retry:.3f}"}
+        if isinstance(exc, SessionNotFound):
+            return 404, {"error": str(exc)}, {}
+        return 400, {"error": str(exc)}, {}
+
+    def mine_payload(result) -> dict:
+        return {
+            "op": "session_mine",
+            "session_id": result.session_id,
+            "store_version": result.store_version,
+            "cached": result.cached,
+            "semantics": result.semantics,
+            "min_support": result.min_support,
+            "candidates": result.candidates,
+            "patterns": [
+                _pattern_payload(manager.reader, pattern)
+                for pattern in result.patterns
+            ],
+        }
+
+    def handle_create(request: HTTPRequest) -> HTTPResult:
+        try:
+            doc = request.json()
+            tenant = str(doc.get("tenant", "default"))
+            ttl = doc.get("ttl")
+            session = manager.create(
+                tenant, ttl_seconds=None if ttl is None else float(ttl)
+            )
+        except ReproError as exc:
+            return _failed(exc)
+        except (ValueError, TypeError) as exc:
+            return 400, {"error": f"malformed session request: {exc!r}"}, {}
+        return 201, session.describe(), {}
+
+    def handle_get(request: HTTPRequest) -> HTTPResult:
+        try:
+            session = manager.get(request.path_args["id"])
+        except ReproError as exc:
+            return _failed(exc)
+        return 200, session.describe(), {}
+
+    def handle_delete(request: HTTPRequest) -> HTTPResult:
+        session_id = request.path_args["id"]
+        try:
+            manager.delete(session_id)
+        except ReproError as exc:
+            return _failed(exc)
+        return 200, {"session_id": session_id, "deleted": True}, {}
+
+    def handle_examples(request: HTTPRequest) -> HTTPResult:
+        session_id = request.path_args["id"]
+        try:
+            doc = request.json()
+            session = manager.add_examples(
+                session_id, str(doc.get("graphs", ""))
+            )
+        except ReproError as exc:
+            return _failed(exc)
+        except (ValueError, TypeError) as exc:
+            return 400, {"error": f"malformed examples request: {exc!r}"}, {}
+        return 200, {
+            "session_id": session_id,
+            "examples": session.num_examples,
+            "example_edges": session.num_example_edges,
+        }, {}
+
+    def handle_mine(request: HTTPRequest) -> HTTPResult:
+        session_id = request.path_args["id"]
+        try:
+            doc = request.json()
+            min_support = doc.get("min_support")
+            result = manager.mine(
+                session_id,
+                min_support=(
+                    None if min_support is None else float(min_support)
+                ),
+                semantics=str(doc.get("semantics", "isomorphism")),
+            )
+        except ReproError as exc:
+            return _failed(exc)
+        except (ValueError, TypeError) as exc:
+            return 400, {"error": f"malformed mine request: {exc!r}"}, {}
+        return 200, mine_payload(result), {}
+
+    def handle_result(request: HTTPRequest) -> HTTPResult:
+        try:
+            result = manager.last_result(request.path_args["id"])
+        except ReproError as exc:
+            return _failed(exc)
+        if result is None:
+            return 404, {"error": "session has no mine result yet"}, {}
+        return 200, mine_payload(result), {}
+
+    return RouteTable([
+        Endpoint(
+            "POST", "/sessions", "session_create", "session_control",
+            handle_create,
+        ),
+        Endpoint(
+            "GET", "/sessions/{id}", "session_get", "session_control",
+            handle_get,
+        ),
+        Endpoint(
+            "DELETE", "/sessions/{id}", "session_delete", "session_control",
+            handle_delete,
+        ),
+        Endpoint(
+            "POST", "/sessions/{id}/examples", "session_examples",
+            "session_control", handle_examples,
+        ),
+        Endpoint(
+            "POST", "/sessions/{id}/mine", "session_mine", "session",
+            handle_mine,
+        ),
+        Endpoint(
+            "GET", "/sessions/{id}/result", "session_result",
+            "session_control", handle_result,
         ),
     ])

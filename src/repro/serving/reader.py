@@ -211,6 +211,35 @@ class StoreReader:
         return self._state.store.max_edges
 
     @property
+    def min_count(self) -> int:
+        """The store's absolute support threshold (``ceil`` of sigma)."""
+        return self._state.min_count
+
+    @property
+    def working_taxonomy(self):
+        """The repaired working taxonomy of the served store version."""
+        return self._state.working
+
+    @property
+    def most_general(self) -> dict:
+        """Label -> most-general ancestor in the working taxonomy."""
+        return self._state.most_general
+
+    @property
+    def database(self):
+        """The served store version's database (read-only use)."""
+        return self._state.store.database
+
+    def class_codes(self) -> tuple[tuple, ...]:
+        """The DFS-code edge tuples of every mined pattern class.
+
+        The session miner's homomorphism path scans these directly —
+        folded witnesses need not embed injectively, so the example
+        mini-mine cannot enumerate their classes.
+        """
+        return tuple(self._state.classes)
+
+    @property
     def num_border_entries(self) -> int:
         return len(self._state.store.border)
 
@@ -340,6 +369,77 @@ class StoreReader:
         return ServingAnswer(
             value=value, store_version=state.version, cached=cached
         )
+
+    def drop_tenant(self, tenant) -> int:
+        """Release one tenant's result-cache bucket (session teardown)."""
+        return self._cache.drop_tenant(tenant)
+
+    def class_members(
+        self,
+        code_edges: tuple,
+        min_count: int | None = None,
+        tenant=None,
+    ) -> tuple[TaxonomyPattern, ...]:
+        """All non-over-generalized members of one stored class at
+        ``min_count`` (defaulting to the store's threshold).
+
+        The session miner's workhorse: answered purely from the
+        persisted bit-sets, cached per ``(version, tenant)`` so one
+        tenant's example-driven mines never evict another tenant's hot
+        set, and ``()`` for structures that are not mined classes.
+        """
+        code_edges = tuple(code_edges)
+        for _attempt in range(self._max_retries):
+            state = self._ensure_state()
+            try:
+                return self._class_members(
+                    state, code_edges, min_count, tenant
+                )
+            except _StaleStore:
+                continue
+        raise StoreError(
+            f"store {self.directory} kept changing while answering a "
+            f"class_members query"
+        )
+
+    def _class_members(
+        self, state: _ReaderState, code_edges: tuple, min_count, tenant
+    ) -> tuple[TaxonomyPattern, ...]:
+        resolved = state.min_count if min_count is None else min_count
+        key = query_key("class_members", code_edges, min_count=resolved)
+        value = self._cache.get(state.version, key, tenant=tenant)
+        if not self._cache.is_miss(value):
+            self.metrics.add("serving.cache_hits", 1)
+            return value
+        self.metrics.add("serving.cache_misses", 1)
+        stored = state.classes.get(code_edges)
+        if stored is None:
+            value = ()
+        else:
+            rows = self._class_rows(state, stored)
+            counters = MiningCounters()
+            patterns = specialize_class(
+                class_id=state.class_ids[stored.code],
+                structure=graph_from_code(stored.code),
+                store=stored.columns,
+                index=rows,
+                taxonomy=state.working,
+                min_count=resolved,
+                database_size=len(state.store.database),
+                options=SpecializerOptions(),
+                counters=counters,
+            )
+            self.metrics.add(
+                "serving.bitset_intersections",
+                counters.bitset_intersections,
+            )
+            self.metrics.add("serving.bitset_queries", 1)
+            patterns.sort(
+                key=lambda p: (-p.support_count, _CODE_KEY(p.code.edges))
+            )
+            value = tuple(patterns)
+        self._cache.put(state.version, key, value, tenant=tenant)
+        return value
 
     def class_key(self, pattern: Graph) -> tuple:
         """Canonical key of the pattern's class structure.

@@ -68,11 +68,13 @@ class StoreHTTPServer(ThreadingHTTPServer):
         address: tuple[str, int],
         reader: StoreReader,
         handler: "type[StoreRequestHandler] | None" = None,
+        sessions=None,
     ) -> None:
         super().__init__(
             address, handler if handler is not None else StoreRequestHandler
         )
         self.reader = reader
+        self.sessions = sessions  # SessionManager | None
         self._routes: RouteTable | None = None
 
     def health_extras(self) -> dict:
@@ -81,9 +83,14 @@ class StoreHTTPServer(ThreadingHTTPServer):
 
     def build_routes(self) -> RouteTable:
         """The server's endpoint table; subclasses merge extra routes."""
-        return serving_routes(
+        routes = serving_routes(
             self.reader, role=self.role, health_extras=self.health_extras
         )
+        if self.sessions is not None:
+            from repro.serving.endpoints import session_routes
+
+            routes.merge(session_routes(self.sessions))
+        return routes
 
     @property
     def routes(self) -> RouteTable:
@@ -96,15 +103,23 @@ class StoreHTTPServer(ThreadingHTTPServer):
 
 
 def serve(
-    store_dir: str | Path, host: str = "127.0.0.1", port: int = 0
+    store_dir: str | Path,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    with_sessions: bool = True,
 ) -> StoreHTTPServer:
     """Bind a server over ``store_dir`` (``port=0`` picks a free port).
 
     The caller drives it: ``serve_forever()`` for a real deployment,
-    ``handle_request()`` N times for tests.
+    ``handle_request()`` N times for tests.  ``with_sessions`` mounts
+    the interactive-session surface (``/sessions``) over a default
+    :class:`~repro.sessions.manager.SessionManager`.
     """
+    from repro.sessions.manager import SessionManager
+
     reader = StoreReader(store_dir)
-    return StoreHTTPServer((host, port), reader)
+    sessions = SessionManager(reader) if with_sessions else None
+    return StoreHTTPServer((host, port), reader, sessions=sessions)
 
 
 class StoreRequestHandler(BaseHTTPRequestHandler):
@@ -132,7 +147,7 @@ class StoreRequestHandler(BaseHTTPRequestHandler):
 
     def _dispatch(self, method: str) -> None:
         parsed = urlparse(self.path)
-        endpoint = self.server.routes.resolve(method, parsed.path)
+        endpoint, path_args = self.server.routes.match(method, parsed.path)
         if endpoint is None:
             path = parsed.path if method == "GET" else self.path
             self._send(*not_found(path))
@@ -144,6 +159,7 @@ class StoreRequestHandler(BaseHTTPRequestHandler):
             path=parsed.path,
             params=parse_qs(parsed.query),
             body=body,
+            path_args=path_args,
         )
         status, payload, headers = endpoint.handler(request)
         self._send(status, payload, headers)
@@ -153,3 +169,6 @@ class StoreRequestHandler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         self._dispatch("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("DELETE")

@@ -1,0 +1,36 @@
+"""repro.sessions — multi-tenant example-driven interactive mining.
+
+Sessions let a client open a scratch workspace over the serving tier,
+submit example graphs, and run bounded mines whose candidate generation
+is seeded from the examples instead of a global initial-edge scan.  See
+:mod:`repro.sessions.manager` for the registry/quota/TTL machinery and
+:mod:`repro.sessions.miner` for the mining core and its soundness
+argument.
+"""
+
+from repro.sessions.manager import (
+    Session,
+    SessionManager,
+    SessionMineResult,
+    SessionNotFound,
+)
+from repro.sessions.miner import SEMANTICS, mine_session_patterns
+from repro.sessions.quotas import (
+    QuotaAccountant,
+    QuotaExceeded,
+    TenantQuotas,
+)
+from repro.sessions.scratch import ScratchStore
+
+__all__ = [
+    "SEMANTICS",
+    "QuotaAccountant",
+    "QuotaExceeded",
+    "ScratchStore",
+    "Session",
+    "SessionManager",
+    "SessionMineResult",
+    "SessionNotFound",
+    "TenantQuotas",
+    "mine_session_patterns",
+]

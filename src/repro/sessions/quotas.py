@@ -1,0 +1,214 @@
+"""Per-tenant quota accounting for interactive sessions.
+
+A serving tier shared by many tenants needs hard per-tenant bounds or
+one tenant's enthusiasm becomes everyone's outage.  The bounds live in
+:class:`TenantQuotas`; :class:`QuotaAccountant` is the thread-safe
+ledger that enforces them with strict acquire/release pairing, exactly
+like :class:`~repro.serving.admission.AdmissionController` brackets
+requests.  Every breach raises :class:`QuotaExceeded`, which carries
+the ``Retry-After`` hint the HTTP layer forwards with its 429.
+
+The accountant is deliberately tiny and pure-ish (no clocks, no I/O):
+the Hypothesis suite in ``tests/test_session_quota_props.py`` drives
+randomized concurrent acquire/release interleavings against it and
+checks the two safety properties the session tier depends on — no
+counter ever exceeds its configured budget, and releasing everything
+that was acquired always returns the ledger to zero.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.exceptions import ReproError
+
+__all__ = ["QuotaAccountant", "QuotaExceeded", "TenantQuotas"]
+
+
+class QuotaExceeded(ReproError):
+    """A tenant asked for more than its configured budget allows.
+
+    Transient by construction — sessions expire, mines finish — so it
+    carries ``retry_after`` for the 429 + ``Retry-After`` shedding
+    convention shared with the streaming tier.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+@dataclass(frozen=True)
+class TenantQuotas:
+    """Per-tenant budgets for the session tier.
+
+    ``max_sessions`` bounds live sessions, ``max_concurrent_mines``
+    bounds mines computing at once, ``max_examples`` /
+    ``max_example_edges`` bound the scratch workspace across a tenant's
+    live sessions, and ``candidate_budget`` caps the gSpan candidates
+    one example-driven mine may generate.  ``retry_after`` seconds is
+    the hint a breach carries.
+    """
+
+    max_sessions: int = 8
+    max_concurrent_mines: int = 2
+    max_examples: int = 32
+    max_example_edges: int = 512
+    candidate_budget: int = 100_000
+    retry_after: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "max_sessions", "max_concurrent_mines", "max_examples",
+            "max_example_edges", "candidate_budget",
+        ):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be at least 1")
+        if self.retry_after <= 0:
+            raise ValueError("retry_after must be positive")
+
+
+class QuotaAccountant:
+    """Thread-safe per-tenant resource ledger.
+
+    Acquire methods either admit atomically or raise
+    :class:`QuotaExceeded` without mutating anything; release methods
+    raise ``RuntimeError`` on unmatched releases so accounting bugs
+    fail loudly instead of leaking capacity.
+    """
+
+    def __init__(self, quotas: TenantQuotas | None = None) -> None:
+        self.quotas = quotas if quotas is not None else TenantQuotas()
+        self._lock = threading.Lock()
+        self._sessions: dict[str, int] = {}
+        self._mines: dict[str, int] = {}
+        self._examples: dict[str, int] = {}
+        self._example_edges: dict[str, int] = {}
+
+    # -- sessions -------------------------------------------------------------
+
+    def acquire_session(self, tenant: str) -> None:
+        with self._lock:
+            held = self._sessions.get(tenant, 0)
+            if held >= self.quotas.max_sessions:
+                raise QuotaExceeded(
+                    f"tenant {tenant!r} already holds {held} sessions "
+                    f"(max_sessions={self.quotas.max_sessions})",
+                    self.quotas.retry_after,
+                )
+            self._sessions[tenant] = held + 1
+
+    def release_session(self, tenant: str) -> None:
+        self._release(self._sessions, tenant, 1, "session")
+
+    # -- concurrent mines -----------------------------------------------------
+
+    def acquire_mine(self, tenant: str) -> None:
+        with self._lock:
+            held = self._mines.get(tenant, 0)
+            if held >= self.quotas.max_concurrent_mines:
+                raise QuotaExceeded(
+                    f"tenant {tenant!r} already runs {held} mines "
+                    f"(max_concurrent_mines="
+                    f"{self.quotas.max_concurrent_mines})",
+                    self.quotas.retry_after,
+                )
+            self._mines[tenant] = held + 1
+
+    def release_mine(self, tenant: str) -> None:
+        self._release(self._mines, tenant, 1, "mine")
+
+    # -- examples -------------------------------------------------------------
+
+    def acquire_examples(self, tenant: str, count: int, edges: int) -> None:
+        if count < 0 or edges < 0:
+            raise ValueError("example counts cannot be negative")
+        with self._lock:
+            held = self._examples.get(tenant, 0)
+            held_edges = self._example_edges.get(tenant, 0)
+            if held + count > self.quotas.max_examples:
+                raise QuotaExceeded(
+                    f"tenant {tenant!r} would hold {held + count} examples "
+                    f"(max_examples={self.quotas.max_examples})",
+                    self.quotas.retry_after,
+                )
+            if held_edges + edges > self.quotas.max_example_edges:
+                raise QuotaExceeded(
+                    f"tenant {tenant!r} would hold {held_edges + edges} "
+                    f"example edges (max_example_edges="
+                    f"{self.quotas.max_example_edges})",
+                    self.quotas.retry_after,
+                )
+            # Never materialize zero rows (an edgeless batch would
+            # otherwise plant one): idle tenants cost nothing and the
+            # snapshot stays free of dead entries.
+            if held + count:
+                self._examples[tenant] = held + count
+            if held_edges + edges:
+                self._example_edges[tenant] = held_edges + edges
+
+    def release_examples(self, tenant: str, count: int, edges: int) -> None:
+        self._release(self._examples, tenant, count, "example")
+        self._release(self._example_edges, tenant, edges, "example edge")
+
+    # -- candidate budget (stateless: one mine, one check) --------------------
+
+    def check_candidates(self, tenant: str, generated: int) -> None:
+        if generated > self.quotas.candidate_budget:
+            raise QuotaExceeded(
+                f"session mine for tenant {tenant!r} generated {generated} "
+                f"gSpan candidates (candidate_budget="
+                f"{self.quotas.candidate_budget})",
+                self.quotas.retry_after,
+            )
+
+    # -- introspection --------------------------------------------------------
+
+    def snapshot(self, tenant: str | None = None) -> dict:
+        """Current ledger — the whole thing, or one tenant's row."""
+        with self._lock:
+            if tenant is not None:
+                return {
+                    "sessions": self._sessions.get(tenant, 0),
+                    "mines": self._mines.get(tenant, 0),
+                    "examples": self._examples.get(tenant, 0),
+                    "example_edges": self._example_edges.get(tenant, 0),
+                }
+            return {
+                "sessions": dict(self._sessions),
+                "mines": dict(self._mines),
+                "examples": dict(self._examples),
+                "example_edges": dict(self._example_edges),
+            }
+
+    def is_idle(self) -> bool:
+        """True when every counter is zero (nothing held anywhere)."""
+        with self._lock:
+            return not any(
+                value
+                for ledger in (
+                    self._sessions, self._mines,
+                    self._examples, self._example_edges,
+                )
+                for value in ledger.values()
+            )
+
+    def _release(
+        self, ledger: dict[str, int], tenant: str, count: int, what: str
+    ) -> None:
+        if count < 0:
+            raise ValueError("release counts cannot be negative")
+        with self._lock:
+            held = ledger.get(tenant, 0)
+            if held < count:
+                raise RuntimeError(
+                    f"release of {count} {what}(s) for tenant {tenant!r} "
+                    f"without a matching acquire (held: {held})"
+                )
+            remaining = held - count
+            if remaining:
+                ledger[tenant] = remaining
+            else:
+                # Drop zero rows so idle tenants cost nothing.
+                ledger.pop(tenant, None)

@@ -1,0 +1,62 @@
+"""Per-session scratch workspace: examples plus a PatternStore-lite.
+
+Each session owns one :class:`ScratchStore` — the examples the client
+has submitted and the classes/patterns its last mine produced, held in
+memory with a deliberately store-shaped read surface (``num_classes``,
+``patterns``, ``top_k``) so scripted clients can treat a session's
+result like a miniature :class:`~repro.incremental.store.PatternStore`
+without the durability machinery.  Nothing here persists: a session's
+scratch dies with the session, which is the point — the durable store
+stays untouched by interactive exploration.
+"""
+
+from __future__ import annotations
+
+from repro.core.results import TaxonomyPattern
+from repro.graphs.graph import Graph
+
+__all__ = ["ScratchStore"]
+
+
+class ScratchStore:
+    """Examples and last-mine results of one session (not thread-safe;
+    the session manager serializes access per session)."""
+
+    def __init__(self) -> None:
+        self.examples: list[Graph] = []
+        self.example_edges = 0
+        self._classes: dict[tuple, tuple[TaxonomyPattern, ...]] = {}
+        self._patterns: tuple[TaxonomyPattern, ...] = ()
+
+    # -- examples -------------------------------------------------------------
+
+    def add_examples(self, graphs: list[Graph]) -> None:
+        for graph in graphs:
+            self.examples.append(graph)
+            self.example_edges += graph.num_edges
+
+    @property
+    def num_examples(self) -> int:
+        return len(self.examples)
+
+    # -- mined scratch results ------------------------------------------------
+
+    def record(self, patterns: tuple[TaxonomyPattern, ...]) -> None:
+        """Replace the scratch result set with one mine's output."""
+        classes: dict[tuple, list[TaxonomyPattern]] = {}
+        for pattern in patterns:
+            classes.setdefault(pattern.code.edges, []).append(pattern)
+        self._classes = {
+            code: tuple(members) for code, members in classes.items()
+        }
+        self._patterns = tuple(patterns)
+
+    @property
+    def num_classes(self) -> int:
+        return len(self._classes)
+
+    def patterns(self) -> tuple[TaxonomyPattern, ...]:
+        return self._patterns
+
+    def top_k(self, k: int) -> tuple[TaxonomyPattern, ...]:
+        return self._patterns[: max(0, k)]

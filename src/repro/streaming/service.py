@@ -213,7 +213,18 @@ class IngestCore:
         if lag >= self.options.max_lag_records:
             self.metrics.add("streaming.ingest_shed", 1)
             return 429, {"error": "ingest backlog is full", "lag": lag}
-        seq = self.wal.append(delta)
+        try:
+            seq = self.wal.append(delta)
+        except OSError as exc:
+            # The WAL volume rejected the write (disk full, EIO...).
+            # Nothing was acked and the log is untouched, so this is
+            # back-pressure, not a server fault: shed with 429 like the
+            # lag cliff and let the client retry once space frees up.
+            self.metrics.add("streaming.ingest_disk_full", 1)
+            return 429, {
+                "error": f"WAL volume rejected the write: {exc}",
+                "lag": lag,
+            }
         self.metrics.add("streaming.ingest_accepted", 1)
         if not wait:
             return 202, {"seq": seq, "applied": False, "lag": lag + 1}

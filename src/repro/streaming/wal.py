@@ -389,6 +389,12 @@ class WriteAheadLog:
         with self._appended:
             if self._active_file is None:
                 raise WALError(f"WAL {self.directory} is closed")
+            if self._faultpoints is not None:
+                # Fires BEFORE the frame reaches the file so an injected
+                # write failure (errno 28: WAL volume full) leaves the
+                # log byte-identical — nothing half-written to repair,
+                # nothing acked.
+                self._faultpoints.fire("wal.append")
             self._active_file.write(frame)
             self._active_file.flush()
             if self._faultpoints is not None:

@@ -10,6 +10,11 @@ When the variable *is* set it names a JSON file mapping fault-point
 names to actions::
 
     {"wal.fsync": {"sleep_ms": 75}}
+    {"wal.append": {"errno": 28}}
+
+``sleep_ms`` stalls the hot path; ``errno`` raises ``OSError`` with
+that number (28/``ENOSPC`` simulates the WAL volume filling up — the
+ingest path must answer 429, not 500, and must not ack the write).
 
 The file is re-read whenever its mtime changes, so the load harness can
 switch a fault on and off *mid-run* from outside the process (write the
@@ -71,3 +76,6 @@ class Faultpoints:
         sleep_ms = spec.get("sleep_ms", 0)
         if isinstance(sleep_ms, (int, float)) and sleep_ms > 0:
             time.sleep(float(sleep_ms) / 1000.0)
+        error_number = spec.get("errno")
+        if isinstance(error_number, int) and error_number > 0:
+            raise OSError(error_number, os.strerror(error_number))

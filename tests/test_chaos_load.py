@@ -41,6 +41,7 @@ from repro.loadtest.cluster import (
 from repro.loadtest.faults import (
     FaultEvent,
     append_torn_frame,
+    disk_full,
     kill_and_restart,
     seeded_scenario_plan,
     stall_fsync,
@@ -305,9 +306,9 @@ class TestRandomizedSweep:
     """Nightly: seed-randomized fault *scenarios*, not just kill times.
 
     Each run draws 1-2 scenarios from the menu — applier SIGKILL, fsync
-    stall, torn-WAL-tail damage — so successive nightlies explore
-    scenario combinations; a failure prints the seed that replays the
-    exact draw.
+    stall, torn-WAL-tail damage, disk-full on the WAL volume — so
+    successive nightlies explore scenario combinations; a failure
+    prints the seed that replays the exact draw.
     """
 
     def test_randomized_fault_scenario_sweep(self, tmp_path):
@@ -338,7 +339,9 @@ class TestRandomizedSweep:
                 duration_seconds=6.0, rate=30.0, seed=seed, workers=4
             )
             plan = build_plan(options, [PATTERN], [ADD])
-            menu = ["kill_applier", "stall_fsync", "wal_damage"]
+            menu = [
+                "kill_applier", "stall_fsync", "wal_damage", "disk_full",
+            ]
             events = []
             for at, kind in seeded_scenario_plan(
                 seed, options.duration_seconds, menu
@@ -354,6 +357,17 @@ class TestRandomizedSweep:
                     events.append(FaultEvent(
                         at + 1.0, "clear_stall",
                         lambda: stall_fsync(faultpoints, 0),
+                    ))
+                elif kind == "disk_full":
+                    # The WAL volume "fills" for ~1s: every ingest in
+                    # the window must shed as 429 (the envelope's
+                    # server_error budget of 0 catches any 500).
+                    events.append(FaultEvent(
+                        at, kind, lambda: disk_full(faultpoints, True)
+                    ))
+                    events.append(FaultEvent(
+                        at + 1.0, "clear_disk_full",
+                        lambda: disk_full(faultpoints, False),
                     ))
                 else:
                     events.append(FaultEvent(

@@ -220,3 +220,70 @@ class TestCompareTrace:
             + "\n"
         )
         _check_golden("compare_metrics.json", normalized)
+
+
+class TestSessionTrace:
+    @pytest.fixture
+    def session_inputs(self, tmp_path, files, capsys):
+        db_path, tax_path = files
+        store_dir = tmp_path / "store"
+        assert main(
+            ["mine", str(db_path), str(tax_path), "--support", "0.5",
+             "--store-out", str(store_dir)]
+        ) == 0
+        capsys.readouterr()
+        examples = tmp_path / "examples.graphs"
+        examples.write_text("t # 0\nv 0 b\nv 1 c\ne 0 1 x\n")
+        return store_dir, examples
+
+    def test_trace_golden(self, session_inputs, capsys):
+        store_dir, examples = session_inputs
+        code = main(
+            ["session", str(store_dir), "--examples", str(examples),
+             "--trace"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # The CLI pins its manager to the "cli" instance tag, so the
+        # whole transcript — session id included — is deterministic.
+        assert "sess-cli-000001" in out
+        assert "sessions.mine" in _report_section(out)
+        _check_golden("session_trace.txt", _normalize_text(out))
+
+    def test_metrics_out_parses_and_counts(
+        self, session_inputs, tmp_path, capsys
+    ):
+        store_dir, examples = session_inputs
+        out_path = tmp_path / "session.json"
+        code = main(
+            ["session", str(store_dir), "--examples", str(examples),
+             "--metrics-out", str(out_path)]
+        )
+        assert code == 0
+        capsys.readouterr()
+        report = RunReport.from_json(out_path.read_text())
+        assert report.algorithm == "sessions"
+        assert report.counter("sessions.created") == 1
+        assert report.counter("sessions.mines") == 1
+        assert report.counter("sessions.deleted") == 1
+
+    def test_semantics_and_sigma_flags(self, session_inputs, capsys):
+        store_dir, examples = session_inputs
+        code = main(
+            ["session", str(store_dir), "--examples", str(examples),
+             "--semantics", "homomorphism", "--min-support", "1.0"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "semantics homomorphism" in out
+        assert "sigma 1.0" in out
+
+    def test_unknown_label_fails_cleanly(
+        self, session_inputs, tmp_path, capsys
+    ):
+        store_dir, _ = session_inputs
+        bad = tmp_path / "bad.graphs"
+        bad.write_text("t # 0\nv 0 mystery\nv 1 c\ne 0 1 x\n")
+        code = main(["session", str(store_dir), "--examples", str(bad)])
+        assert code == 1
+        assert "mystery" in capsys.readouterr().err

@@ -593,3 +593,173 @@ class TestEvictionBackoff:
             )
         finally:
             router.close()
+
+
+class TestSessionPinning:
+    """Interactive sessions are replica-local state: the router pins a
+    session to the replica that created it and keeps every request of
+    that session on the same replica for its whole lifetime."""
+
+    EXAMPLE = "t # 0\nv 0 b\nv 1 c\ne 0 1 x\n"
+
+    def _create(self, router, tenant="acme"):
+        status, payload, _ = router.session_request(
+            "POST", "/sessions", json.dumps({"tenant": tenant}).encode()
+        )
+        assert status == 201
+        return payload
+
+    def test_session_sticks_to_its_replica_for_life(self, tmp_path, store):
+        router = QueryRouter(_replicas(tmp_path, store, 3))
+        try:
+            payload = self._create(router)
+            sid, home = payload["session_id"], payload["replica"]
+            assert router.session_pins() == {sid: home}
+            # Round-robin would spread these over r0..r2; the pin
+            # must hold them all on the creating replica.
+            for _ in range(3):
+                status, doc, _ = router.session_request(
+                    "POST",
+                    f"/sessions/{sid}/examples",
+                    json.dumps({"graphs": self.EXAMPLE}).encode(),
+                )
+                assert (status, doc["replica"]) == (200, home)
+            status, doc, _ = router.session_request(
+                "POST", f"/sessions/{sid}/mine", b"{}"
+            )
+            assert (status, doc["replica"]) == (200, home)
+            assert doc["patterns"]
+            status, doc, _ = router.session_request(
+                "GET", f"/sessions/{sid}"
+            )
+            assert (status, doc["replica"]) == (200, home)
+            assert router.metrics.counter(
+                "replication.router_session_forwards"
+            ) == 6
+        finally:
+            router.close()
+
+    def test_new_sessions_round_robin_across_replicas(self, tmp_path, store):
+        router = QueryRouter(_replicas(tmp_path, store, 3))
+        try:
+            homes = {self._create(router)["replica"] for _ in range(6)}
+            assert homes == {"r0", "r1", "r2"}
+            assert len(router.session_pins()) == 6
+        finally:
+            router.close()
+
+    def test_delete_unpins(self, tmp_path, store):
+        router = QueryRouter(_replicas(tmp_path, store, 2))
+        try:
+            sid = self._create(router)["session_id"]
+            status, doc, _ = router.session_request(
+                "DELETE", f"/sessions/{sid}"
+            )
+            assert (status, doc["deleted"]) == (200, True)
+            assert router.session_pins() == {}
+            # The session is gone fleet-wide, whatever replica answers.
+            status, _doc, _ = router.session_request(
+                "GET", f"/sessions/{sid}"
+            )
+            assert status == 404
+        finally:
+            router.close()
+
+    class _Mortal:
+        """A LocalReplica that can drop dead on command."""
+
+        def __init__(self, inner):
+            self.inner = inner
+            self.name = inner.name
+            self.dead = False
+
+        def _check(self):
+            if self.dead:
+                raise OSError("connection refused")
+
+        def health(self):
+            self._check()
+            return self.inner.health()
+
+        def query(self, *args, **kwargs):
+            self._check()
+            return self.inner.query(*args, **kwargs)
+
+        def request(self, *args, **kwargs):
+            self._check()
+            return self.inner.request(*args, **kwargs)
+
+    def test_dead_pinned_replica_drops_pin_and_404s(self, tmp_path, store):
+        replicas = [
+            self._Mortal(replica)
+            for replica in _replicas(tmp_path, store, 2)
+        ]
+        router = QueryRouter(
+            replicas, options=RouterOptions(health_max_age_seconds=0.0)
+        )
+        try:
+            payload = self._create(router)
+            sid, home = payload["session_id"], payload["replica"]
+            next(r for r in replicas if r.name == home).dead = True
+            # The pin's replica is detected down via health refresh:
+            # the pin is dropped and the request falls through to a
+            # healthy replica, which faithfully answers 404 — the
+            # session's scratch state died with its replica.
+            status, _doc, _ = router.session_request(
+                "GET", f"/sessions/{sid}"
+            )
+            assert status == 404
+            assert router.session_pins() == {}
+            assert router.metrics.counter(
+                "replication.router_session_repins"
+            ) == 1
+            # A fresh session lands on the survivor and works.
+            payload = self._create(router)
+            assert payload["replica"] != home
+        finally:
+            router.close()
+
+    def test_sharded_mode_refuses_sessions(self, tmp_path, store):
+        router = QueryRouter(
+            _replicas(tmp_path, store, 2),
+            options=RouterOptions(sharded=True),
+        )
+        try:
+            with pytest.raises(QueryRejected, match="session"):
+                router.session_request("POST", "/sessions", b"{}")
+        finally:
+            router.close()
+
+    def test_http_front_round_trip_and_health_pins(self, tmp_path, store):
+        service = RouterService(_replicas(tmp_path, store, 2), port=0)
+        thread = threading.Thread(target=service.serve_forever, daemon=True)
+        thread.start()
+        host, port = service.address
+        base = f"http://{host}:{port}"
+        try:
+            status, body, _ = _request(base, "/sessions", {"tenant": "http"})
+            assert status == 201
+            doc = json.loads(body)
+            sid, home = doc["session_id"], doc["replica"]
+            status, body, _ = _request(
+                base, f"/sessions/{sid}/examples", {"graphs": self.EXAMPLE}
+            )
+            assert status == 200
+            status, body, _ = _request(base, f"/sessions/{sid}/mine", {})
+            assert status == 200
+            doc = json.loads(body)
+            assert doc["replica"] == home
+            assert doc["patterns"]
+            status, body, _ = _request(base, "/health")
+            assert json.loads(body)["session_pins"] == {sid: home}
+            request = urllib.request.Request(
+                base + f"/sessions/{sid}", method="DELETE"
+            )
+            with urllib.request.urlopen(request, timeout=30) as response:
+                assert response.status == 200
+            status, body, _ = _request(base, "/health")
+            assert json.loads(body)["session_pins"] == {}
+        finally:
+            service.server.shutdown()
+            thread.join(timeout=10)
+            service.close()

@@ -1,0 +1,265 @@
+"""Hypothesis properties for session quota accounting (ISSUE.md, PR 10).
+
+Two safety properties the session tier depends on:
+
+* **never over-admit** — whatever interleaving of acquires and releases
+  a tenant mix produces, no ledger counter ever exceeds its configured
+  budget, and a rejected acquire mutates nothing (no partial
+  admission of an examples batch);
+* **eviction releases everything** — releasing exactly what was
+  acquired returns the accountant to idle, and at the manager level a
+  TTL sweep releases every resource the evicted sessions held,
+  including their share of the per-tenant example budget.
+
+Both are driven by randomized operation sequences, the second also
+through :class:`~repro.sessions.manager.SessionManager` with an
+injectable clock so expiry is deterministic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.core.taxogram import Taxogram, TaxogramOptions  # noqa: E402
+from repro.sessions import (  # noqa: E402
+    QuotaAccountant,
+    QuotaExceeded,
+    SessionManager,
+    TenantQuotas,
+)
+from tests.test_sessions import (  # noqa: E402
+    EXAMPLE,
+    FakeClock,
+    _database,
+    _taxonomy,
+)
+
+TENANTS = ("t0", "t1", "t2")
+
+quotas_strategy = st.builds(
+    TenantQuotas,
+    max_sessions=st.integers(min_value=1, max_value=4),
+    max_concurrent_mines=st.integers(min_value=1, max_value=3),
+    max_examples=st.integers(min_value=1, max_value=6),
+    max_example_edges=st.integers(min_value=1, max_value=20),
+)
+
+# One abstract operation: (kind, tenant index, count, edges).  Release
+# operations are interpreted against what the model still holds, so
+# every generated sequence is legal by construction.
+ops_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(
+            [
+                "acquire_session", "release_session",
+                "acquire_mine", "release_mine",
+                "acquire_examples", "release_examples",
+            ]
+        ),
+        st.integers(min_value=0, max_value=len(TENANTS) - 1),
+        st.integers(min_value=0, max_value=4),
+        st.integers(min_value=0, max_value=8),
+    ),
+    max_size=60,
+)
+
+
+class _Model:
+    """What the test believes each tenant holds."""
+
+    def __init__(self) -> None:
+        self.sessions = {t: 0 for t in TENANTS}
+        self.mines = {t: 0 for t in TENANTS}
+        self.examples = {t: [] for t in TENANTS}  # list of (count, edges)
+
+
+@settings(max_examples=120, deadline=None)
+@given(quotas=quotas_strategy, ops=ops_strategy)
+def test_never_over_admit_and_full_release_restores_idle(quotas, ops):
+    accountant = QuotaAccountant(quotas)
+    model = _Model()
+
+    for kind, tenant_index, count, edges in ops:
+        tenant = TENANTS[tenant_index]
+        if kind == "acquire_session":
+            try:
+                accountant.acquire_session(tenant)
+                model.sessions[tenant] += 1
+            except QuotaExceeded:
+                assert model.sessions[tenant] >= quotas.max_sessions
+        elif kind == "release_session":
+            if model.sessions[tenant] > 0:
+                accountant.release_session(tenant)
+                model.sessions[tenant] -= 1
+        elif kind == "acquire_mine":
+            try:
+                accountant.acquire_mine(tenant)
+                model.mines[tenant] += 1
+            except QuotaExceeded:
+                assert model.mines[tenant] >= quotas.max_concurrent_mines
+        elif kind == "release_mine":
+            if model.mines[tenant] > 0:
+                accountant.release_mine(tenant)
+                model.mines[tenant] -= 1
+        elif kind == "acquire_examples":
+            held = sum(c for c, _ in model.examples[tenant])
+            held_edges = sum(e for _, e in model.examples[tenant])
+            try:
+                accountant.acquire_examples(tenant, count, edges)
+                model.examples[tenant].append((count, edges))
+            except QuotaExceeded:
+                # The breach was genuine AND nothing was partially
+                # admitted: the ledger still shows the model's view.
+                assert (
+                    held + count > quotas.max_examples
+                    or held_edges + edges > quotas.max_example_edges
+                )
+                row = accountant.snapshot(tenant)
+                assert row["examples"] == held
+                assert row["example_edges"] == held_edges
+        elif kind == "release_examples":
+            if model.examples[tenant]:
+                released_count, released_edges = model.examples[tenant].pop()
+                accountant.release_examples(
+                    tenant, released_count, released_edges
+                )
+
+        # Invariant after every step: nothing over budget, anywhere.
+        full = accountant.snapshot()
+        for tenant_name, held in full["sessions"].items():
+            assert 0 < held <= quotas.max_sessions, tenant_name
+        for tenant_name, held in full["mines"].items():
+            assert 0 < held <= quotas.max_concurrent_mines, tenant_name
+        for tenant_name, held in full["examples"].items():
+            assert 0 < held <= quotas.max_examples, tenant_name
+        for tenant_name, held in full["example_edges"].items():
+            assert 0 < held <= quotas.max_example_edges, tenant_name
+        # And the ledger agrees with the model exactly.
+        row_totals = {
+            tenant_name: accountant.snapshot(tenant_name)
+            for tenant_name in TENANTS
+        }
+        for tenant_name in TENANTS:
+            assert row_totals[tenant_name]["sessions"] == (
+                model.sessions[tenant_name]
+            )
+            assert row_totals[tenant_name]["mines"] == (
+                model.mines[tenant_name]
+            )
+            assert row_totals[tenant_name]["examples"] == sum(
+                c for c, _ in model.examples[tenant_name]
+            )
+
+    # Drain the model: releasing everything acquired restores idle.
+    for tenant in TENANTS:
+        for _ in range(model.sessions[tenant]):
+            accountant.release_session(tenant)
+        for _ in range(model.mines[tenant]):
+            accountant.release_mine(tenant)
+        for count, edges in model.examples[tenant]:
+            accountant.release_examples(tenant, count, edges)
+    assert accountant.is_idle()
+    assert accountant.snapshot() == {
+        "sessions": {}, "mines": {}, "examples": {}, "example_edges": {}
+    }
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.data(),
+    st.integers(min_value=1, max_value=4),
+)
+def test_unmatched_release_fails_loudly(data, amount):
+    accountant = QuotaAccountant()
+    kind = data.draw(
+        st.sampled_from(["session", "mine", "examples"]), label="kind"
+    )
+    with pytest.raises(RuntimeError, match="without a matching acquire"):
+        if kind == "session":
+            accountant.release_session("ghost")
+        elif kind == "mine":
+            accountant.release_mine("ghost")
+        else:
+            accountant.release_examples("ghost", amount, amount)
+    # A failed release must not have corrupted the ledger.
+    assert accountant.is_idle()
+
+
+@pytest.fixture(scope="module")
+def quota_store(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("quota-props") / "store"
+    tax = _taxonomy()
+    Taxogram(
+        TaxogramOptions(min_support=0.5, max_edges=2, store_out=str(directory))
+    ).mine(_database(tax), tax)
+    return directory
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    plan=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=2),  # tenant index
+            st.integers(min_value=0, max_value=3),  # example batches
+            st.floats(min_value=1.0, max_value=30.0),  # ttl
+        ),
+        min_size=1,
+        max_size=8,
+    ),
+    advance=st.floats(min_value=0.0, max_value=40.0),
+)
+def test_ttl_eviction_releases_every_accounted_resource(
+    quota_store, plan, advance
+):
+    """Manager level: whatever mix of sessions and examples existed,
+    a TTL sweep leaves the accountant holding exactly what the still
+    live sessions hold — and holding nothing once everything expired."""
+    from repro.serving.reader import StoreReader
+
+    clock = FakeClock()
+    quotas = TenantQuotas(max_sessions=16, max_examples=64)
+    manager = SessionManager(
+        StoreReader(quota_store), quotas=quotas, clock=clock
+    )
+    expiry = {}
+    held_examples = {}
+    for tenant_index, batches, ttl in plan:
+        tenant = f"tenant-{tenant_index}"
+        session = manager.create(tenant, ttl_seconds=ttl)
+        for _ in range(batches):
+            manager.add_examples(session.session_id, EXAMPLE)
+        expiry[session.session_id] = (tenant, clock.now + ttl, batches)
+        held_examples[tenant] = held_examples.get(tenant, 0) + batches
+
+    clock.advance(advance)
+    manager.evict_expired()
+
+    # The manager evicts at expires_at <= now, so survival is strict.
+    survivors = {
+        sid: (tenant, batches)
+        for sid, (tenant, deadline, batches) in expiry.items()
+        if deadline > clock.now
+    }
+    expected_sessions = {}
+    expected_examples = {}
+    for tenant, batches in survivors.values():
+        expected_sessions[tenant] = expected_sessions.get(tenant, 0) + 1
+        expected_examples[tenant] = expected_examples.get(tenant, 0) + batches
+    snapshot = manager.accountant.snapshot()
+    assert snapshot["sessions"] == expected_sessions
+    assert snapshot["examples"] == {
+        tenant: count
+        for tenant, count in expected_examples.items()
+        if count
+    }
+    assert manager.active_sessions() == len(survivors)
+
+    # Expire the rest: every accounted resource must come back.
+    clock.advance(10_000.0)
+    manager.evict_expired()
+    assert manager.accountant.is_idle()
+    assert manager.active_sessions() == 0

@@ -1,0 +1,146 @@
+"""The session-mining differential bar (ISSUE.md, PR 10).
+
+A session mine over examples ``E`` at sigma must equal a **fresh
+global mine** at sigma restricted to the patterns ``E`` witnesses —
+bit-identical codes, support counts, and support sets — under both
+witness semantics, over randomized DAG / multi-root taxonomies.
+
+The two sides compute very differently: the oracle re-runs the whole
+batch pipeline and then filters with explicit per-pattern witness
+checks, while the session path never rescans the database — it seeds
+candidate generation from the examples' relabeled classes and resolves
+supports from the store's persisted bit-sets.  Any divergence in the
+Step-1 relabel-seeding argument, the witness filter, or the bit-set
+resolution shows up here as a set difference.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.taxogram import Taxogram, TaxogramOptions, mine
+from repro.graphs.database import GraphDatabase
+from repro.graphs.io import serialize_graph_database
+from repro.isomorphism.vf2 import is_generalized_subgraph_isomorphic
+from repro.serving.reader import StoreReader
+from repro.sessions import SessionManager
+from repro.similarity.homomorphism import (
+    is_generalized_subgraph_homomorphic,
+)
+from tests.conftest import make_differential_case
+
+MAX_EDGES = 2
+SEEDS = range(20)
+
+
+def _pick_examples(rng, database):
+    """1-2 database graphs (with edges) to play the client's examples."""
+    candidates = [graph for graph in database if graph.num_edges > 0]
+    if not candidates:
+        return None
+    count = min(len(candidates), rng.randint(1, 2))
+    return rng.sample(candidates, count)
+
+
+def _examples_text(database, examples) -> str:
+    subset = GraphDatabase(database.node_labels, database.edge_labels)
+    for graph in examples:
+        subset.add_graph(graph.copy())
+    return serialize_graph_database(subset)
+
+
+def _witnessed(pattern, examples, working, semantics) -> bool:
+    if semantics == "homomorphism":
+        return any(
+            is_generalized_subgraph_homomorphic(
+                pattern.graph, example, working
+            )
+            for example in examples
+        )
+    return any(
+        is_generalized_subgraph_isomorphic(pattern.graph, example, working)
+        for example in examples
+    )
+
+
+def _fingerprints(patterns):
+    return {
+        (pattern.code.edges, pattern.support_count, pattern.support_set)
+        for pattern in patterns
+    }
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("semantics", ["isomorphism", "homomorphism"])
+def test_session_mine_equals_restricted_global_mine(
+    tmp_path, seed, semantics
+):
+    database, taxonomy, sigma = make_differential_case(seed)
+    rng = random.Random(seed + 999)
+    examples = _pick_examples(rng, database)
+    if examples is None:
+        pytest.skip("seeded database has no graph with edges")
+
+    store = tmp_path / "store"
+    Taxogram(
+        TaxogramOptions(
+            min_support=sigma, max_edges=MAX_EDGES, store_out=str(store)
+        )
+    ).mine(database, taxonomy)
+
+    reader = StoreReader(store)
+    manager = SessionManager(reader)
+    session = manager.create(f"diff-{seed}")
+    manager.add_examples(
+        session.session_id, _examples_text(database, examples)
+    )
+    result = manager.mine(session.session_id, semantics=semantics)
+
+    # The oracle: a fresh batch mine of the whole database, restricted
+    # to the patterns some example witnesses.
+    fresh = mine(database, taxonomy, sigma, max_edges=MAX_EDGES)
+    working = reader.working_taxonomy
+    expected = [
+        pattern
+        for pattern in fresh.patterns
+        if _witnessed(pattern, examples, working, semantics)
+    ]
+
+    assert _fingerprints(result.patterns) == _fingerprints(expected), (
+        f"seed {seed} ({semantics}): session mine diverged from the "
+        f"restricted global mine at sigma={sigma}"
+    )
+    # Bit-identical supports, not just the same structures.
+    by_code = {p.code.edges: p for p in result.patterns}
+    for pattern in expected:
+        twin = by_code[pattern.code.edges]
+        assert twin.support_count == pattern.support_count
+        assert twin.support == pattern.support
+        assert twin.support_set == pattern.support_set
+
+
+@pytest.mark.parametrize("seed", [1, 6, 15])
+def test_iso_witnesses_are_a_subset_of_hom_witnesses(tmp_path, seed):
+    """Every injective witness is also a homomorphic one, never the
+    reverse: the hom session answer contains the iso answer."""
+    database, taxonomy, sigma = make_differential_case(seed)
+    rng = random.Random(seed + 999)
+    examples = _pick_examples(rng, database)
+    if examples is None:
+        pytest.skip("seeded database has no graph with edges")
+    store = tmp_path / "store"
+    Taxogram(
+        TaxogramOptions(
+            min_support=sigma, max_edges=MAX_EDGES, store_out=str(store)
+        )
+    ).mine(database, taxonomy)
+    manager = SessionManager(StoreReader(store))
+    session = manager.create("subset")
+    manager.add_examples(
+        session.session_id, _examples_text(database, examples)
+    )
+    iso = manager.mine(session.session_id, semantics="isomorphism")
+    hom = manager.mine(session.session_id, semantics="homomorphism")
+    assert _fingerprints(iso.patterns) <= _fingerprints(hom.patterns)

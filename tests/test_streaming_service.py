@@ -197,3 +197,62 @@ class TestServingSurface:
         assert svc.metrics.counter("streaming.wal_appends") == 1
         assert svc.metrics.counter("streaming.batches_applied") >= 1
         assert svc.metrics.counter("streaming.ingest_accepted") == 1
+
+
+class TestDiskFull:
+    """ENOSPC on the WAL volume mid-run: every affected ingest must be
+    answered 429 + ``Retry-After`` (back-pressure, nothing acked), the
+    log must stay byte-identical, and service must resume untouched
+    once space frees up — a 500 or a lost ack is a contract breach."""
+
+    def test_enospc_sheds_429_and_resumes_clean(self, tmp_path, monkeypatch):
+        from repro.loadtest.faults import disk_full
+
+        control = tmp_path / "faults.json"
+        disk_full(control, False)
+        monkeypatch.setenv("REPRO_FAULTPOINTS_FILE", str(control))
+
+        taxonomy = taxonomy_from_parent_names({"b": "a", "c": "a"})
+        db = GraphDatabase(node_labels=taxonomy.interner)
+        for name in ["x", "x", "y"]:
+            db.new_graph(["b", "c"], [(0, 1, name)])
+        store_dir = tmp_path / "store"
+        Taxogram(
+            TaxogramOptions(min_support=0.4, store_out=str(store_dir))
+        ).mine(db, taxonomy)
+        service = IngestService(
+            store_dir,
+            tmp_path / "wal",
+            port=0,
+            applier_options=ApplierOptions(max_latency_seconds=0.02),
+        )
+        service.start()
+        thread = threading.Thread(target=service.serve_forever, daemon=True)
+        thread.start()
+        host, port = service.address
+        url = f"http://{host}:{port}"
+        try:
+            assert _request(url, "/ingest", {"add": ADD_ONE})[0] == 202
+
+            disk_full(control, True)
+            status, doc, response = _request(
+                url, "/ingest", {"add": ADD_ONE}
+            )
+            assert status == 429
+            assert "WAL volume" in doc["error"]
+            assert response.headers.get("Retry-After") == "1"
+            # Nothing acked, nothing journaled for the shed request.
+            assert service.wal.last_seq == 0
+            assert service.metrics.counter("streaming.ingest_disk_full") == 1
+            # Queries keep answering while ingest sheds.
+            assert _request(url, "/health")[0] == 200
+
+            disk_full(control, False)
+            status, doc, _ = _request(
+                url, "/ingest", {"add": ADD_ONE, "wait": True}
+            )
+            assert (status, doc["seq"]) == (200, 1)
+        finally:
+            service.server.shutdown()
+            thread.join(timeout=10)
+            service.close(drain=False)

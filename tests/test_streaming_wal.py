@@ -305,3 +305,61 @@ class TestSegmentReadAPI:
             assert views[0].start_seq == 7
         with WriteAheadLog(tmp_path / "wal") as wal:
             assert wal.next_seq == 8
+
+
+class TestDiskFullFaultpoint:
+    """The ``wal.append`` fault point (errno action): an injected
+    ENOSPC must leave the log byte-identical — nothing half-written,
+    nothing acked — and lift cleanly when the volume "frees up"."""
+
+    def test_errno_action_raises_configured_oserror(self, tmp_path):
+        from repro.util.faultpoints import Faultpoints
+
+        control = tmp_path / "faults.json"
+        points = Faultpoints(str(control))
+        points.fire("wal.append")  # missing file: never an error
+        control.write_text('{"wal.append": {"errno": 28}}')
+        with pytest.raises(OSError) as info:
+            points.fire("wal.append")
+        assert info.value.errno == 28
+        points.fire("wal.fsync")  # other points unaffected
+        control.write_text("not json at all")
+        points.fire("wal.append")  # malformed file means no faults
+
+    def test_append_enospc_leaves_log_byte_identical(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.loadtest.faults import disk_full
+
+        control = tmp_path / "faults.json"
+        disk_full(control, False)
+        monkeypatch.setenv("REPRO_FAULTPOINTS_FILE", str(control))
+        wal = WriteAheadLog(tmp_path / "wal")
+        try:
+            assert wal.append(_delta("a")) == 0
+            segment = sorted((tmp_path / "wal").glob("wal-*.seg"))[-1]
+            before = segment.read_bytes()
+
+            disk_full(control, True)
+            for _ in range(3):
+                with pytest.raises(OSError) as info:
+                    wal.append(_delta("b"))
+                assert info.value.errno == 28
+            # Byte-identical log, no sequence consumed or published.
+            assert segment.read_bytes() == before
+            assert wal.last_seq == 0
+
+            disk_full(control, False)
+            assert wal.append(_delta("c")) == 1
+        finally:
+            wal.close()
+        # Recovery sees exactly the two acked records; the shed
+        # appends left no trace to repair.
+        reopened = WriteAheadLog(tmp_path / "wal")
+        try:
+            texts = [
+                record.delta.add_text for record in reopened.read_from(0)
+            ]
+            assert texts == ["t # 0\nv 0 a\n", "t # 0\nv 0 c\n"]
+        finally:
+            reopened.close()

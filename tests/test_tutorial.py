@@ -496,3 +496,61 @@ class TestTutorial:
         delta = kernel_delta(snapshot)
         assert delta["bitset.jaccards"] > 0
         assert delta["bitset.blocks_visited"] > 0
+
+    def test_step19_sessions(self, tmp_path):
+        taxonomy, db = _setup()
+        from repro import StoreReader
+        from repro.sessions import (
+            QuotaExceeded,
+            SessionManager,
+            TenantQuotas,
+        )
+
+        store_dir = tmp_path / "pathways.store"
+        full = Taxogram(
+            TaxogramOptions(min_support=0.5, store_out=str(store_dir))
+        ).mine(db, taxonomy)
+        assert len(full) == 3
+
+        reader = StoreReader(store_dir)
+        manager = SessionManager(reader)
+
+        session = manager.create("alice")
+        manager.add_examples(
+            session.session_id,
+            "t # 0\nv 0 carrier\nv 1 helicase\ne 0 1 interacts\n",
+        )
+        result = manager.mine(session.session_id)
+
+        # The example witnesses two of the store's three patterns (the
+        # cation_transporter specialization has no embedding into it)
+        # from a single gSpan candidate, and the answers are the full
+        # mine's, bit-identically.
+        assert result.candidates == 1
+        rendered = [
+            format_pattern(p, taxonomy.interner) for p in result.patterns
+        ]
+        assert rendered == [
+            "[0:helicase, 1:transporter | 0-1] sup=1.000",
+            "[0:helicase, 1:carrier | 0-1] sup=0.667",
+        ]
+        by_code = {p.code.edges: p for p in full.patterns}
+        for pattern in result.patterns:
+            assert pattern.support_set == by_code[
+                pattern.code.edges
+            ].support_set
+
+        # A second identical mine is a per-tenant cache hit.
+        assert manager.mine(session.session_id).cached is True
+        assert reader.metrics.counter("sessions.cache_hits") == 1
+
+        # Quotas answer QuotaExceeded (429 + Retry-After over HTTP).
+        strict = SessionManager(
+            reader, quotas=TenantQuotas(max_sessions=1)
+        )
+        strict.create("bob")
+        try:
+            strict.create("bob")
+            raise AssertionError("second session should breach quota")
+        except QuotaExceeded as exc:
+            assert exc.retry_after > 0
